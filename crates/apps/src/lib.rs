@@ -1,0 +1,26 @@
+//! # mpwifi-apps
+//!
+//! Mobile app traffic patterns and their replay over emulated
+//! multi-homed links — the Mahimahi RecordShell / ReplayShell / MpShell
+//! part of the paper (Sections 4 and 5).
+//!
+//! * [`patterns`] — the six recorded app interactions of Figure 17
+//!   (CNN / IMDB / Dropbox × launch / click) as flow-level models:
+//!   per-flow start offsets and request/response exchanges, synthesized
+//!   from the figure's qualitative structure. Apps classify as
+//!   *short-flow dominated* (many connections, little data each) or
+//!   *long-flow dominated* (a few large transfers).
+//! * [`mod@replay`] — the replay engine: run a pattern over a WiFi/LTE link
+//!   pair under any of the six transport configurations (WiFi-TCP,
+//!   LTE-TCP, MPTCP × {coupled, decoupled} × {WiFi, LTE primary}) and
+//!   measure *app response time*: start of the first connection to the
+//!   end of the last (the paper's metric, Section 5).
+
+pub mod patterns;
+pub mod replay;
+
+pub use patterns::{
+    all_patterns, dropbox_upload, AppClass, AppPattern, Exchange, FlowPattern, PatternKind,
+    RateClass,
+};
+pub use replay::{replay, ReplayResult, Transport, ALL_TRANSPORTS};

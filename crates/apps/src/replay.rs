@@ -1,0 +1,720 @@
+//! The replay engine: run an app pattern over emulated links under one
+//! of the six transport configurations and measure app response time.
+//!
+//! This is the Mahimahi ReplayShell + MpShell substitute. Each recorded
+//! flow becomes a live connection; requests are issued at their recorded
+//! offsets (never before the previous exchange completed, matching HTTP
+//! request/response causality); the server answers after the recorded
+//! think time. **App response time** is the paper's metric: from the
+//! start of the first connection to the end of the last one.
+
+use crate::patterns::{AppPattern, FlowPattern};
+use mpwifi_mptcp::{CcChoice, MptcpConfig};
+use mpwifi_netem::Addr;
+use mpwifi_sim::apps::make_payload;
+use mpwifi_sim::endpoint::{MptcpClientHost, MptcpServerHost, TcpClientHost, TcpServerHost};
+use mpwifi_sim::{LinkSpec, ScriptEvent, Sim, LTE_ADDR, SERVER_ADDR, SERVER_PORT, WIFI_ADDR};
+use mpwifi_simcore::{Dur, RateSeries, Time};
+use mpwifi_tcp::conn::TcpConfig;
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's six transport configurations (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Transport {
+    /// Single-path TCP over the given interface.
+    Tcp(
+        /// Interface address (WiFi or LTE).
+        Addr,
+    ),
+    /// Full-MPTCP with the given primary interface and congestion
+    /// control.
+    Mptcp {
+        /// Primary-subflow interface.
+        primary: Addr,
+        /// Coupled (LIA) or decoupled (Reno per subflow).
+        coupled: bool,
+    },
+}
+
+impl Transport {
+    /// The paper's label for this configuration.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Transport::Tcp(a) if *a == WIFI_ADDR => "WiFi-TCP",
+            Transport::Tcp(_) => "LTE-TCP",
+            Transport::Mptcp { primary, coupled: true } if *primary == WIFI_ADDR => {
+                "MPTCP-Coupled-WiFi"
+            }
+            Transport::Mptcp { coupled: true, .. } => "MPTCP-Coupled-LTE",
+            Transport::Mptcp { primary, coupled: false } if *primary == WIFI_ADDR => {
+                "MPTCP-Decoupled-WiFi"
+            }
+            Transport::Mptcp { coupled: false, .. } => "MPTCP-Decoupled-LTE",
+        }
+    }
+}
+
+/// The six configurations in the paper's presentation order.
+pub const ALL_TRANSPORTS: [Transport; 6] = [
+    Transport::Tcp(WIFI_ADDR),
+    Transport::Tcp(LTE_ADDR),
+    Transport::Mptcp { primary: WIFI_ADDR, coupled: true },
+    Transport::Mptcp { primary: LTE_ADDR, coupled: true },
+    Transport::Mptcp { primary: WIFI_ADDR, coupled: false },
+    Transport::Mptcp { primary: LTE_ADDR, coupled: false },
+];
+
+/// Outcome of one replay.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Start of first connection to end of last (the paper's app
+    /// response time). Equal to the deadline when incomplete.
+    pub response_time: Dur,
+    /// Did every flow finish before the deadline?
+    pub completed: bool,
+    /// Per-flow `(id, start, end)` relative to replay start.
+    pub flow_spans: Vec<(usize, Dur, Dur)>,
+    /// Per-flow average rate in bits/s over its span.
+    pub flow_rates: Vec<(usize, f64)>,
+    /// Per-flow delivered-byte progress over time (client side), for
+    /// Figure 17's rate-over-time strips.
+    pub flow_progress: Vec<(usize, RateSeries)>,
+}
+
+/// Per-flow runtime state shared by both engines.
+struct FlowRt {
+    pat: FlowPattern,
+    opened: bool,
+    /// Next exchange to issue.
+    next_exchange: usize,
+    /// Cumulative request bytes issued.
+    req_issued: u64,
+    /// Cumulative response bytes expected for issued exchanges.
+    resp_expected: u64,
+    /// Cumulative request bytes after which the server owes a response,
+    /// with its size and think time — queued at issue time.
+    server_plan: Vec<(u64, u64, Dur)>,
+    /// Server responses already sent (count of plan entries fired).
+    server_fired: usize,
+    /// A response scheduled to fire at this time.
+    server_pending: Option<(Time, u64)>,
+    done_at: Option<Time>,
+    closed: bool,
+}
+
+impl FlowRt {
+    fn new(pat: FlowPattern) -> FlowRt {
+        FlowRt {
+            pat,
+            opened: false,
+            next_exchange: 0,
+            req_issued: 0,
+            resp_expected: 0,
+            server_plan: Vec::new(),
+            server_fired: 0,
+            server_pending: None,
+            done_at: None,
+            closed: false,
+        }
+    }
+
+    fn total_response_bytes(&self) -> u64 {
+        self.pat.exchanges.iter().map(|e| e.response_bytes).sum()
+    }
+}
+
+/// The transport-specific operations the engine needs.
+trait ReplayHost {
+    fn now(&self) -> Time;
+    fn step(&mut self) -> bool;
+    fn wakeup(&mut self, at: Time);
+    /// Open the flow's connection; returns an opaque handle.
+    fn open(&mut self, now: Time, flow_idx: usize) -> u64;
+    fn client_send(&mut self, h: u64, bytes: u64);
+    fn client_close(&mut self, h: u64);
+    fn client_delivered(&mut self, h: u64) -> u64;
+    /// `None` until the server accepted the connection.
+    fn server_delivered(&mut self, h: u64) -> Option<u64>;
+    fn server_send(&mut self, h: u64, bytes: u64);
+    fn server_close(&mut self, h: u64);
+}
+
+/// Generic replay loop over any [`ReplayHost`].
+fn run_replay<H: ReplayHost>(mut host: H, pattern: &AppPattern, deadline: Dur) -> ReplayResult {
+    let mut flows: Vec<FlowRt> = pattern.flows.iter().cloned().map(FlowRt::new).collect();
+    let mut handles: Vec<u64> = vec![0; flows.len()];
+    let mut progress: Vec<RateSeries> = pattern
+        .flows
+        .iter()
+        .map(|f| {
+            let mut rs = RateSeries::new();
+            rs.mark_start(Time::ZERO + f.start);
+            rs
+        })
+        .collect();
+    let deadline_t = Time::ZERO + deadline;
+
+    // Schedule a wakeup at every flow start so connections open on time.
+    for f in &flows {
+        host.wakeup(Time::ZERO + f.pat.start);
+    }
+
+    loop {
+        let now = host.now();
+        let mut all_done = true;
+        for (i, f) in flows.iter_mut().enumerate() {
+            if f.done_at.is_some() {
+                continue;
+            }
+            all_done = false;
+            // Open on time.
+            if !f.opened {
+                if now >= Time::ZERO + f.pat.start {
+                    handles[i] = host.open(now, i);
+                    f.opened = true;
+                } else {
+                    continue;
+                }
+            }
+            let h = handles[i];
+            let delivered = host.client_delivered(h);
+            progress[i].record(now, delivered + f.req_issued);
+            // Issue the next exchange when its offset passed and all
+            // prior responses arrived.
+            if f.next_exchange < f.pat.exchanges.len() {
+                let e = f.pat.exchanges[f.next_exchange];
+                let due = Time::ZERO + f.pat.start + e.offset;
+                if delivered >= f.resp_expected && now >= due {
+                    host.client_send(h, e.request_bytes);
+                    f.req_issued += e.request_bytes;
+                    f.resp_expected += e.response_bytes;
+                    f.server_plan.push((f.req_issued, e.response_bytes, e.server_delay));
+                    f.next_exchange += 1;
+                } else if delivered >= f.resp_expected && due > now {
+                    host.wakeup(due);
+                }
+            }
+            // Server side: schedule/fire responses.
+            if let Some(srv_delivered) = host.server_delivered(h) {
+                if f.server_pending.is_none() && f.server_fired < f.server_plan.len() {
+                    let (req_needed, resp_bytes, delay) = f.server_plan[f.server_fired];
+                    if srv_delivered >= req_needed {
+                        let at = now + delay;
+                        f.server_pending = Some((at, resp_bytes));
+                        host.wakeup(at);
+                    }
+                }
+                if let Some((at, bytes)) = f.server_pending {
+                    if now >= at {
+                        host.server_send(h, bytes);
+                        f.server_fired += 1;
+                        f.server_pending = None;
+                    }
+                }
+            }
+            // Completion: all exchanges issued and all responses read.
+            if f.next_exchange == f.pat.exchanges.len()
+                && host.client_delivered(h) >= f.total_response_bytes()
+            {
+                f.done_at = Some(now);
+                if !f.closed {
+                    host.client_close(h);
+                    host.server_close(h);
+                    f.closed = true;
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if host.now() >= deadline_t {
+            break;
+        }
+        if !host.step() {
+            break;
+        }
+    }
+
+    let completed = flows.iter().all(|f| f.done_at.is_some());
+    let end = flows
+        .iter()
+        .filter_map(|f| f.done_at)
+        .max()
+        .unwrap_or(deadline_t);
+    let first_start = flows.iter().map(|f| f.pat.start).min().unwrap_or(Dur::ZERO);
+    let response_time = if completed {
+        end - (Time::ZERO + first_start)
+    } else {
+        deadline
+    };
+    let flow_spans: Vec<(usize, Dur, Dur)> = flows
+        .iter()
+        .map(|f| {
+            let end = f.done_at.unwrap_or(deadline_t) - Time::ZERO;
+            (f.pat.id, f.pat.start, end)
+        })
+        .collect();
+    let flow_rates = flows
+        .iter()
+        .map(|f| {
+            let end = f.done_at.unwrap_or(deadline_t) - Time::ZERO;
+            let span = (end.saturating_sub(f.pat.start)).as_secs_f64().max(1e-3);
+            (f.pat.id, f.pat.total_bytes() as f64 * 8.0 / span)
+        })
+        .collect();
+    ReplayResult {
+        response_time,
+        completed,
+        flow_spans,
+        flow_rates,
+        flow_progress: pattern
+            .flows
+            .iter()
+            .map(|f| f.id)
+            .zip(progress)
+            .collect(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Single-path TCP host
+// ----------------------------------------------------------------------
+
+struct TcpReplay {
+    sim: Sim<TcpClientHost, TcpServerHost>,
+}
+
+impl ReplayHost for TcpReplay {
+    fn now(&self) -> Time {
+        self.sim.now
+    }
+
+    fn step(&mut self) -> bool {
+        self.sim.step()
+    }
+
+    fn wakeup(&mut self, at: Time) {
+        self.sim.schedule(at, ScriptEvent::Wakeup);
+    }
+
+    fn open(&mut self, now: Time, _flow_idx: usize) -> u64 {
+        let id = self
+            .sim
+            .client
+            .connect(now, TcpConfig::default(), SERVER_PORT);
+        u64::from(id.0)
+    }
+
+    fn client_send(&mut self, h: u64, bytes: u64) {
+        let conn = self
+            .sim
+            .client
+            .stack
+            .conn_mut((h as u16, SERVER_PORT))
+            .expect("client conn");
+        conn.send(make_payload(bytes));
+    }
+
+    fn client_close(&mut self, h: u64) {
+        let now = self.sim.now;
+        if let Some(conn) = self.sim.client.stack.conn_mut((h as u16, SERVER_PORT)) {
+            conn.close(now);
+        }
+    }
+
+    fn client_delivered(&mut self, h: u64) -> u64 {
+        self.sim
+            .client
+            .stack
+            .conn_mut((h as u16, SERVER_PORT))
+            .map_or(0, |c| {
+                let _ = c.take_delivered(); // the app reads its socket
+                c.delivered_bytes()
+            })
+    }
+
+    fn server_delivered(&mut self, h: u64) -> Option<u64> {
+        let _ = self.sim.server.stack.take_accepted();
+        self.sim
+            .server
+            .stack
+            .conn_mut((SERVER_PORT, h as u16))
+            .map(|c| {
+                let _ = c.take_delivered();
+                c.delivered_bytes()
+            })
+    }
+
+    fn server_send(&mut self, h: u64, bytes: u64) {
+        let conn = self
+            .sim
+            .server
+            .stack
+            .conn_mut((SERVER_PORT, h as u16))
+            .expect("server conn");
+        conn.send(make_payload(bytes));
+    }
+
+    fn server_close(&mut self, h: u64) {
+        let now = self.sim.now;
+        if let Some(conn) = self.sim.server.stack.conn_mut((SERVER_PORT, h as u16)) {
+            conn.close(now);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// MPTCP host
+// ----------------------------------------------------------------------
+
+struct MpReplay {
+    sim: Sim<MptcpClientHost, MptcpServerHost>,
+    cfg: MptcpConfig,
+    primary: Addr,
+    /// client conn id -> server conn id, resolved lazily by port match.
+    server_of: Vec<Option<usize>>,
+}
+
+impl MpReplay {
+    fn resolve_server(&mut self, h: u64) -> Option<usize> {
+        if let Some(Some(s)) = self.server_of.get(h as usize) {
+            return Some(*s);
+        }
+        let port = self.sim.client.mp.conn(h as usize).primary_local_port()?;
+        for sid in 0..self.sim.server.mp.len() {
+            if self
+                .sim
+                .server
+                .mp
+                .conn(sid)
+                .route_ports(SERVER_PORT, port)
+                .is_some()
+            {
+                if self.server_of.len() <= h as usize {
+                    self.server_of.resize(h as usize + 1, None);
+                }
+                self.server_of[h as usize] = Some(sid);
+                return Some(sid);
+            }
+        }
+        None
+    }
+}
+
+impl ReplayHost for MpReplay {
+    fn now(&self) -> Time {
+        self.sim.now
+    }
+
+    fn step(&mut self) -> bool {
+        self.sim.step()
+    }
+
+    fn wakeup(&mut self, at: Time) {
+        self.sim.schedule(at, ScriptEvent::Wakeup);
+    }
+
+    fn open(&mut self, now: Time, _flow_idx: usize) -> u64 {
+        let id = self
+            .sim
+            .client
+            .open(now, self.cfg.clone(), self.primary, SERVER_PORT);
+        if self.server_of.len() <= id {
+            self.server_of.resize(id + 1, None);
+        }
+        id as u64
+    }
+
+    fn client_send(&mut self, h: u64, bytes: u64) {
+        self.sim.client.mp.conn_mut(h as usize).send(make_payload(bytes));
+    }
+
+    fn client_close(&mut self, h: u64) {
+        let now = self.sim.now;
+        self.sim.client.mp.conn_mut(h as usize).close(now);
+    }
+
+    fn client_delivered(&mut self, h: u64) -> u64 {
+        let conn = self.sim.client.mp.conn_mut(h as usize);
+        let _ = conn.take_delivered(); // the app reads its socket
+        conn.delivered_bytes()
+    }
+
+    fn server_delivered(&mut self, h: u64) -> Option<u64> {
+        let sid = self.resolve_server(h)?;
+        let conn = self.sim.server.mp.conn_mut(sid);
+        let _ = conn.take_delivered();
+        Some(conn.delivered_bytes())
+    }
+
+    fn server_send(&mut self, h: u64, bytes: u64) {
+        let sid = self.resolve_server(h).expect("server conn not resolved");
+        self.sim.server.mp.conn_mut(sid).send(make_payload(bytes));
+    }
+
+    fn server_close(&mut self, h: u64) {
+        let now = self.sim.now;
+        if let Some(sid) = self.resolve_server(h) {
+            self.sim.server.mp.conn_mut(sid).close(now);
+        }
+    }
+}
+
+/// Replay `pattern` over the given links with the given transport.
+pub fn replay(
+    pattern: &AppPattern,
+    wifi: &LinkSpec,
+    lte: &LinkSpec,
+    transport: Transport,
+    deadline: Dur,
+    seed: u64,
+) -> ReplayResult {
+    match transport {
+        Transport::Tcp(iface) => {
+            let client = TcpClientHost::new(iface, SERVER_ADDR, seed as u32 | 1);
+            let server =
+                TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), seed as u32 ^ 7);
+            let sim = Sim::new(client, server, wifi, lte, seed);
+            run_replay(TcpReplay { sim }, pattern, deadline)
+        }
+        Transport::Mptcp { primary, coupled } => {
+            let cfg = MptcpConfig {
+                cc: if coupled {
+                    CcChoice::Coupled
+                } else {
+                    CcChoice::Decoupled
+                },
+                ..MptcpConfig::default()
+            };
+            let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);
+            let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), seed ^ 0xF7);
+            let sim = Sim::new(client, server, wifi, lte, seed);
+            run_replay(
+                MpReplay {
+                    sim,
+                    cfg,
+                    primary,
+                    server_of: Vec::new(),
+                },
+                pattern,
+                deadline,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{cnn_launch, dropbox_click, AppPattern, Exchange, FlowPattern};
+
+    fn fast_wifi() -> LinkSpec {
+        LinkSpec::symmetric(20_000_000, Dur::from_millis(20))
+    }
+
+    fn slow_lte() -> LinkSpec {
+        LinkSpec::symmetric(4_000_000, Dur::from_millis(70))
+    }
+
+    fn tiny_pattern() -> AppPattern {
+        AppPattern {
+            app: "Tiny",
+            kind: crate::patterns::PatternKind::Launch,
+            flows: vec![
+                FlowPattern {
+                    id: 1,
+                    start: Dur::ZERO,
+                    exchanges: vec![Exchange {
+                        offset: Dur::ZERO,
+                        request_bytes: 400,
+                        response_bytes: 20_000,
+                        server_delay: Dur::from_millis(50),
+                    }],
+                },
+                FlowPattern {
+                    id: 2,
+                    start: Dur::from_millis(500),
+                    exchanges: vec![
+                        Exchange {
+                            offset: Dur::ZERO,
+                            request_bytes: 400,
+                            response_bytes: 5_000,
+                            server_delay: Dur::from_millis(30),
+                        },
+                        Exchange {
+                            offset: Dur::from_millis(200),
+                            request_bytes: 400,
+                            response_bytes: 8_000,
+                            server_delay: Dur::from_millis(30),
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tiny_pattern_completes_over_tcp() {
+        let r = replay(
+            &tiny_pattern(),
+            &fast_wifi(),
+            &slow_lte(),
+            Transport::Tcp(WIFI_ADDR),
+            Dur::from_secs(30),
+            1,
+        );
+        assert!(r.completed, "replay must finish");
+        // Flow 2 starts at 0.5 s and does two exchanges; response time is
+        // at least that but well under 3 s on a fast link.
+        assert!(r.response_time > Dur::from_millis(700), "{}", r.response_time);
+        assert!(r.response_time < Dur::from_secs(3), "{}", r.response_time);
+        assert_eq!(r.flow_spans.len(), 2);
+    }
+
+    #[test]
+    fn tiny_pattern_completes_over_mptcp_all_variants() {
+        for transport in [
+            Transport::Mptcp { primary: WIFI_ADDR, coupled: true },
+            Transport::Mptcp { primary: LTE_ADDR, coupled: true },
+            Transport::Mptcp { primary: WIFI_ADDR, coupled: false },
+            Transport::Mptcp { primary: LTE_ADDR, coupled: false },
+        ] {
+            let r = replay(
+                &tiny_pattern(),
+                &fast_wifi(),
+                &slow_lte(),
+                transport,
+                Dur::from_secs(30),
+                1,
+            );
+            assert!(r.completed, "{} did not finish", transport.label());
+            assert!(
+                r.response_time < Dur::from_secs(5),
+                "{}: {}",
+                transport.label(),
+                r.response_time
+            );
+        }
+    }
+
+    #[test]
+    fn request_causality_respected() {
+        // Flow 2's second exchange can't start before its first response
+        // arrived, so its completion is strictly after one full
+        // round-trip + server delay past the first.
+        let r = replay(
+            &tiny_pattern(),
+            &fast_wifi(),
+            &slow_lte(),
+            Transport::Tcp(WIFI_ADDR),
+            Dur::from_secs(30),
+            1,
+        );
+        let f2_end = r.flow_spans.iter().find(|s| s.0 == 2).unwrap().2;
+        // The second exchange is issued no earlier than start (0.5 s) +
+        // offset (0.2 s); add its server delay (30 ms) and one RTT
+        // (20 ms each way) for the response to land.
+        assert!(f2_end > Dur::from_millis(500 + 200 + 30 + 20), "{f2_end}");
+    }
+
+    #[test]
+    fn cnn_launch_replays_on_all_six() {
+        let pattern = cnn_launch(1);
+        for transport in ALL_TRANSPORTS {
+            let r = replay(
+                &pattern,
+                &fast_wifi(),
+                &slow_lte(),
+                transport,
+                Dur::from_secs(120),
+                3,
+            );
+            assert!(r.completed, "{} incomplete", transport.label());
+            // The pattern's own timing (second asset wave + beacons to
+            // ~2.5 s) bounds below; fast links finish close to that.
+            assert!(
+                r.response_time > Dur::from_millis(2_000),
+                "{}: {}",
+                transport.label(),
+                r.response_time
+            );
+            assert!(
+                r.response_time < Dur::from_secs(30),
+                "{}: {}",
+                transport.label(),
+                r.response_time
+            );
+        }
+    }
+
+    #[test]
+    fn single_path_uses_correct_network() {
+        // On LTE-TCP, a much slower LTE link must hurt response time
+        // relative to WiFi-TCP.
+        let pattern = dropbox_click(1);
+        let wifi = fast_wifi();
+        let lte = LinkSpec::symmetric(1_500_000, Dur::from_millis(80));
+        let on_wifi = replay(&pattern, &wifi, &lte, Transport::Tcp(WIFI_ADDR), Dur::from_secs(300), 5);
+        let on_lte = replay(&pattern, &wifi, &lte, Transport::Tcp(LTE_ADDR), Dur::from_secs(300), 5);
+        assert!(on_wifi.completed && on_lte.completed);
+        assert!(
+            on_lte.response_time > on_wifi.response_time,
+            "LTE {} should be slower than WiFi {}",
+            on_lte.response_time,
+            on_wifi.response_time
+        );
+    }
+
+    #[test]
+    fn transport_labels() {
+        let labels: Vec<&str> = ALL_TRANSPORTS.iter().map(|t| t.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "WiFi-TCP",
+                "LTE-TCP",
+                "MPTCP-Coupled-WiFi",
+                "MPTCP-Coupled-LTE",
+                "MPTCP-Decoupled-WiFi",
+                "MPTCP-Decoupled-LTE"
+            ]
+        );
+    }
+
+    #[test]
+    fn uplink_dominated_pattern_feels_the_uplink_rate() {
+        use crate::patterns::dropbox_upload;
+        let pattern = dropbox_upload(1);
+        // Same downlink, very different uplinks.
+        let fast_up = LinkSpec::asymmetric(8_000_000, 10_000_000, Dur::from_millis(30));
+        let slow_up = LinkSpec::asymmetric(1_000_000, 10_000_000, Dur::from_millis(30));
+        let lte = slow_lte();
+        let deadline = Dur::from_secs(300);
+        let fast = replay(&pattern, &fast_up, &lte, Transport::Tcp(WIFI_ADDR), deadline, 3);
+        let slow = replay(&pattern, &slow_up, &lte, Transport::Tcp(WIFI_ADDR), deadline, 3);
+        assert!(fast.completed && slow.completed);
+        assert!(
+            slow.response_time.as_secs_f64() > fast.response_time.as_secs_f64() * 2.0,
+            "2.5 MB upload: 8 Mbit/s up {} vs 1 Mbit/s up {}",
+            fast.response_time,
+            slow.response_time
+        );
+    }
+
+    #[test]
+    fn incomplete_replay_reports_deadline() {
+        // Absurdly slow links and a short deadline.
+        let wifi = LinkSpec::symmetric(200_000, Dur::from_millis(300));
+        let lte = LinkSpec::symmetric(200_000, Dur::from_millis(300));
+        let r = replay(
+            &dropbox_click(1),
+            &wifi,
+            &lte,
+            Transport::Tcp(WIFI_ADDR),
+            Dur::from_secs(5),
+            1,
+        );
+        assert!(!r.completed);
+        assert_eq!(r.response_time, Dur::from_secs(5));
+    }
+}

@@ -1,0 +1,107 @@
+//! One benchmark group per paper experiment family, timing a
+//! representative slice of each regeneration. These exist so that a
+//! performance regression anywhere in the stack (codec, queues, TCP,
+//! MPTCP, replay) surfaces as a slower experiment — the same way the
+//! full `repro` binary would feel it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpwifi_apps::patterns::{cnn_launch, dropbox_click};
+use mpwifi_apps::replay::{replay, Transport};
+use mpwifi_core::flowstudy::{run_location_study, run_transfer, FlowDir, StudyTransport};
+use mpwifi_crowd::measure::{measure_pair, RunMode};
+use mpwifi_radio::{paper_locations, PowerModel, RadioKind, WirelessWorld};
+use mpwifi_sim::{LinkSpec, PacketDir, PacketLog, LTE_ADDR, WIFI_ADDR};
+use mpwifi_simcore::{DetRng, Dur, Time};
+
+/// Table 1 / Figures 3–4 family: crowd measurement runs.
+fn bench_crowd_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crowd_study");
+    let world = WirelessWorld::with_target(8_000_000.0, 0.4);
+    g.bench_function("one_run_analytic", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        b.iter(|| {
+            let d = world.draw(&mut rng);
+            measure_pair(&d.wifi, &d.lte, RunMode::Analytic, 3)
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("one_run_fullsim", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        b.iter(|| {
+            let d = world.draw(&mut rng);
+            measure_pair(&d.wifi, &d.lte, RunMode::FullSim, 3)
+        })
+    });
+    g.finish();
+}
+
+/// Figures 7–12 family: the six-configuration location study.
+fn bench_flow_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_study");
+    g.sample_size(10);
+    let locs = paper_locations(42);
+    let loc = &locs[0];
+    g.bench_function("one_location_six_configs_1mb", |b| {
+        b.iter(|| run_location_study(loc.id, &loc.wifi, &loc.lte, 1_000_000, false, 7))
+    });
+    g.bench_function("one_mptcp_transfer_1mb", |b| {
+        b.iter(|| {
+            run_transfer(
+                &loc.wifi,
+                &loc.lte,
+                StudyTransport::MpWifiDecoupled,
+                FlowDir::Down,
+                1_000_000,
+                7,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figure 16 family: energy accounting.
+fn bench_energy_model(c: &mut Criterion) {
+    let model = PowerModel::default();
+    let mut log = PacketLog::new();
+    for i in 0..5_000u64 {
+        log.record(Time::from_micros(i * 4_000), PacketDir::Rx, 1500);
+    }
+    c.bench_function("energy_timeline_5k_packets", |b| {
+        b.iter(|| model.energy(RadioKind::Lte, &log, Time::from_secs(60)))
+    });
+}
+
+/// Figures 17–21 family: app replay.
+fn bench_app_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_replay");
+    g.sample_size(10);
+    let wifi = LinkSpec::symmetric(15_000_000, Dur::from_millis(25));
+    let lte = LinkSpec::symmetric(9_000_000, Dur::from_millis(55));
+    let cnn = cnn_launch(1);
+    let dropbox = dropbox_click(1);
+    g.bench_function("cnn_launch_wifi_tcp", |b| {
+        b.iter(|| replay(&cnn, &wifi, &lte, Transport::Tcp(WIFI_ADDR), Dur::from_secs(120), 5))
+    });
+    g.bench_function("dropbox_click_mptcp", |b| {
+        b.iter(|| {
+            replay(
+                &dropbox,
+                &wifi,
+                &lte,
+                Transport::Mptcp { primary: LTE_ADDR, coupled: true },
+                Dur::from_secs(300),
+                5,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crowd_study,
+    bench_flow_study,
+    bench_energy_model,
+    bench_app_replay
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Micro-benchmarks of the simulator's hot paths.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mpwifi_mptcp::MptcpConfig;
+use mpwifi_netem::{Addr, DeliveryTrace, Frame, LinkQueue, Stage};
+use mpwifi_sim::apps::{run_mptcp_download, run_tcp_download};
+use mpwifi_sim::{LinkSpec, WIFI_ADDR};
+use mpwifi_simcore::{Dur, EventQueue, Time};
+use mpwifi_tcp::conn::TcpConfig;
+use mpwifi_tcp::segment::{Flags, Segment, TcpOption};
+
+fn bench_segment_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_codec");
+    let seg = Segment {
+        options: vec![TcpOption::Timestamp { val: 1, ecr: 2 }],
+        payload: Bytes::from(vec![0xA5u8; 1400]),
+        ..Segment::control(443, 50000, 12345, 67890, Flags::ACK)
+    };
+    let wire = seg.encode();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_1400B", |b| b.iter(|| seg.encode()));
+    g.bench_function("decode_1400B", |b| {
+        b.iter(|| Segment::decode(wire.clone()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.push(Time::from_nanos((i * 7919) % 100_000), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_link_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("fixed_rate_1k_frames", |b| {
+        b.iter_batched(
+            || LinkQueue::fixed_rate(100_000_000, usize::MAX),
+            |mut link| {
+                for i in 0..1000 {
+                    let f = Frame::new(i, Addr(1), Addr(10), Bytes::from_static(&[0u8; 64]), Time::ZERO);
+                    link.push(Time::ZERO, f);
+                }
+                let mut now = Time::ZERO;
+                while let Some(t) = link.next_ready() {
+                    now = now.max(t);
+                    link.pop_ready(now);
+                }
+                link
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("trace_1k_frames", |b| {
+        let trace = DeliveryTrace::constant_pps(100_000);
+        b.iter_batched(
+            || LinkQueue::trace_driven(trace.clone(), usize::MAX),
+            |mut link| {
+                for i in 0..1000 {
+                    let f = Frame::new(i, Addr(1), Addr(10), Bytes::from_static(&[0u8; 64]), Time::ZERO);
+                    link.push(Time::ZERO, f);
+                }
+                let mut now = Time::ZERO;
+                while let Some(t) = link.next_ready() {
+                    now = now.max(t);
+                    link.pop_ready(now);
+                }
+                link
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let wifi = LinkSpec::symmetric(20_000_000, Dur::from_millis(20));
+    let lte = LinkSpec::symmetric(8_000_000, Dur::from_millis(50));
+    let mut g = c.benchmark_group("transfer");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(1_000_000));
+    g.bench_function("tcp_1mb_download", |b| {
+        b.iter(|| {
+            run_tcp_download(
+                &wifi,
+                &lte,
+                WIFI_ADDR,
+                1_000_000,
+                TcpConfig::default(),
+                Dur::from_secs(60),
+                7,
+            )
+        })
+    });
+    g.bench_function("mptcp_1mb_download", |b| {
+        b.iter(|| {
+            run_mptcp_download(
+                &wifi,
+                &lte,
+                WIFI_ADDR,
+                1_000_000,
+                MptcpConfig::default(),
+                Dur::from_secs(60),
+                7,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_segment_codec,
+    bench_event_queue,
+    bench_link_pipeline,
+    bench_transfers
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! The Section 5 app-replay study: a pattern × the six transports ×
+//! many emulated network conditions, producing the response-time bars
+//! of Figures 18/20 and the oracle analyses of Figures 19/21.
+
+use crate::oracle::OracleReport;
+use mpwifi_apps::patterns::AppPattern;
+use mpwifi_apps::replay::{replay, Transport, ALL_TRANSPORTS};
+use mpwifi_sim::LinkSpec;
+use mpwifi_simcore::Dur;
+use std::collections::BTreeMap;
+
+/// Response times of all six transports under one network condition.
+#[derive(Debug, Clone)]
+pub struct ConditionResult {
+    /// Condition index (Table 2 location id).
+    pub condition_id: usize,
+    /// Per-transport app response time.
+    pub times: BTreeMap<Transport, Dur>,
+    /// Whether every transport's replay completed before the deadline.
+    pub all_completed: bool,
+}
+
+/// The full study over a set of conditions.
+#[derive(Debug, Clone)]
+pub struct AppStudyResult {
+    /// Pattern name ("CNN launch", ...).
+    pub pattern: String,
+    /// One entry per condition.
+    pub conditions: Vec<ConditionResult>,
+}
+
+impl AppStudyResult {
+    /// Oracle analysis over all conditions.
+    pub fn oracle_report(&self) -> OracleReport {
+        let maps: Vec<BTreeMap<Transport, Dur>> =
+            self.conditions.iter().map(|c| c.times.clone()).collect();
+        OracleReport::build(&maps)
+    }
+}
+
+/// Replay `pattern` under every `(wifi, lte)` condition with all six
+/// transports.
+pub fn run_app_study(
+    pattern: &AppPattern,
+    conditions: &[(usize, LinkSpec, LinkSpec)],
+    deadline: Dur,
+    seed: u64,
+) -> AppStudyResult {
+    let mut out = Vec::with_capacity(conditions.len());
+    for (condition_id, wifi, lte) in conditions {
+        let mut times = BTreeMap::new();
+        let mut all_completed = true;
+        for (k, &transport) in ALL_TRANSPORTS.iter().enumerate() {
+            let r = replay(
+                pattern,
+                wifi,
+                lte,
+                transport,
+                deadline,
+                seed ^ ((*condition_id as u64) << 16) ^ k as u64,
+            );
+            all_completed &= r.completed;
+            times.insert(transport, r.response_time);
+        }
+        out.push(ConditionResult {
+            condition_id: *condition_id,
+            times,
+            all_completed,
+        });
+    }
+    AppStudyResult {
+        pattern: pattern.name(),
+        conditions: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleKind;
+    use mpwifi_apps::patterns::dropbox_click;
+    use mpwifi_sim::{LTE_ADDR, WIFI_ADDR};
+
+    /// Two toy conditions: WiFi much better, then LTE much better.
+    fn toy_conditions() -> Vec<(usize, LinkSpec, LinkSpec)> {
+        vec![
+            (
+                1,
+                LinkSpec::symmetric(20_000_000, Dur::from_millis(20)),
+                LinkSpec::symmetric(2_000_000, Dur::from_millis(80)),
+            ),
+            (
+                2,
+                LinkSpec::symmetric(2_000_000, Dur::from_millis(60)),
+                LinkSpec::symmetric(18_000_000, Dur::from_millis(40)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn long_flow_study_produces_sensible_oracles() {
+        let pattern = dropbox_click(1);
+        let study = run_app_study(&pattern, &toy_conditions(), Dur::from_secs(240), 3);
+        assert_eq!(study.conditions.len(), 2);
+        for c in &study.conditions {
+            assert_eq!(c.times.len(), 6);
+            assert!(c.all_completed, "condition {} incomplete", c.condition_id);
+        }
+        // Condition 1: WiFi-TCP beats LTE-TCP; condition 2 reversed.
+        let c1 = &study.conditions[0].times;
+        let c2 = &study.conditions[1].times;
+        assert!(c1[&Transport::Tcp(WIFI_ADDR)] < c1[&Transport::Tcp(LTE_ADDR)]);
+        assert!(c2[&Transport::Tcp(LTE_ADDR)] < c2[&Transport::Tcp(WIFI_ADDR)]);
+
+        let report = study.oracle_report();
+        // The single-path oracle must be at least as good as the
+        // baseline, strictly better given condition 2.
+        let sp = report.get(OracleKind::SinglePathTcp).unwrap();
+        assert!(sp < 1.0, "single-path oracle {sp}");
+        assert_eq!(report.get(OracleKind::WifiTcpBaseline), Some(1.0));
+    }
+}

@@ -1,0 +1,250 @@
+//! The Cell vs WiFi app's measurement-collection run (Figure 2).
+//!
+//! A single run walks: start → (WiFi on? associate?) → measure WiFi →
+//! WiFi off, cellular up? → measure cellular → WiFi back on → upload.
+//! The state machine here mirrors the flow chart exactly, including the
+//! abort paths (no WiFi association, cellular disabled by the user) and
+//! the data-cap check the app offers.
+
+use serde::{Deserialize, Serialize};
+
+/// Phone capabilities/settings relevant to one run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Phone {
+    /// WiFi radio enabled.
+    pub wifi_enabled: bool,
+    /// An AP is in range and association succeeds.
+    pub wifi_associates: bool,
+    /// Cellular data enabled by the user.
+    pub cellular_enabled: bool,
+    /// Bytes of cellular quota left (the app's data-cap setting).
+    pub cellular_quota_bytes: u64,
+}
+
+/// States of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppState {
+    /// Step 1: start measurement.
+    Start,
+    /// Step 2: measuring WiFi (1 MB up + 1 MB down + pings).
+    MeasureWifi,
+    /// Step 3: measuring cellular.
+    MeasureCellular,
+    /// Step 4: uploading collected data to the server.
+    UploadData,
+    /// Run finished (data uploaded or nothing to upload).
+    Done,
+}
+
+/// What happened in one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepOutcome {
+    /// Moved to the contained state.
+    Advanced(AppState),
+    /// A measurement phase was skipped (with the reason).
+    Skipped(&'static str),
+}
+
+/// Bytes one network measurement consumes (1 MB up + 1 MB down plus
+/// overheads).
+pub const MEASUREMENT_BYTES: u64 = 2_100_000;
+
+/// One measurement-collection run.
+#[derive(Debug, Clone)]
+pub struct CellVsWifiApp {
+    state: AppState,
+    phone: Phone,
+    /// Phases that actually ran.
+    pub measured_wifi: bool,
+    /// Phases that actually ran.
+    pub measured_cellular: bool,
+    /// Log of outcomes, for tests and UI.
+    pub log: Vec<StepOutcome>,
+}
+
+impl CellVsWifiApp {
+    /// Start a run on the given phone.
+    pub fn new(phone: Phone) -> CellVsWifiApp {
+        CellVsWifiApp {
+            state: AppState::Start,
+            phone,
+            measured_wifi: false,
+            measured_cellular: false,
+            log: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AppState {
+        self.state
+    }
+
+    /// Advance one step of the flow chart. Returns the outcome; call
+    /// until [`AppState::Done`].
+    pub fn step(&mut self) -> StepOutcome {
+        let outcome = match self.state {
+            AppState::Start => {
+                // WiFi on? If not, turn it on (the app does). Associate?
+                if self.phone.wifi_associates {
+                    self.state = AppState::MeasureWifi;
+                    StepOutcome::Advanced(self.state)
+                } else {
+                    // "Scan and Associate -> Success? No" path: skip WiFi.
+                    self.state = AppState::MeasureCellular;
+                    StepOutcome::Skipped("wifi association failed")
+                }
+            }
+            AppState::MeasureWifi => {
+                self.measured_wifi = true;
+                self.state = AppState::MeasureCellular;
+                StepOutcome::Advanced(self.state)
+            }
+            AppState::MeasureCellular => {
+                // The app turns WiFi off and tries cellular.
+                if !self.phone.cellular_enabled {
+                    self.state = AppState::UploadData;
+                    StepOutcome::Skipped("cellular disabled by user")
+                } else if self.phone.cellular_quota_bytes < MEASUREMENT_BYTES {
+                    self.state = AppState::UploadData;
+                    StepOutcome::Skipped("cellular data cap reached")
+                } else {
+                    self.measured_cellular = true;
+                    self.phone.cellular_quota_bytes -= MEASUREMENT_BYTES;
+                    self.state = AppState::UploadData;
+                    StepOutcome::Advanced(self.state)
+                }
+            }
+            AppState::UploadData => {
+                // WiFi back on if available, else cellular, else drop.
+                self.state = AppState::Done;
+                if self.measured_wifi || self.measured_cellular {
+                    StepOutcome::Advanced(AppState::Done)
+                } else {
+                    StepOutcome::Skipped("nothing measured; nothing to upload")
+                }
+            }
+            AppState::Done => StepOutcome::Advanced(AppState::Done),
+        };
+        self.log.push(outcome);
+        outcome
+    }
+
+    /// Run to completion; returns whether this was a *complete* run
+    /// (both networks measured — the paper only analyzes those).
+    pub fn run(&mut self) -> bool {
+        while self.state != AppState::Done {
+            self.step();
+        }
+        self.is_complete_run()
+    }
+
+    /// Both networks measured (the dataset filter of Section 2.2).
+    pub fn is_complete_run(&self) -> bool {
+        self.measured_wifi && self.measured_cellular
+    }
+
+    /// Remaining cellular quota.
+    pub fn remaining_quota(&self) -> u64 {
+        self.phone.cellular_quota_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phone() -> Phone {
+        Phone {
+            wifi_enabled: true,
+            wifi_associates: true,
+            cellular_enabled: true,
+            cellular_quota_bytes: 100_000_000,
+        }
+    }
+
+    #[test]
+    fn complete_run_measures_both() {
+        let mut app = CellVsWifiApp::new(phone());
+        assert!(app.run());
+        assert!(app.measured_wifi && app.measured_cellular);
+        assert_eq!(app.state(), AppState::Done);
+    }
+
+    #[test]
+    fn no_wifi_association_skips_wifi() {
+        let mut app = CellVsWifiApp::new(Phone {
+            wifi_associates: false,
+            ..phone()
+        });
+        assert!(!app.run(), "incomplete run: WiFi missing");
+        assert!(!app.measured_wifi);
+        assert!(app.measured_cellular);
+        assert!(app
+            .log
+            .iter()
+            .any(|o| matches!(o, StepOutcome::Skipped("wifi association failed"))));
+    }
+
+    #[test]
+    fn cellular_disabled_skips_cellular() {
+        let mut app = CellVsWifiApp::new(Phone {
+            cellular_enabled: false,
+            ..phone()
+        });
+        assert!(!app.run());
+        assert!(app.measured_wifi);
+        assert!(!app.measured_cellular);
+    }
+
+    #[test]
+    fn data_cap_blocks_cellular_measurement() {
+        let mut app = CellVsWifiApp::new(Phone {
+            cellular_quota_bytes: 1_000_000, // below one measurement
+            ..phone()
+        });
+        assert!(!app.run());
+        assert!(!app.measured_cellular);
+        assert_eq!(app.remaining_quota(), 1_000_000, "quota untouched");
+    }
+
+    #[test]
+    fn quota_decreases_per_run() {
+        let mut app = CellVsWifiApp::new(Phone {
+            cellular_quota_bytes: 5_000_000,
+            ..phone()
+        });
+        assert!(app.run());
+        assert_eq!(app.remaining_quota(), 5_000_000 - MEASUREMENT_BYTES);
+    }
+
+    #[test]
+    fn nothing_measured_means_nothing_uploaded() {
+        let mut app = CellVsWifiApp::new(Phone {
+            wifi_associates: false,
+            cellular_enabled: false,
+            ..phone()
+        });
+        assert!(!app.run());
+        assert!(app
+            .log
+            .iter()
+            .any(|o| matches!(o, StepOutcome::Skipped("nothing measured; nothing to upload"))));
+    }
+
+    #[test]
+    fn periodic_runs_drain_quota_until_cap() {
+        let mut quota = 7_000_000u64;
+        let mut complete = 0;
+        for _ in 0..5 {
+            let mut app = CellVsWifiApp::new(Phone {
+                cellular_quota_bytes: quota,
+                ..phone()
+            });
+            if app.run() {
+                complete += 1;
+            }
+            quota = app.remaining_quota();
+        }
+        assert_eq!(complete, 3, "7 MB quota allows 3 cellular measurements");
+    }
+}

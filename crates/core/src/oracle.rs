@@ -1,0 +1,220 @@
+//! The paper's oracle schemes (Section 5, Figures 19 and 21).
+//!
+//! An oracle knows one thing perfectly and picks the best option within
+//! its freedom; its normalized response time (relative to WiFi-TCP,
+//! Android's default) measures how much that knowledge is worth.
+
+use mpwifi_apps::replay::Transport;
+use mpwifi_sim::{LTE_ADDR, WIFI_ADDR};
+use mpwifi_simcore::Dur;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The five oracle schemes of Figures 19/21 (plus the WiFi-TCP
+/// baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OracleKind {
+    /// Today's default: always single-path TCP over WiFi.
+    WifiTcpBaseline,
+    /// Knows the best network for single-path TCP.
+    SinglePathTcp,
+    /// MPTCP decoupled; knows the best primary network.
+    DecoupledMptcp,
+    /// MPTCP coupled; knows the best primary network.
+    CoupledMptcp,
+    /// MPTCP with WiFi primary; knows the best congestion control.
+    MptcpWifiPrimary,
+    /// MPTCP with LTE primary; knows the best congestion control.
+    MptcpLtePrimary,
+}
+
+impl OracleKind {
+    /// All six, in the paper's bar order.
+    pub const ALL: [OracleKind; 6] = [
+        OracleKind::WifiTcpBaseline,
+        OracleKind::SinglePathTcp,
+        OracleKind::DecoupledMptcp,
+        OracleKind::CoupledMptcp,
+        OracleKind::MptcpWifiPrimary,
+        OracleKind::MptcpLtePrimary,
+    ];
+
+    /// Paper label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OracleKind::WifiTcpBaseline => "WiFi-TCP",
+            OracleKind::SinglePathTcp => "Single-Path-TCP Oracle",
+            OracleKind::DecoupledMptcp => "Decoupled-MPTCP Oracle",
+            OracleKind::CoupledMptcp => "Coupled-MPTCP Oracle",
+            OracleKind::MptcpWifiPrimary => "MPTCP-WiFi-Primary Oracle",
+            OracleKind::MptcpLtePrimary => "MPTCP-LTE-Primary Oracle",
+        }
+    }
+
+    /// The transports this oracle may choose among.
+    pub fn choices(&self) -> Vec<Transport> {
+        match self {
+            OracleKind::WifiTcpBaseline => vec![Transport::Tcp(WIFI_ADDR)],
+            OracleKind::SinglePathTcp => {
+                vec![Transport::Tcp(WIFI_ADDR), Transport::Tcp(LTE_ADDR)]
+            }
+            OracleKind::DecoupledMptcp => vec![
+                Transport::Mptcp { primary: WIFI_ADDR, coupled: false },
+                Transport::Mptcp { primary: LTE_ADDR, coupled: false },
+            ],
+            OracleKind::CoupledMptcp => vec![
+                Transport::Mptcp { primary: WIFI_ADDR, coupled: true },
+                Transport::Mptcp { primary: LTE_ADDR, coupled: true },
+            ],
+            OracleKind::MptcpWifiPrimary => vec![
+                Transport::Mptcp { primary: WIFI_ADDR, coupled: true },
+                Transport::Mptcp { primary: WIFI_ADDR, coupled: false },
+            ],
+            OracleKind::MptcpLtePrimary => vec![
+                Transport::Mptcp { primary: LTE_ADDR, coupled: true },
+                Transport::Mptcp { primary: LTE_ADDR, coupled: false },
+            ],
+        }
+    }
+
+    /// This oracle's response time given per-transport measurements for
+    /// one network condition.
+    pub fn response_time(&self, measured: &BTreeMap<Transport, Dur>) -> Option<Dur> {
+        self.choices()
+            .into_iter()
+            .filter_map(|t| measured.get(&t).copied())
+            .min()
+    }
+}
+
+/// Normalized oracle comparison across conditions (one Figure 19/21
+/// bar set).
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// `(oracle, mean normalized response time)` where 1.0 = WiFi-TCP.
+    pub normalized: Vec<(OracleKind, f64)>,
+}
+
+impl OracleReport {
+    /// Build from per-condition per-transport response times. Each
+    /// condition is normalized by its own WiFi-TCP time, then averaged —
+    /// the paper's method ("averaged across all 20 network conditions
+    /// and normalized by ... single-path TCP over WiFi").
+    pub fn build(conditions: &[BTreeMap<Transport, Dur>]) -> OracleReport {
+        assert!(!conditions.is_empty(), "no conditions");
+        let mut normalized = Vec::new();
+        for kind in OracleKind::ALL {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for cond in conditions {
+                let Some(base) = cond.get(&Transport::Tcp(WIFI_ADDR)) else {
+                    continue;
+                };
+                let Some(mine) = kind.response_time(cond) else {
+                    continue;
+                };
+                sum += mine.as_secs_f64() / base.as_secs_f64();
+                n += 1;
+            }
+            if n > 0 {
+                normalized.push((kind, sum / n as f64));
+            }
+        }
+        OracleReport { normalized }
+    }
+
+    /// Value for one oracle.
+    pub fn get(&self, kind: OracleKind) -> Option<f64> {
+        self.normalized
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, v)| v)
+    }
+
+    /// Reduction vs the WiFi baseline (e.g. 0.50 = halved response time).
+    pub fn reduction(&self, kind: OracleKind) -> Option<f64> {
+        Some(1.0 - self.get(kind)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(entries: &[(Transport, u64)]) -> BTreeMap<Transport, Dur> {
+        entries
+            .iter()
+            .map(|&(t, ms)| (t, Dur::from_millis(ms)))
+            .collect()
+    }
+
+    fn full_condition(wifi: u64, lte: u64, mp: [u64; 4]) -> BTreeMap<Transport, Dur> {
+        cond(&[
+            (Transport::Tcp(WIFI_ADDR), wifi),
+            (Transport::Tcp(LTE_ADDR), lte),
+            (Transport::Mptcp { primary: WIFI_ADDR, coupled: true }, mp[0]),
+            (Transport::Mptcp { primary: LTE_ADDR, coupled: true }, mp[1]),
+            (Transport::Mptcp { primary: WIFI_ADDR, coupled: false }, mp[2]),
+            (Transport::Mptcp { primary: LTE_ADDR, coupled: false }, mp[3]),
+        ])
+    }
+
+    #[test]
+    fn oracle_picks_minimum_of_its_choices() {
+        let c = full_condition(1000, 400, [700, 600, 800, 900]);
+        assert_eq!(
+            OracleKind::SinglePathTcp.response_time(&c),
+            Some(Dur::from_millis(400))
+        );
+        assert_eq!(
+            OracleKind::CoupledMptcp.response_time(&c),
+            Some(Dur::from_millis(600))
+        );
+        assert_eq!(
+            OracleKind::MptcpWifiPrimary.response_time(&c),
+            Some(Dur::from_millis(700))
+        );
+        assert_eq!(
+            OracleKind::WifiTcpBaseline.response_time(&c),
+            Some(Dur::from_millis(1000))
+        );
+    }
+
+    #[test]
+    fn report_normalizes_by_wifi_tcp() {
+        let conditions = vec![full_condition(1000, 500, [800, 900, 850, 950])];
+        let r = OracleReport::build(&conditions);
+        assert_eq!(r.get(OracleKind::WifiTcpBaseline), Some(1.0));
+        assert_eq!(r.get(OracleKind::SinglePathTcp), Some(0.5));
+        assert!((r.reduction(OracleKind::SinglePathTcp).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_averages_across_conditions() {
+        let conditions = vec![
+            full_condition(1000, 500, [800; 4]),  // SP oracle: 0.5
+            full_condition(1000, 2000, [800; 4]), // SP oracle: 1.0 (WiFi best)
+        ];
+        let r = OracleReport::build(&conditions);
+        assert!((r.get(OracleKind::SinglePathTcp).unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(OracleKind::SinglePathTcp.label(), "Single-Path-TCP Oracle");
+        assert_eq!(OracleKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn oracle_with_missing_choice_uses_available() {
+        let c = cond(&[
+            (Transport::Tcp(WIFI_ADDR), 900),
+            (Transport::Mptcp { primary: WIFI_ADDR, coupled: true }, 700),
+        ]);
+        assert_eq!(
+            OracleKind::MptcpWifiPrimary.response_time(&c),
+            Some(Dur::from_millis(700))
+        );
+        assert_eq!(OracleKind::MptcpLtePrimary.response_time(&c), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Network-selection policies.
+//!
+//! The paper's motivating observation: "the simple network selection
+//! policy used by mobile devices today forces applications to use WiFi
+//! whenever available", yet LTE wins 40% of the time. These policies
+//! formalize the alternatives the conclusion calls for.
+
+use mpwifi_crowd::measure::RunMeasurement;
+use serde::{Deserialize, Serialize};
+
+/// What a policy picks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkChoice {
+    /// Use WiFi only.
+    Wifi,
+    /// Use LTE only.
+    Lte,
+    /// Use MPTCP over both.
+    Both,
+}
+
+/// A policy decides from the most recent measurement run (what the Cell
+/// vs WiFi app shows its user).
+pub trait NetworkSelector {
+    /// Decide given the latest measurements and the flow size about to
+    /// be transferred.
+    fn select(&self, m: &RunMeasurement, flow_bytes: u64) -> NetworkChoice;
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Today's default: WiFi whenever associated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysWifi;
+
+impl NetworkSelector for AlwaysWifi {
+    fn select(&self, _m: &RunMeasurement, _flow_bytes: u64) -> NetworkChoice {
+        NetworkChoice::Wifi
+    }
+
+    fn name(&self) -> &'static str {
+        "always-wifi"
+    }
+}
+
+/// Measurement-driven single-path selection: the network with the higher
+/// measured downlink throughput (what the Cell vs WiFi app recommends).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestMeasured;
+
+impl NetworkSelector for BestMeasured {
+    fn select(&self, m: &RunMeasurement, _flow_bytes: u64) -> NetworkChoice {
+        if m.lte_down_bps > m.wifi_down_bps {
+            NetworkChoice::Lte
+        } else {
+            NetworkChoice::Wifi
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "best-measured"
+    }
+}
+
+/// The paper's findings as a policy: short flows use the best single
+/// network; long flows use MPTCP when the links are roughly comparable
+/// (within `comparable_ratio`), otherwise the faster network alone.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperGuided {
+    /// Flows below this size never use MPTCP (Section 3.3: "picking the
+    /// right network for single-path TCP is preferable to using MPTCP
+    /// for smaller flows").
+    pub short_flow_bytes: u64,
+    /// Links within this max/min ratio count as comparable (Figure 7b's
+    /// regime where MPTCP wins).
+    pub comparable_ratio: f64,
+}
+
+impl Default for PaperGuided {
+    fn default() -> Self {
+        PaperGuided {
+            short_flow_bytes: 100_000,
+            comparable_ratio: 3.0,
+        }
+    }
+}
+
+impl NetworkSelector for PaperGuided {
+    fn select(&self, m: &RunMeasurement, flow_bytes: u64) -> NetworkChoice {
+        let best_single = BestMeasured.select(m, flow_bytes);
+        if flow_bytes <= self.short_flow_bytes {
+            return best_single;
+        }
+        let (hi, lo) = if m.wifi_down_bps >= m.lte_down_bps {
+            (m.wifi_down_bps, m.lte_down_bps)
+        } else {
+            (m.lte_down_bps, m.wifi_down_bps)
+        };
+        if lo > 0.0 && hi / lo <= self.comparable_ratio {
+            NetworkChoice::Both
+        } else {
+            best_single
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "paper-guided"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpwifi_simcore::Dur;
+
+    fn m(wifi_down: f64, lte_down: f64) -> RunMeasurement {
+        RunMeasurement {
+            wifi_up_bps: wifi_down * 0.7,
+            wifi_down_bps: wifi_down,
+            lte_up_bps: lte_down * 0.5,
+            lte_down_bps: lte_down,
+            wifi_ping: Dur::from_millis(25),
+            lte_ping: Dur::from_millis(60),
+        }
+    }
+
+    #[test]
+    fn always_wifi_ignores_measurements() {
+        let p = AlwaysWifi;
+        assert_eq!(p.select(&m(1e6, 50e6), 10_000), NetworkChoice::Wifi);
+        assert_eq!(p.name(), "always-wifi");
+    }
+
+    #[test]
+    fn best_measured_follows_throughput() {
+        let p = BestMeasured;
+        assert_eq!(p.select(&m(10e6, 5e6), 10_000), NetworkChoice::Wifi);
+        assert_eq!(p.select(&m(2e6, 9e6), 10_000), NetworkChoice::Lte);
+    }
+
+    #[test]
+    fn paper_guided_short_flows_never_mptcp() {
+        let p = PaperGuided::default();
+        // Comparable links, but a short flow: single path.
+        assert_eq!(p.select(&m(8e6, 7e6), 10_000), NetworkChoice::Wifi);
+    }
+
+    #[test]
+    fn paper_guided_long_flows_comparable_links_use_both() {
+        let p = PaperGuided::default();
+        assert_eq!(p.select(&m(8e6, 7e6), 5_000_000), NetworkChoice::Both);
+    }
+
+    #[test]
+    fn paper_guided_long_flows_disparate_links_single_path() {
+        let p = PaperGuided::default();
+        // Figure 7a's regime: big disparity degrades MPTCP.
+        assert_eq!(p.select(&m(30e6, 2e6), 5_000_000), NetworkChoice::Wifi);
+        assert_eq!(p.select(&m(2e6, 30e6), 5_000_000), NetworkChoice::Lte);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mpwifi-crowd
+//!
+//! The Cell vs WiFi crowdsourced study (paper Section 2), reproduced
+//! end-to-end:
+//!
+//! * [`world`] — the 22 location clusters of Table 1 (name, coordinates,
+//!   run count, LTE-win fraction) as generative profiles;
+//! * [`measure`] — one measurement run: a 1 MB TCP upload + download on
+//!   each network plus 10 pings, executed either through the full packet
+//!   simulator or through a calibrated analytic model;
+//! * [`analysis`] — the paper's analysis pipeline: geographic k-means
+//!   (100 km radius) reproducing Table 1, and the CDFs of Figures 3, 4
+//!   and 6.
+//!
+//! The data is synthetic-but-calibrated (DESIGN.md §1): run counts and
+//! cluster geometry follow Table 1 exactly; per-location WiFi/LTE rate
+//! distributions are tuned so each cluster's LTE-win fraction matches
+//! the paper's last column.
+
+pub mod analysis;
+pub mod measure;
+pub mod world;
+
+pub use analysis::{CrowdAnalysis, Table1Row};
+pub use measure::{measure_pair, RunMeasurement, RunMode};
+pub use world::{dataset_to_csv, generate_dataset, paper_clusters, ClusterProfile, MeasurementRun};

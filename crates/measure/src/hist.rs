@@ -1,0 +1,194 @@
+//! Histograms, fairness, and resampling confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin histogram over `[lo, hi)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` / at or above `hi`.
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(lo < hi && bins > 0, "invalid histogram range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Add a sample.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// `(bin_center, fraction)` pairs.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (
+                    self.lo + (i as f64 + 0.5) * width,
+                    if self.total == 0 {
+                        0.0
+                    } else {
+                        c as f64 / self.total as f64
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Total samples, including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples outside the range.
+    pub fn out_of_range(&self) -> u64 {
+        self.underflow + self.overflow
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair.
+/// Used to quantify how LIA shares capacity between subflows.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "fairness of empty set");
+    assert!(xs.iter().all(|&x| x >= 0.0), "negative share");
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// Percentile bootstrap confidence interval for the mean, with a
+/// deterministic resampler. Returns `(lo, hi)` at the given confidence.
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(!samples.is_empty(), "bootstrap of empty set");
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.5);
+    // Small deterministic LCG — no external RNG dependency needed here.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(0x1405_7B7E_F767_814F);
+        (state >> 33) as usize
+    };
+    let n = samples.len();
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut s = 0.0;
+            for _ in 0..n {
+                s += samples[next() % n];
+            }
+            s / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo = means[((alpha * resamples as f64) as usize).min(resamples - 1)];
+    let hi = means[(((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1)];
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.9, -1.0, 10.0, 25.0] {
+            h.add(x);
+        }
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.out_of_range(), 3);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_normalized_sums_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        let total: f64 = h.normalized().iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One flow hogs everything: 1/n.
+        let f = jain_fairness(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((f - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_monotone_in_imbalance() {
+        let balanced = jain_fairness(&[4.0, 6.0]);
+        let skewed = jain_fairness(&[1.0, 9.0]);
+        assert!(balanced > skewed);
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_true_mean() {
+        let samples: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let (lo, hi) = bootstrap_mean_ci(&samples, 0.95, 500, 7);
+        let mean = 4.5;
+        assert!(lo <= mean && mean <= hi, "CI [{lo}, {hi}] should contain {mean}");
+        assert!(hi - lo < 1.0, "CI unexpectedly wide");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            bootstrap_mean_ci(&samples, 0.9, 200, 42),
+            bootstrap_mean_ci(&samples, 0.9, 200, 42)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fairness_empty_panics() {
+        jain_fairness(&[]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Geographic clustering of measurement runs.
+//!
+//! The paper groups nearby crowd-sourced runs "using a k-means
+//! clustering algorithm, with a cluster radius of r = 100 kilometers;
+//! i.e., all runs in each group are within 200 kilometers of each
+//! other" (Table 1). We implement the radius-bounded variant: leader
+//! initialization (a run starts a new cluster when no centroid lies
+//! within the radius) followed by Lloyd refinement that respects the
+//! radius bound.
+
+use crate::geo::{haversine_km, GeoPoint};
+
+/// One cluster of run indices.
+#[derive(Debug, Clone)]
+pub struct GeoCluster {
+    /// Centroid (mean lat/lon of members).
+    pub centroid: GeoPoint,
+    /// Indices into the input slice.
+    pub members: Vec<usize>,
+}
+
+impl GeoCluster {
+    fn recompute_centroid(&mut self, points: &[GeoPoint]) {
+        let n = self.members.len() as f64;
+        if n == 0.0 {
+            return;
+        }
+        let lat = self.members.iter().map(|&i| points[i].lat).sum::<f64>() / n;
+        let lon = self.members.iter().map(|&i| points[i].lon).sum::<f64>() / n;
+        self.centroid = GeoPoint { lat, lon };
+    }
+}
+
+/// Cluster points with a maximum centroid radius of `radius_km`.
+/// Deterministic: iteration order follows the input order.
+pub fn cluster_geo(points: &[GeoPoint], radius_km: f64, max_iters: usize) -> Vec<GeoCluster> {
+    assert!(radius_km > 0.0, "radius must be positive");
+    let mut clusters: Vec<GeoCluster> = Vec::new();
+
+    // Leader pass: assign to the nearest in-radius centroid or found a
+    // new cluster.
+    for (i, &p) in points.iter().enumerate() {
+        let best = clusters
+            .iter_mut()
+            .map(|c| (haversine_km(c.centroid, p), c))
+            .filter(|(d, _)| *d <= radius_km)
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        match best {
+            Some((_, c)) => c.members.push(i),
+            None => clusters.push(GeoCluster {
+                centroid: p,
+                members: vec![i],
+            }),
+        }
+    }
+    for c in &mut clusters {
+        c.recompute_centroid(points);
+    }
+
+    // Lloyd refinement under the radius constraint.
+    for _ in 0..max_iters {
+        let mut changed = false;
+        let centroids: Vec<GeoPoint> = clusters.iter().map(|c| c.centroid).collect();
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let (best, _) = centroids
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| (k, haversine_km(c, p)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("at least one cluster");
+            assignment[best].push(i);
+        }
+        for (k, members) in assignment.into_iter().enumerate() {
+            if members != clusters[k].members {
+                changed = true;
+            }
+            clusters[k].members = members;
+            clusters[k].recompute_centroid(points);
+        }
+        clusters.retain(|c| !c.members.is_empty());
+        if !changed {
+            break;
+        }
+    }
+    // Sort by descending size for stable, Table-1-like ordering.
+    clusters.sort_by(|a, b| {
+        b.members
+            .len()
+            .cmp(&a.members.len())
+            .then_with(|| a.members.first().cmp(&b.members.first()))
+    });
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    #[test]
+    fn distinct_cities_stay_separate() {
+        // Boston-ish, Tel-Aviv-ish, Seoul-ish clusters of 3 runs each.
+        let pts = vec![
+            p(42.4, -71.1),
+            p(42.5, -71.0),
+            p(42.3, -71.2),
+            p(31.8, 35.0),
+            p(31.9, 35.1),
+            p(31.7, 34.9),
+            p(37.5, 126.9),
+            p(37.6, 127.0),
+            p(37.4, 126.8),
+        ];
+        let clusters = cluster_geo(&pts, 100.0, 10);
+        assert_eq!(clusters.len(), 3);
+        for c in &clusters {
+            assert_eq!(c.members.len(), 3);
+        }
+    }
+
+    #[test]
+    fn nearby_points_merge() {
+        let pts = vec![p(42.40, -71.10), p(42.41, -71.11), p(42.39, -71.09)];
+        let clusters = cluster_geo(&pts, 100.0, 10);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members.len(), 3);
+        // Centroid near the mean.
+        assert!((clusters[0].centroid.lat - 42.40).abs() < 0.02);
+    }
+
+    #[test]
+    fn every_point_assigned_exactly_once() {
+        let pts: Vec<GeoPoint> = (0..50)
+            .map(|i| p(((i * 7) % 120) as f64 - 60.0, ((i * 13) % 300) as f64 - 150.0))
+            .collect();
+        let clusters = cluster_geo(&pts, 100.0, 10);
+        let mut seen = vec![false; pts.len()];
+        for c in &clusters {
+            for &m in &c.members {
+                assert!(!seen[m], "point {m} assigned twice");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sorted_by_descending_size() {
+        let mut pts = vec![p(10.0, 10.0)];
+        for i in 0..5 {
+            pts.push(p(42.0 + 0.01 * i as f64, -71.0));
+        }
+        let clusters = cluster_geo(&pts, 100.0, 10);
+        assert!(clusters[0].members.len() >= clusters[1].members.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts: Vec<GeoPoint> = (0..30)
+            .map(|i| p((i % 10) as f64 * 5.0, (i % 7) as f64 * 10.0))
+            .collect();
+        let a = cluster_geo(&pts, 100.0, 10);
+        let b = cluster_geo(&pts, 100.0, 10);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.members, y.members);
+        }
+    }
+}

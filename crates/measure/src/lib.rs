@@ -1,0 +1,25 @@
+//! # mpwifi-measure
+//!
+//! Measurement statistics for the study's analysis pipeline:
+//!
+//! * [`Cdf`] — empirical CDFs with quantile and fraction-below queries
+//!   (every CDF figure in the paper);
+//! * [`Summary`] — mean/median/percentile summaries;
+//! * [`kmeans`] — geographic clustering with a 100 km radius, the
+//!   grouping behind Table 1;
+//! * [`render`] — plain-text tables and gnuplot-style data series for
+//!   the `repro` binary's output.
+
+pub mod cdf;
+pub mod geo;
+pub mod hist;
+pub mod kmeans;
+pub mod render;
+pub mod summary;
+
+pub use cdf::Cdf;
+pub use geo::{haversine_km, GeoPoint};
+pub use hist::{bootstrap_mean_ci, jain_fairness, Histogram};
+pub use kmeans::{cluster_geo, GeoCluster};
+pub use render::{series_block, TextTable};
+pub use summary::Summary;

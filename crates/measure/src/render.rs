@@ -1,0 +1,132 @@
+//! Plain-text rendering: aligned tables and gnuplot-style data blocks,
+//! the output format of the `repro` binary.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create with a header row.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.len();
+                let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Render `(x, y)` series as a gnuplot-style block:
+/// a `# title` comment, then `x y` lines.
+pub fn series_block(title: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# {title}\n");
+    for &(x, y) in points {
+        let _ = writeln!(out, "{x:.6} {y:.6}");
+    }
+    out
+}
+
+/// Format bits/second in human units.
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e6 {
+        format!("{:.2} Mbit/s", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.1} kbit/s", bps / 1e3)
+    } else {
+        format!("{bps:.0} bit/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn series_block_format() {
+        let s = series_block("cdf", &[(0.5, 0.1), (1.5, 1.0)]);
+        assert!(s.starts_with("# cdf\n"));
+        assert!(s.contains("0.500000 0.100000"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn fmt_bps_units() {
+        assert_eq!(fmt_bps(12_345_678.0), "12.35 Mbit/s");
+        assert_eq!(fmt_bps(4_500.0), "4.5 kbit/s");
+        assert_eq!(fmt_bps(900.0), "900 bit/s");
+    }
+}

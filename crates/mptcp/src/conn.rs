@@ -1,0 +1,1389 @@
+//! The MPTCP connection: subflows, data-sequence mapping, scheduling,
+//! reinjection, and failure handling.
+//!
+//! An [`MptcpConnection`] owns its subflows (each wrapping a
+//! `mpwifi-tcp` [`TcpConnection`]) and a connection-level byte stream.
+//! Outgoing data is chunked by the scheduler onto subflows, each chunk
+//! recorded as a DSN↔subflow-offset mapping and announced on the wire in
+//! a DSS option; incoming subflow bytes are translated back through
+//! received mappings and reassembled in DSN space.
+//!
+//! The *primary subflow* is subflow 0 — initiated on the configured
+//! default-route interface, exactly the knob the paper turns in
+//! Section 3.4. The secondary subflow joins (MP_JOIN) only after the
+//! primary completes its handshake, which is what delays MPTCP's use of
+//! the second path by at least one handshake RTT.
+
+use crate::coupled::{LiaCc, LiaGroup};
+use crate::options::{mp_options, token_from_key, DssMap, MpOption};
+use crate::sched::{SchedKind, Scheduler, SubflowView};
+use bytes::Bytes;
+use mpwifi_netem::Addr;
+use mpwifi_simcore::{Dur, Time};
+use mpwifi_tcp::buffer::{RecvBuffer, SendBuffer};
+use mpwifi_tcp::cc::{CcKind, RenoCc};
+use mpwifi_tcp::conn::{TcpConfig, TcpConnection};
+use mpwifi_tcp::segment::Segment;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The paper's two congestion-control configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcChoice {
+    /// LIA (RFC 6356): subflow increases are linked.
+    Coupled,
+    /// Independent TCP Reno per subflow (paper footnote 5).
+    Decoupled,
+}
+
+/// The paper's two operating modes (Section 3.6), plus the
+/// break-before-make alternative the paper points to (Paasch et al.,
+/// "Exploring mobile/WiFi handover with multipath TCP") as the way to
+/// avoid Backup mode's tail-energy cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Transmit on all subflows at any time.
+    Full,
+    /// The secondary subflow is established but carries no data until
+    /// every regular subflow is dead.
+    Backup,
+    /// The secondary subflow is **not established at all** until every
+    /// regular subflow is dead; recovery then costs its handshake
+    /// (two extra round trips vs Backup mode) but the backup radio never
+    /// wakes up during normal operation — no SYN/FIN tail energy.
+    SinglePath,
+}
+
+/// How a sender learns that a silently black-holed subflow is dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackupActivation {
+    /// Only an explicit notification (local interface down or a peer's
+    /// REMOVE_ADDR) kills a subflow — silent loss stalls forever. This is
+    /// the Linux v0.88 behaviour that produced the paper's Figure 15g.
+    OnNotify,
+    /// Additionally declare a subflow dead after this many consecutive
+    /// RTOs (a break-before-make repair; compare Figure 15h).
+    OnRtoCount(u32),
+}
+
+/// MPTCP connection configuration.
+#[derive(Debug, Clone)]
+pub struct MptcpConfig {
+    /// Per-subflow TCP tuning (its `cc` field is overridden by `cc`).
+    pub tcp: TcpConfig,
+    /// Coupled (LIA) or decoupled (Reno) congestion control.
+    pub cc: CcChoice,
+    /// Packet scheduler.
+    pub sched: SchedKind,
+    /// Full-MPTCP or Backup mode.
+    pub mode: Mode,
+    /// Silent-failure policy.
+    pub backup_activation: BackupActivation,
+}
+
+impl Default for MptcpConfig {
+    fn default() -> Self {
+        MptcpConfig {
+            tcp: TcpConfig::default(),
+            cc: CcChoice::Coupled,
+            sched: SchedKind::MinRtt,
+            mode: Mode::Full,
+            backup_activation: BackupActivation::OnNotify,
+        }
+    }
+}
+
+/// Where a client subflow attaches: local interface, its MPTCP address
+/// id, and the local port to use.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSpec {
+    /// Local interface address.
+    pub iface: Addr,
+    /// MPTCP address identifier announced in MP_JOIN.
+    pub addr_id: u8,
+    /// Local TCP port for the subflow.
+    pub local_port: u16,
+}
+
+/// A DSN↔subflow-offset mapping record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MapEntry {
+    sf_off: u64,
+    dsn: u64,
+    len: u64,
+}
+
+impl MapEntry {
+    fn sf_end(&self) -> u64 {
+        self.sf_off + self.len
+    }
+}
+
+/// Observable per-subflow state for harnesses and figures.
+#[derive(Debug, Clone, Copy)]
+pub struct SubflowStats {
+    /// Local interface the subflow is pinned to.
+    pub iface: Addr,
+    /// MPTCP address id.
+    pub addr_id: u8,
+    /// Subflow handshake completion time.
+    pub established_at: Option<Time>,
+    /// Subflow-level bytes cumulatively ACKed (sender side).
+    pub bytes_acked: u64,
+    /// Subflow-level bytes delivered in order (receiver side).
+    pub bytes_delivered: u64,
+    /// Smoothed RTT.
+    pub srtt: Option<Dur>,
+    /// Marked as backup.
+    pub is_backup: bool,
+    /// Declared dead.
+    pub dead: bool,
+}
+
+#[derive(Debug)]
+struct Subflow {
+    iface: Addr,
+    remote_addr: Addr,
+    addr_id: u8,
+    conn: TcpConnection,
+    is_backup: bool,
+    dead: bool,
+    /// Client side: MP_JOIN/MP_CAPABLE handled; secondary created.
+    established_seen: bool,
+    /// Bytes pushed into the subflow's send stream so far.
+    tx_pushed: u64,
+    tx_maps: Vec<MapEntry>,
+    rx_maps: Vec<MapEntry>,
+    /// Subflow receive-stream offset already translated to DSN space.
+    rx_cursor: u64,
+    /// Index of this subflow's LIA registration, when coupled.
+    lia_idx: Option<usize>,
+    /// REMOVE_ADDR announcements waiting to ride the next segment out.
+    pending_remove_addr: Vec<u8>,
+    /// An MP_FASTCLOSE waiting to ride the next segment out.
+    pending_fastclose: bool,
+}
+
+impl Subflow {
+    fn stats(&self) -> SubflowStats {
+        SubflowStats {
+            iface: self.iface,
+            addr_id: self.addr_id,
+            established_at: self.conn.stats().established_at,
+            bytes_acked: self.conn.acked_bytes(),
+            bytes_delivered: self.conn.delivered_bytes(),
+            srtt: self.conn.srtt(),
+            is_backup: self.is_backup,
+            dead: self.dead,
+        }
+    }
+
+    /// Find the mapping entry covering subflow offset `off`.
+    fn tx_map_at(&self, off: u64) -> Option<&MapEntry> {
+        match self.tx_maps.binary_search_by(|e| {
+            if off < e.sf_off {
+                std::cmp::Ordering::Greater
+            } else if off >= e.sf_end() {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => Some(&self.tx_maps[i]),
+            Err(_) => None,
+        }
+    }
+
+    fn rx_map_at(&self, off: u64) -> Option<&MapEntry> {
+        match self.rx_maps.binary_search_by(|e| {
+            if off < e.sf_off {
+                std::cmp::Ordering::Greater
+            } else if off >= e.sf_end() {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => Some(&self.rx_maps[i]),
+            Err(_) => None,
+        }
+    }
+
+    fn push_tx_map(&mut self, entry: MapEntry) {
+        if let Some(last) = self.tx_maps.last_mut() {
+            if last.sf_end() == entry.sf_off && last.dsn + last.len == entry.dsn {
+                last.len += entry.len;
+                return;
+            }
+        }
+        self.tx_maps.push(entry);
+    }
+
+    /// Insert a received mapping, keeping `rx_maps` sorted and
+    /// non-overlapping. Mappings repeat and partially overlap across
+    /// retransmissions (a retransmitted segment re-announces the part of
+    /// the mapping it carries), but never conflict: the sender's DSN
+    /// assignment for a subflow offset is immutable. Only the uncovered
+    /// pieces of the incoming entry are inserted.
+    fn push_rx_map(&mut self, entry: MapEntry) {
+        let mut start = entry.sf_off;
+        let end = entry.sf_end();
+        while start < end {
+            // Existing entry covering `start`, if any.
+            let covering = self.rx_maps.iter().position(|e| {
+                start >= e.sf_off && start < e.sf_end()
+            });
+            if let Some(i) = covering {
+                start = self.rx_maps[i].sf_end();
+                continue;
+            }
+            // Uncovered at `start`: the piece runs to the next existing
+            // entry or to the end of the incoming mapping.
+            let pos = self
+                .rx_maps
+                .partition_point(|e| e.sf_off <= start);
+            let piece_end = self
+                .rx_maps
+                .get(pos)
+                .map_or(end, |e| e.sf_off.min(end));
+            let piece = MapEntry {
+                sf_off: start,
+                dsn: entry.dsn + (start - entry.sf_off),
+                len: piece_end - start,
+            };
+            self.rx_maps.insert(pos, piece);
+            start = piece_end;
+        }
+    }
+
+    /// Drop mappings fully below the given cursors (bookkeeping only).
+    fn prune_maps(&mut self, rx_cursor: u64, tx_acked: u64) {
+        self.rx_maps.retain(|e| e.sf_end() > rx_cursor);
+        self.tx_maps.retain(|e| e.sf_end() > tx_acked);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Client,
+    Server,
+}
+
+/// An endpoint's half of one MPTCP connection.
+#[derive(Debug)]
+pub struct MptcpConnection {
+    cfg: MptcpConfig,
+    role: Role,
+    key_local: u64,
+    key_peer: Option<u64>,
+    remote_port: u16,
+    server_addr: Addr,
+    paths: Vec<PathSpec>,
+    iss_base: u32,
+
+    subflows: Vec<Subflow>,
+    scheduler: Scheduler,
+    lia: Rc<RefCell<LiaGroup>>,
+
+    // ---- send side ----
+    snd_buf: SendBuffer,
+    dsn_next: u64,
+    /// Chunks assigned to subflows, keyed by DSN (for reinjection).
+    assigned: BTreeMap<u64, (u64, usize)>,
+    /// Peer's cumulative connection-level ACK.
+    data_ack_in: u64,
+    fin_queued: bool,
+
+    // ---- receive side ----
+    rcv_buf: RecvBuffer,
+    peer_data_fin: Option<u64>,
+    peer_fin_consumed: bool,
+
+    stats_established_at: Option<Time>,
+    opened_at: Option<Time>,
+    subflows_closed: bool,
+    /// Re-announce DATA_FIN (on a forced ACK) until it is data-acked.
+    fin_announce_deadline: Option<Time>,
+    /// Chunks awaiting reinjection because no live subflow existed when
+    /// their carrier died (Single-Path mode's break-before-make window).
+    pending_reinject: Vec<(u64, u64)>,
+    /// `abort()` called; reset subflows after the FASTCLOSE leaves.
+    aborting: bool,
+    aborted: bool,
+}
+
+impl MptcpConnection {
+    /// Client side. `paths[0]` is the primary (default-route) interface.
+    /// `server_addr` is the remote interface address for all subflows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn client(
+        cfg: MptcpConfig,
+        paths: Vec<PathSpec>,
+        server_addr: Addr,
+        remote_port: u16,
+        key_local: u64,
+        iss_base: u32,
+    ) -> MptcpConnection {
+        assert!(!paths.is_empty(), "client needs at least one path");
+        MptcpConnection::new(
+            cfg,
+            Role::Client,
+            paths,
+            server_addr,
+            remote_port,
+            key_local,
+            iss_base,
+        )
+    }
+
+    /// Server side. Subflows are attached as SYNs arrive
+    /// ([`MptcpConnection::accept_primary`], [`MptcpConnection::accept_join`]).
+    pub fn server(cfg: MptcpConfig, local_addr: Addr, key_local: u64, iss_base: u32) -> MptcpConnection {
+        MptcpConnection::new(cfg, Role::Server, Vec::new(), local_addr, 0, key_local, iss_base)
+    }
+
+    fn new(
+        cfg: MptcpConfig,
+        role: Role,
+        paths: Vec<PathSpec>,
+        server_addr: Addr,
+        remote_port: u16,
+        key_local: u64,
+        iss_base: u32,
+    ) -> MptcpConnection {
+        // The connection-level reassembly buffer has no flow-control
+        // advertisement of its own (we signal only DATA_ACK, not a
+        // connection-level window), so it must never silently trim:
+        // subflow-level windows bound the in-flight data, and the
+        // application owns consumption. Effectively unbounded.
+        let recv_buf = usize::MAX / 4;
+        MptcpConnection {
+            scheduler: Scheduler::new(cfg.sched),
+            lia: LiaGroup::shared(),
+            cfg,
+            role,
+            key_local,
+            key_peer: None,
+            remote_port,
+            server_addr,
+            paths,
+            iss_base,
+            subflows: Vec::new(),
+            snd_buf: SendBuffer::new(),
+            dsn_next: 0,
+            assigned: BTreeMap::new(),
+            data_ack_in: 0,
+            fin_queued: false,
+            rcv_buf: RecvBuffer::new(recv_buf),
+            peer_data_fin: None,
+            peer_fin_consumed: false,
+            stats_established_at: None,
+            opened_at: None,
+            subflows_closed: false,
+            fin_announce_deadline: None,
+            pending_reinject: Vec::new(),
+            aborting: false,
+            aborted: false,
+        }
+    }
+
+    /// Our connection token (what the peer puts in MP_JOIN).
+    pub fn local_token(&self) -> u32 {
+        token_from_key(self.key_local)
+    }
+
+    /// LIA registration index of the most recently built subflow
+    /// controller (None when decoupled).
+    fn lia_idx_for_latest(&self) -> Option<usize> {
+        match self.cfg.cc {
+            CcChoice::Coupled => Some(self.lia.borrow().len().saturating_sub(1)),
+            CcChoice::Decoupled => None,
+        }
+    }
+
+    fn build_cc(&self, mss: usize, init_segs: u64) -> Box<dyn mpwifi_tcp::cc::CongestionControl> {
+        match self.cfg.cc {
+            CcChoice::Coupled => Box::new(LiaCc::new(self.lia.clone(), mss, init_segs)),
+            CcChoice::Decoupled => Box::new(RenoCc::new(mss, init_segs)),
+        }
+    }
+
+    fn make_subflow_conn(
+        &self,
+        local_port: u16,
+        remote_port: u16,
+        iss: u32,
+        client_side: bool,
+    ) -> TcpConnection {
+        let mut tcp_cfg = self.cfg.tcp.clone();
+        tcp_cfg.cc = CcKind::Reno; // placeholder; replaced below
+        let mut conn = if client_side {
+            TcpConnection::client(tcp_cfg.clone(), local_port, remote_port, iss)
+        } else {
+            TcpConnection::server(tcp_cfg.clone(), local_port, remote_port, iss)
+        };
+        conn.set_cc(self.build_cc(tcp_cfg.mss, tcp_cfg.init_cwnd_segs));
+        conn
+    }
+
+    /// Start the connection: open the primary subflow with MP_CAPABLE.
+    pub fn connect(&mut self, now: Time) {
+        assert_eq!(self.role, Role::Client);
+        assert!(self.subflows.is_empty(), "connect() called twice");
+        self.opened_at = Some(now);
+        let spec = self.paths[0];
+        let mut conn = self.make_subflow_conn(
+            spec.local_port,
+            self.remote_port,
+            self.iss_base,
+            true,
+        );
+        conn.set_handshake_options(vec![MpOption::MpCapable { key: self.key_local }
+            .to_tcp_option()]);
+        conn.open(now);
+        self.subflows.push(Subflow {
+            iface: spec.iface,
+            remote_addr: self.server_addr,
+            addr_id: spec.addr_id,
+            conn,
+            is_backup: false,
+            dead: false,
+            established_seen: false,
+            tx_pushed: 0,
+            tx_maps: Vec::new(),
+            rx_maps: Vec::new(),
+            rx_cursor: 0,
+            lia_idx: self.lia_idx_for_latest(),
+            pending_remove_addr: Vec::new(),
+            pending_fastclose: false,
+        });
+    }
+
+    /// Server side: accept the primary subflow from its SYN (which must
+    /// carry MP_CAPABLE — the caller checked). `remote_addr` is the
+    /// client interface it arrived from.
+    pub fn accept_primary(
+        &mut self,
+        now: Time,
+        seg: &Segment,
+        remote_addr: Addr,
+        key_peer: u64,
+    ) -> usize {
+        assert_eq!(self.role, Role::Server);
+        self.opened_at = Some(now);
+        self.key_peer = Some(key_peer);
+        let mut conn =
+            self.make_subflow_conn(seg.dst_port, seg.src_port, self.iss_base, false);
+        conn.set_handshake_options(vec![MpOption::MpCapable { key: self.key_local }
+            .to_tcp_option()]);
+        conn.on_segment(now, seg);
+        self.subflows.push(Subflow {
+            iface: self.server_addr,
+            remote_addr,
+            addr_id: 0,
+            conn,
+            is_backup: false,
+            dead: false,
+            established_seen: false,
+            tx_pushed: 0,
+            tx_maps: Vec::new(),
+            rx_maps: Vec::new(),
+            rx_cursor: 0,
+            lia_idx: self.lia_idx_for_latest(),
+            pending_remove_addr: Vec::new(),
+            pending_fastclose: false,
+        });
+        self.subflows.len() - 1
+    }
+
+    /// Server side: attach a joining subflow from its MP_JOIN SYN.
+    pub fn accept_join(
+        &mut self,
+        now: Time,
+        seg: &Segment,
+        remote_addr: Addr,
+        addr_id: u8,
+        backup: bool,
+    ) -> usize {
+        assert_eq!(self.role, Role::Server);
+        let iss = self.iss_base.wrapping_add(0x2000_0000);
+        let mut conn = self.make_subflow_conn(seg.dst_port, seg.src_port, iss, false);
+        conn.on_segment(now, seg);
+        self.subflows.push(Subflow {
+            iface: self.server_addr,
+            remote_addr,
+            addr_id,
+            conn,
+            is_backup: backup,
+            dead: false,
+            established_seen: false,
+            tx_pushed: 0,
+            tx_maps: Vec::new(),
+            rx_maps: Vec::new(),
+            rx_cursor: 0,
+            lia_idx: self.lia_idx_for_latest(),
+            pending_remove_addr: Vec::new(),
+            pending_fastclose: false,
+        });
+        self.subflows.len() - 1
+    }
+
+    // ------------------------------------------------------------------
+    // Application interface
+    // ------------------------------------------------------------------
+
+    /// Queue connection-level data.
+    pub fn send(&mut self, data: Bytes) {
+        assert!(!self.fin_queued, "send() after close()");
+        self.snd_buf.append(data);
+    }
+
+    /// Close our direction (DATA_FIN after all data).
+    pub fn close(&mut self, _now: Time) {
+        self.fin_queued = true;
+    }
+
+    /// Abort the whole MPTCP connection: an MP_FASTCLOSE rides out on a
+    /// live subflow, then every subflow is reset locally.
+    pub fn abort(&mut self, now: Time) {
+        if let Some(live) = self.subflows.iter().position(|s| !s.dead && !s.conn.is_closed()) {
+            self.subflows[live].pending_fastclose = true;
+            self.subflows[live].conn.request_ack();
+        }
+        self.aborting = true;
+        let _ = now;
+    }
+
+    /// True once `abort` was called or the peer fast-closed us.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
+    fn finish_abort(&mut self, now: Time) {
+        for sf in &mut self.subflows {
+            if !sf.conn.is_closed() {
+                sf.conn.abort(now);
+            }
+            sf.dead = true;
+        }
+        self.aborted = true;
+    }
+
+    /// Drain connection-level in-order data.
+    pub fn take_delivered(&mut self) -> Vec<Bytes> {
+        self.rcv_buf.take_delivered()
+    }
+
+    /// Connection-level bytes delivered in order to the application.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.rcv_buf.delivered_bytes()
+    }
+
+    /// Connection-level bytes the peer has cumulatively acknowledged.
+    pub fn data_acked(&self) -> u64 {
+        self.data_ack_in.min(self.snd_buf.end())
+    }
+
+    /// Total connection-level bytes queued by the application.
+    pub fn bytes_queued(&self) -> u64 {
+        self.snd_buf.end()
+    }
+
+    /// The peer finished its stream and we consumed everything.
+    pub fn peer_stream_finished(&self) -> bool {
+        self.peer_fin_consumed
+    }
+
+    /// Our stream was fully delivered and data-acked.
+    pub fn stream_fully_acked(&self) -> bool {
+        self.fin_queued && self.data_ack_in > self.snd_buf.end()
+    }
+
+    /// A subflow that can still carry control traffic.
+    fn usable_subflow(&self) -> Option<usize> {
+        self.subflows
+            .iter()
+            .position(|s| !s.dead && !s.conn.is_closed())
+    }
+
+    /// Primary-subflow establishment time (the connection counts as
+    /// established once subflow 0 completes its handshake, like the
+    /// paper's throughput-vs-time measurements).
+    pub fn established_at(&self) -> Option<Time> {
+        self.stats_established_at
+    }
+
+    /// When `connect()` (or the first SYN) happened.
+    pub fn opened_at(&self) -> Option<Time> {
+        self.opened_at
+    }
+
+    /// All subflows fully closed (or dead).
+    pub fn is_closed(&self) -> bool {
+        !self.subflows.is_empty()
+            && self
+                .subflows
+                .iter()
+                .all(|s| s.dead || s.conn.is_closed())
+    }
+
+    /// Per-subflow observability.
+    pub fn subflow_stats(&self) -> Vec<SubflowStats> {
+        self.subflows.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Number of subflows created so far.
+    pub fn subflow_count(&self) -> usize {
+        self.subflows.len()
+    }
+
+    /// Local port of the primary subflow (used by harnesses to match
+    /// client and server connection objects).
+    pub fn primary_local_port(&self) -> Option<u16> {
+        self.subflows.first().map(|s| s.conn.local_port())
+    }
+
+    /// Remote port of the primary subflow.
+    pub fn primary_remote_port(&self) -> Option<u16> {
+        self.subflows.first().map(|s| s.conn.remote_port())
+    }
+
+    /// Does one of our subflows use this (local_port, remote_port) pair?
+    pub fn route_ports(&self, local_port: u16, remote_port: u16) -> Option<usize> {
+        self.subflows.iter().position(|s| {
+            s.conn.local_port() == local_port && s.conn.remote_port() == remote_port
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling
+    // ------------------------------------------------------------------
+
+    /// Local notification that an interface went down (`multipath off`).
+    /// Kills subflows on that interface and tells the peer via
+    /// REMOVE_ADDR on a surviving subflow.
+    pub fn notify_iface_down(&mut self, now: Time, iface: Addr) {
+        let dead_ids: Vec<(usize, u8)> = self
+            .subflows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.iface == iface && !s.dead)
+            .map(|(i, s)| (i, s.addr_id))
+            .collect();
+        for (idx, addr_id) in dead_ids {
+            self.kill_subflow(now, idx);
+            // Tell the peer on the first live subflow: the REMOVE_ADDR
+            // rides the next outgoing segment there (a forced ACK if the
+            // subflow is otherwise quiet).
+            if let Some(live) = self.subflows.iter().position(|s| !s.dead) {
+                let sf = &mut self.subflows[live];
+                sf.pending_remove_addr.push(addr_id);
+                sf.conn.request_ack();
+            }
+        }
+        self.pump_send(now);
+    }
+
+    /// Peer told us an address is gone: kill subflows with that addr id.
+    /// The primary subflow predates any MP_JOIN, so the server never
+    /// learned its addr id explicitly — match on the remote interface
+    /// address too (clients use the interface address as the id).
+    fn on_remove_addr(&mut self, now: Time, addr_id: u8) {
+        let by_id: Vec<usize> = self
+            .subflows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.dead && s.addr_id == addr_id)
+            .map(|(i, _)| i)
+            .collect();
+        let idxs = if by_id.is_empty() {
+            // The primary subflow predates any MP_JOIN, so its addr id
+            // was never conveyed; clients use the interface address as
+            // the id, so fall back to matching the remote address.
+            self.subflows
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.dead && s.remote_addr.0 == addr_id)
+                .map(|(i, _)| i)
+                .collect()
+        } else {
+            by_id
+        };
+        for idx in idxs {
+            self.kill_subflow(now, idx);
+        }
+    }
+
+    fn kill_subflow(&mut self, now: Time, idx: usize) {
+        if self.subflows[idx].dead {
+            return;
+        }
+        self.subflows[idx].dead = true;
+        if let Some(li) = self.subflows[idx].lia_idx {
+            self.lia.borrow_mut().mark_dead_by_index(li);
+        }
+        self.reinject_from(now, idx);
+        // Single-Path mode: the replacement subflow is created only now,
+        // after the working one died (break-before-make).
+        if self.cfg.mode == Mode::SinglePath
+            && self.role == Role::Client
+            && self.paths.len() > 1
+            && self.subflows.len() < self.paths.len()
+            && !self.subflows.iter().any(|s| !s.dead)
+        {
+            self.open_secondary(now);
+        }
+    }
+
+    /// Re-schedule every not-yet-data-acked chunk assigned to `dead_idx`
+    /// onto surviving subflows. A chunk whose DSN starts below the
+    /// cumulative data-ACK but extends past it still has a live tail, so
+    /// the scan must not start at `data_ack_in` — it walks all assigned
+    /// chunks and clamps each to its unacked suffix.
+    fn reinject_from(&mut self, now: Time, dead_idx: usize) {
+        let pending: Vec<(u64, u64)> = self
+            .assigned
+            .iter()
+            .filter(|(_, (_, sf))| *sf == dead_idx)
+            .filter(|(&dsn, &(len, _))| dsn + len > self.data_ack_in)
+            .map(|(&dsn, &(len, _))| {
+                let start = dsn.max(self.data_ack_in);
+                (start, dsn + len - start)
+            })
+            .collect();
+        for (dsn, len) in pending {
+            if let Some(target) = self.pick_any_live_subflow() {
+                self.push_chunk_to_subflow(target, dsn, len);
+            } else {
+                // No live established subflow yet (Single-Path mode's
+                // handshake window): park for later.
+                self.pending_reinject.push((dsn, len));
+            }
+        }
+        let _ = now;
+    }
+
+    /// Flush chunks parked while no live subflow existed.
+    fn flush_pending_reinjects(&mut self) {
+        if self.pending_reinject.is_empty() {
+            return;
+        }
+        if self.pick_any_live_subflow().is_none() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.pending_reinject);
+        for (dsn, len) in parked {
+            if dsn + len <= self.data_ack_in {
+                continue; // acked in the meantime
+            }
+            // The prefix may have been data-acked (and released from the
+            // send buffer) while parked; reinject only the live suffix.
+            let start = dsn.max(self.data_ack_in);
+            let target = self.pick_any_live_subflow().expect("checked above");
+            self.push_chunk_to_subflow(target, start, dsn + len - start);
+        }
+    }
+
+    fn pick_any_live_subflow(&self) -> Option<usize> {
+        let any_regular_alive = self
+            .subflows
+            .iter()
+            .any(|s| !s.dead && !s.is_backup && s.conn.is_established());
+        self.subflows
+            .iter()
+            .position(|s| {
+                !s.dead
+                    && s.conn.is_established()
+                    && (!s.is_backup || !any_regular_alive)
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Segment processing
+    // ------------------------------------------------------------------
+
+    /// Feed a decoded segment belonging to subflow `sf_idx`.
+    pub fn on_segment(&mut self, now: Time, sf_idx: usize, seg: &Segment) {
+        // 1. MPTCP option processing.
+        for opt in mp_options(seg) {
+            match opt {
+                MpOption::MpCapable { key } => {
+                    if self.key_peer.is_none() {
+                        self.key_peer = Some(key);
+                    }
+                }
+                MpOption::Dss {
+                    data_ack,
+                    map,
+                    fin,
+                    fin_dsn,
+                } => {
+                    if data_ack > self.data_ack_in {
+                        self.data_ack_in = data_ack;
+                        let release = self.data_ack_in.min(self.snd_buf.end());
+                        self.snd_buf.advance_to(release);
+                        // Prune fully-acked assignments.
+                        let done: Vec<u64> = self
+                            .assigned
+                            .range(..self.data_ack_in)
+                            .filter(|(&dsn, &(len, _))| dsn + len <= self.data_ack_in)
+                            .map(|(&dsn, _)| dsn)
+                            .collect();
+                        for d in done {
+                            self.assigned.remove(&d);
+                        }
+                    }
+                    if let Some(m) = map {
+                        // The mapping's subflow position is the carrying
+                        // segment's own payload position.
+                        let sf_off =
+                            self.subflows[sf_idx].conn.recv_stream_off_of_seq(seg.seq);
+                        self.subflows[sf_idx].push_rx_map(MapEntry {
+                            sf_off,
+                            dsn: m.dsn,
+                            len: u64::from(m.len),
+                        });
+                    }
+                    if fin && self.peer_data_fin.is_none() {
+                        self.peer_data_fin = Some(fin_dsn);
+                    }
+                }
+                MpOption::RemoveAddr { addr_id } => {
+                    self.on_remove_addr(now, addr_id);
+                }
+                MpOption::MpPrio { backup } => {
+                    self.subflows[sf_idx].is_backup = backup;
+                }
+                MpOption::MpJoin { .. } => {}
+                MpOption::MpFastclose => {
+                    // Peer aborted the connection: reset everything.
+                    self.finish_abort(now);
+                    return;
+                }
+            }
+        }
+
+        // 2. Subflow TCP processing.
+        self.subflows[sf_idx].conn.on_segment(now, seg);
+
+        // 3. Translate newly in-order subflow bytes to DSN space.
+        self.pump_receive(now, sf_idx);
+
+        // 4. Establishment side-effects.
+        self.handle_establishment(now);
+
+        // 5. Scheduling.
+        self.detect_silent_death(now);
+        self.pump_send(now);
+    }
+
+    fn pump_receive(&mut self, now: Time, sf_idx: usize) {
+        let chunks = self.subflows[sf_idx].conn.take_delivered();
+        for chunk in chunks {
+            let mut off = self.subflows[sf_idx].rx_cursor;
+            let mut rest = chunk;
+            while !rest.is_empty() {
+                let Some(entry) = self.subflows[sf_idx].rx_map_at(off) else {
+                    // Mapping hasn't arrived — cannot happen with our
+                    // sender (mapping rides with first transmission), so
+                    // treat as protocol violation.
+                    panic!("subflow byte at offset {off} has no DSS mapping");
+                };
+                let entry = *entry;
+                let within = off - entry.sf_off;
+                let take = ((entry.len - within) as usize).min(rest.len());
+                let piece = rest.slice(..take);
+                rest = rest.slice(take..);
+                self.rcv_buf.insert(entry.dsn + within, piece);
+                off += take as u64;
+            }
+            self.subflows[sf_idx].rx_cursor = off;
+        }
+        // Bounded map bookkeeping.
+        if self.subflows[sf_idx].rx_maps.len() > 64 || self.subflows[sf_idx].tx_maps.len() > 64 {
+            let rx_cursor = self.subflows[sf_idx].rx_cursor;
+            let tx_acked = self.subflows[sf_idx].conn.acked_bytes();
+            self.subflows[sf_idx].prune_maps(rx_cursor, tx_acked);
+        }
+        // DATA_FIN consumption.
+        if let Some(fin_dsn) = self.peer_data_fin {
+            if !self.peer_fin_consumed && self.rcv_buf.next_expected() >= fin_dsn {
+                self.peer_fin_consumed = true;
+                // Ack the DATA_FIN promptly.
+                if let Some(live) = self.usable_subflow() {
+                    self.subflows[live].conn.request_ack();
+                }
+            }
+        }
+        let _ = now;
+    }
+
+    fn handle_establishment(&mut self, now: Time) {
+        // Primary establishment: record, and (client) launch the join.
+        if !self.subflows.is_empty() && self.subflows[0].conn.is_established() {
+            if self.stats_established_at.is_none() {
+                self.stats_established_at = self.subflows[0].conn.stats().established_at;
+            }
+            if !self.subflows[0].established_seen {
+                self.subflows[0].established_seen = true;
+                if self.role == Role::Client
+                    && self.paths.len() > 1
+                    && self.cfg.mode != Mode::SinglePath
+                {
+                    self.open_secondary(now);
+                }
+            }
+        }
+        for sf in &mut self.subflows {
+            if sf.conn.is_established() {
+                sf.established_seen = true;
+            }
+        }
+    }
+
+    fn open_secondary(&mut self, now: Time) {
+        let spec = self.paths[self.subflows.len().min(self.paths.len() - 1)];
+        let token = token_from_key(self.key_peer.expect("primary established without peer key"));
+        let backup = self.cfg.mode == Mode::Backup;
+        let iss = self.iss_base.wrapping_add(0x4000_0000);
+        let mut conn = self.make_subflow_conn(spec.local_port, self.remote_port, iss, true);
+        conn.set_handshake_options(vec![MpOption::MpJoin {
+            token,
+            addr_id: spec.addr_id,
+            backup,
+        }
+        .to_tcp_option()]);
+        conn.open(now);
+        self.subflows.push(Subflow {
+            iface: spec.iface,
+            remote_addr: self.server_addr,
+            addr_id: spec.addr_id,
+            conn,
+            is_backup: backup,
+            dead: false,
+            established_seen: false,
+            tx_pushed: 0,
+            tx_maps: Vec::new(),
+            rx_maps: Vec::new(),
+            rx_cursor: 0,
+            lia_idx: self.lia_idx_for_latest(),
+            pending_remove_addr: Vec::new(),
+            pending_fastclose: false,
+        });
+    }
+
+    fn detect_silent_death(&mut self, now: Time) {
+        let BackupActivation::OnRtoCount(n) = self.cfg.backup_activation else {
+            return;
+        };
+        let victims: Vec<usize> = self
+            .subflows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                !s.dead
+                    && (s.conn.consecutive_retries() >= n
+                        || (s.conn.is_closed() && s.conn.error().is_some()))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for idx in victims {
+            self.kill_subflow(now, idx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling & transmission
+    // ------------------------------------------------------------------
+
+    fn subflow_views(&self) -> Vec<SubflowView> {
+        let any_regular_alive = self
+            .subflows
+            .iter()
+            .any(|s| !s.dead && !s.is_backup && s.conn.is_established());
+        self.subflows
+            .iter()
+            .enumerate()
+            .map(|(idx, s)| {
+                let eligible = !s.dead
+                    && s.conn.is_established()
+                    && (!s.is_backup || !any_regular_alive);
+                let window = s.conn.cwnd().min(s.conn.send_window());
+                let used = s.conn.in_flight() + s.conn.bytes_unsent();
+                SubflowView {
+                    idx,
+                    eligible,
+                    room: window.saturating_sub(used),
+                    srtt: s.conn.srtt(),
+                }
+            })
+            .collect()
+    }
+
+    fn push_chunk_to_subflow(&mut self, sf_idx: usize, dsn: u64, len: u64) {
+        let data = self.snd_buf.slice(dsn, len as usize);
+        let sf = &mut self.subflows[sf_idx];
+        sf.conn.send(data);
+        sf.push_tx_map(MapEntry {
+            sf_off: sf.tx_pushed,
+            dsn,
+            len,
+        });
+        sf.tx_pushed += len;
+        self.assigned.insert(dsn, (len, sf_idx));
+    }
+
+    fn pump_send(&mut self, now: Time) {
+        self.flush_pending_reinjects();
+        let mss = self.cfg.tcp.mss as u64;
+        // Assign fresh data.
+        while self.dsn_next < self.snd_buf.end() {
+            let views = self.subflow_views();
+            let Some(pick) = self.scheduler.pick(&views) else {
+                break;
+            };
+            let room = views.iter().find(|v| v.idx == pick).unwrap().room;
+            let len = (self.snd_buf.end() - self.dsn_next).min(mss).min(room);
+            if len == 0 {
+                break;
+            }
+            let dsn = self.dsn_next;
+            self.dsn_next += len;
+            self.push_chunk_to_subflow(pick, dsn, len);
+        }
+        // DATA_FIN announcement: once the stream end is known and all
+        // data is assigned, keep nudging a live subflow to emit a DSS
+        // carrying the FIN until the peer data-acks it (the DSS itself
+        // rides unreliable pure ACKs, so we retry on a timer).
+        if self.data_fin_ready() && self.data_ack_in <= self.snd_buf.end() {
+            if self.fin_announce_deadline.is_none_or(|t| t <= now) {
+                if let Some(live) = self.usable_subflow() {
+                    self.subflows[live].conn.request_ack();
+                }
+                self.fin_announce_deadline = Some(now + Dur::from_millis(500));
+            }
+        } else {
+            self.fin_announce_deadline = None;
+        }
+        // Teardown: close subflows once both directions are finished.
+        if !self.subflows_closed && self.teardown_ready() {
+            self.subflows_closed = true;
+            for sf in &mut self.subflows {
+                if !sf.conn.is_closed() {
+                    sf.conn.close(now);
+                }
+            }
+        }
+    }
+
+    fn teardown_ready(&self) -> bool {
+        let ours_done = self.fin_queued
+            && self.dsn_next == self.snd_buf.end()
+            && self.data_ack_in > self.snd_buf.end();
+        let theirs_done = self.peer_fin_consumed;
+        ours_done && theirs_done
+    }
+
+    // ------------------------------------------------------------------
+    // Output: decorate subflow segments with DSS
+    // ------------------------------------------------------------------
+
+    /// Our current outgoing connection-level cumulative ACK.
+    fn data_ack_out(&self) -> u64 {
+        let mut v = self.rcv_buf.next_expected();
+        if self.peer_fin_consumed {
+            v += 1;
+        }
+        v
+    }
+
+    /// True once our DATA_FIN should be announced: stream closed and all
+    /// data assigned to subflows.
+    fn data_fin_ready(&self) -> bool {
+        self.fin_queued && self.dsn_next == self.snd_buf.end()
+    }
+
+    /// Earliest timer across subflows (plus the DATA_FIN re-announce
+    /// deadline).
+    pub fn next_timer(&self) -> Option<Time> {
+        self.subflows
+            .iter()
+            .filter(|s| !s.dead)
+            .filter_map(|s| s.conn.next_timer())
+            .chain(self.fin_announce_deadline)
+            .min()
+    }
+
+    /// Fire due subflow timers.
+    pub fn on_timers(&mut self, now: Time) {
+        for sf in &mut self.subflows {
+            if !sf.dead && sf.conn.next_timer().is_some_and(|t| t <= now) {
+                sf.conn.on_timers(now);
+            }
+        }
+        self.detect_silent_death(now);
+        self.pump_send(now);
+    }
+
+    /// Drain decorated outgoing segments: `(subflow index, local iface,
+    /// remote addr, segment)`.
+    pub fn take_tx(&mut self, now: Time) -> Vec<(usize, Addr, Addr, Segment)> {
+        self.pump_send(now);
+        let data_ack = self.data_ack_out();
+        let fin_ready = self.data_fin_ready();
+        let fin_dsn = self.snd_buf.end();
+        let mut out = Vec::new();
+        for idx in 0..self.subflows.len() {
+            let raw = self.subflows[idx].conn.take_tx(now);
+            for seg in raw {
+                for piece in self.decorate(idx, seg, data_ack, fin_ready, fin_dsn) {
+                    let sf = &self.subflows[idx];
+                    out.push((idx, sf.iface, sf.remote_addr, piece));
+                }
+            }
+        }
+        // Once the FASTCLOSE has left, tear the subflows down locally.
+        if self.aborting
+            && !self.aborted
+            && self.subflows.iter().all(|s| !s.pending_fastclose)
+        {
+            self.finish_abort(now);
+        }
+        out
+    }
+
+    /// Attach DSS (and pending REMOVE_ADDR) to an outgoing subflow
+    /// segment, splitting it when the payload spans a mapping boundary.
+    fn decorate(
+        &mut self,
+        sf_idx: usize,
+        seg: Segment,
+        data_ack: u64,
+        fin_ready: bool,
+        fin_dsn: u64,
+    ) -> Vec<Segment> {
+        // SYN segments carry only handshake options, never DSS.
+        if seg.flags.syn {
+            return vec![seg];
+        }
+        let pending_ra: Vec<u8> = std::mem::take(&mut self.subflows[sf_idx].pending_remove_addr);
+
+        if seg.payload.is_empty() {
+            let mut seg = seg;
+            // Option budget: timestamp (10) + up to 2 SACK ranges (18)
+            // may already be present; a DSS with DATA_FIN (20) would
+            // overflow 40. Degrade gracefully: try the full DSS, then
+            // without FIN (it re-announces on the next segment), then
+            // shed the advisory SACK blocks.
+            let full = MpOption::Dss {
+                data_ack,
+                map: None,
+                fin: fin_ready,
+                fin_dsn,
+            };
+            let mut pushed = false;
+            push_if_room(&mut seg, full, || pushed = true);
+            let fin_deferred = std::mem::take(&mut pushed);
+            if fin_deferred {
+                let no_fin = MpOption::Dss { data_ack, map: None, fin: false, fin_dsn: 0 };
+                let mut still_full = false;
+                push_if_room(&mut seg, no_fin.clone(), || still_full = true);
+                if still_full {
+                    seg.options.retain(|o| !matches!(o, mpwifi_tcp::segment::TcpOption::Sack(_)));
+                    seg.options.push(no_fin.to_tcp_option());
+                }
+            }
+            for addr_id in pending_ra {
+                push_if_room(&mut seg, MpOption::RemoveAddr { addr_id }, || {
+                    self.subflows[sf_idx].pending_remove_addr.push(addr_id);
+                });
+            }
+            if self.subflows[sf_idx].pending_fastclose {
+                let mut deferred = false;
+                push_if_room(&mut seg, MpOption::MpFastclose, || deferred = true);
+                if !deferred {
+                    self.subflows[sf_idx].pending_fastclose = false;
+                }
+            }
+            return vec![seg];
+        }
+
+        // Data segment: split along mapping boundaries.
+        let base_off = self.subflows[sf_idx]
+            .conn
+            .send_stream_off_of_seq(seg.seq);
+        let mut pieces = Vec::new();
+        let mut consumed = 0usize;
+        while consumed < seg.payload.len() {
+            let off = base_off + consumed as u64;
+            let Some(&entry) = self.subflows[sf_idx].tx_map_at(off) else {
+                // A retransmission queued earlier can be overtaken by an
+                // ACK (and map pruning) arriving later in the same event
+                // batch; the bytes are already acknowledged, so the stale
+                // piece is simply dropped.
+                break;
+            };
+            let within = off - entry.sf_off;
+            let take = ((entry.len - within) as usize).min(seg.payload.len() - consumed);
+            let mut piece = Segment {
+                payload: seg.payload.slice(consumed..consumed + take),
+                seq: seg.seq.wrapping_add(consumed as u32),
+                options: seg.options.clone(),
+                ..seg.clone()
+            };
+            // PSH only on the final piece.
+            piece.flags.psh = seg.flags.psh && consumed + take == seg.payload.len();
+            // FIN (subflow-level) only on the final piece.
+            piece.flags.fin = seg.flags.fin && consumed + take == seg.payload.len();
+            let dss = MpOption::Dss {
+                data_ack,
+                map: Some(DssMap {
+                    dsn: entry.dsn + within,
+                    len: take as u16,
+                }),
+                fin: false,
+                fin_dsn: 0,
+            };
+            piece.options.push(dss.to_tcp_option());
+            pieces.push(piece);
+            consumed += take;
+        }
+        if let Some(first) = pieces.first_mut() {
+            for addr_id in pending_ra {
+                push_if_room(first, MpOption::RemoveAddr { addr_id }, || {
+                    self.subflows[sf_idx].pending_remove_addr.push(addr_id);
+                });
+            }
+            if self.subflows[sf_idx].pending_fastclose {
+                let mut deferred = false;
+                push_if_room(first, MpOption::MpFastclose, || deferred = true);
+                if !deferred {
+                    self.subflows[sf_idx].pending_fastclose = false;
+                }
+            }
+        }
+        pieces
+    }
+}
+
+/// Append an MPTCP option to a segment only if the 40-byte TCP option
+/// budget allows; otherwise run `defer` so the caller re-queues it for
+/// the next segment.
+fn push_if_room(seg: &mut Segment, opt: MpOption, defer: impl FnOnce()) {
+    let tcp_opt = opt.to_tcp_option();
+    seg.options.push(tcp_opt);
+    let opt_len: usize = seg.wire_len() - mpwifi_tcp::segment::IP_OVERHEAD
+        - mpwifi_tcp::segment::HEADER_LEN
+        - seg.payload.len();
+    if opt_len > 40 {
+        seg.options.pop();
+        defer();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpwifi_tcp::conn::TcpConfig;
+
+    fn subflow() -> Subflow {
+        Subflow {
+            iface: Addr(1),
+            remote_addr: Addr(10),
+            addr_id: 1,
+            conn: TcpConnection::client(TcpConfig::default(), 1, 2, 0),
+            is_backup: false,
+            dead: false,
+            established_seen: false,
+            tx_pushed: 0,
+            tx_maps: Vec::new(),
+            rx_maps: Vec::new(),
+            rx_cursor: 0,
+            lia_idx: None,
+            pending_remove_addr: Vec::new(),
+            pending_fastclose: false,
+        }
+    }
+
+    fn entry(sf_off: u64, dsn: u64, len: u64) -> MapEntry {
+        MapEntry { sf_off, dsn, len }
+    }
+
+    #[test]
+    fn rx_map_insert_and_lookup() {
+        let mut sf = subflow();
+        sf.push_rx_map(entry(0, 1000, 1400));
+        sf.push_rx_map(entry(1400, 5000, 1400));
+        assert_eq!(sf.rx_map_at(0).unwrap().dsn, 1000);
+        assert_eq!(sf.rx_map_at(1399).unwrap().dsn, 1000);
+        assert_eq!(sf.rx_map_at(1400).unwrap().dsn, 5000);
+        assert!(sf.rx_map_at(2800).is_none());
+    }
+
+    #[test]
+    fn rx_map_exact_duplicate_is_noop() {
+        let mut sf = subflow();
+        sf.push_rx_map(entry(0, 1000, 1400));
+        sf.push_rx_map(entry(0, 1000, 1400));
+        assert_eq!(sf.rx_maps.len(), 1);
+    }
+
+    #[test]
+    fn rx_map_partial_overlap_keeps_coverage_consistent() {
+        // A retransmitted segment re-announces [700, 2100) after
+        // [0, 1400) and [1400, 2800) are already known.
+        let mut sf = subflow();
+        sf.push_rx_map(entry(0, 1000, 1400));
+        sf.push_rx_map(entry(1400, 9000, 1400));
+        sf.push_rx_map(entry(700, 1700, 1400)); // 1000+700 .. consistent dsn
+        // Every offset must resolve, to the original (consistent) dsn.
+        for off in [0u64, 699, 700, 1399, 1400, 2799] {
+            let e = sf.rx_map_at(off).unwrap();
+            let dsn = e.dsn + (off - e.sf_off);
+            let expect = if off < 1400 { 1000 + off } else { 9000 + (off - 1400) };
+            assert_eq!(dsn, expect, "offset {off}");
+        }
+        // And the map stays sorted + non-overlapping.
+        for w in sf.rx_maps.windows(2) {
+            assert!(w[0].sf_end() <= w[1].sf_off, "overlap: {:?}", sf.rx_maps);
+        }
+    }
+
+    #[test]
+    fn rx_map_fills_gap_between_existing_entries() {
+        let mut sf = subflow();
+        sf.push_rx_map(entry(0, 100, 500));
+        sf.push_rx_map(entry(1000, 2000, 500));
+        // Announce a mapping spanning the hole and both neighbours.
+        sf.push_rx_map(entry(0, 100, 1500));
+        for off in 0..1500u64 {
+            assert!(sf.rx_map_at(off).is_some(), "offset {off} uncovered");
+        }
+    }
+
+    #[test]
+    fn tx_map_coalesces_contiguous_chunks() {
+        let mut sf = subflow();
+        sf.push_tx_map(entry(0, 0, 1400));
+        sf.push_tx_map(entry(1400, 1400, 1400));
+        assert_eq!(sf.tx_maps.len(), 1, "contiguous chunks merge");
+        sf.push_tx_map(entry(2800, 9000, 1400)); // DSN jump: no merge
+        assert_eq!(sf.tx_maps.len(), 2);
+        assert_eq!(sf.tx_map_at(2000).unwrap().dsn, 0);
+        assert_eq!(sf.tx_map_at(3000).unwrap().dsn, 9000);
+    }
+
+    #[test]
+    fn prune_maps_keeps_live_ranges() {
+        let mut sf = subflow();
+        sf.push_rx_map(entry(0, 0, 1000));
+        sf.push_rx_map(entry(1000, 1000, 1000));
+        sf.push_tx_map(entry(0, 0, 1000));
+        sf.push_tx_map(entry(1000, 5000, 1000));
+        sf.prune_maps(1500, 1500);
+        assert_eq!(sf.rx_maps.len(), 1);
+        assert_eq!(sf.tx_maps.len(), 1);
+        assert!(sf.rx_map_at(1600).is_some(), "live range survives pruning");
+    }
+}

@@ -1,0 +1,360 @@
+//! Coupled congestion control: LIA (Linked Increases Algorithm, RFC 6356).
+//!
+//! This is the paper's "coupled" configuration. Each subflow runs an
+//! instance of [`LiaCc`] implementing the `mpwifi-tcp` congestion-control
+//! trait; instances share a [`LiaGroup`] so the per-ACK increase of one
+//! subflow can see the windows and RTTs of its siblings:
+//!
+//! ```text
+//! alpha = cwnd_total * max_r(cwnd_r / rtt_r^2) / (sum_r cwnd_r / rtt_r)^2
+//! per ACK on subflow r:
+//!     cwnd_r += min(alpha * acked / cwnd_total,   # coupled increase
+//!                   acked * mss / cwnd_r)          # never faster than Reno
+//! ```
+//!
+//! Decreases are standard per-subflow halving, exactly like Reno — which
+//! is why coupled MPTCP shifts traffic away from the more congested path
+//! and is less aggressive than N independent Reno flows (the effect
+//! behind the paper's Figures 13/14 for 1 MB flows).
+
+use mpwifi_tcp::cc::CongestionControl;
+use mpwifi_simcore::{Dur, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Per-subflow state visible to the group.
+#[derive(Debug, Clone, Copy)]
+struct FlowView {
+    cwnd: u64,
+    srtt: Dur,
+    alive: bool,
+}
+
+/// Shared state linking the LIA instances of one MPTCP connection.
+#[derive(Debug, Default)]
+pub struct LiaGroup {
+    flows: Vec<FlowView>,
+}
+
+impl LiaGroup {
+    /// Create an empty group wrapped for sharing.
+    pub fn shared() -> Rc<RefCell<LiaGroup>> {
+        Rc::new(RefCell::new(LiaGroup::default()))
+    }
+
+    fn register(&mut self, cwnd: u64) -> usize {
+        self.flows.push(FlowView {
+            cwnd,
+            srtt: Dur::from_millis(100),
+            alive: true,
+        });
+        self.flows.len() - 1
+    }
+
+    /// Sum of live subflow windows (bytes).
+    pub fn total_cwnd(&self) -> u64 {
+        self.flows.iter().filter(|f| f.alive).map(|f| f.cwnd).sum()
+    }
+
+    /// Number of registered subflows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no subflow has registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Remove a subflow from alpha computation by registration index
+    /// (out-of-range indices are ignored).
+    pub fn mark_dead_by_index(&mut self, idx: usize) {
+        if let Some(f) = self.flows.get_mut(idx) {
+            f.alive = false;
+        }
+    }
+
+    /// The LIA alpha, in units where `increase = alpha * acked /
+    /// cwnd_total` gives bytes. Computed over live subflows.
+    fn alpha(&self) -> f64 {
+        let total = self.total_cwnd() as f64;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut best = 0.0f64;
+        let mut denom = 0.0f64;
+        for f in self.flows.iter().filter(|f| f.alive) {
+            let rtt = f.srtt.as_secs_f64().max(1e-4);
+            let c = f.cwnd as f64;
+            best = best.max(c / (rtt * rtt));
+            denom += c / rtt;
+        }
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        total * best / (denom * denom)
+    }
+}
+
+/// One subflow's LIA controller.
+#[derive(Debug)]
+pub struct LiaCc {
+    group: Rc<RefCell<LiaGroup>>,
+    idx: usize,
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Fractional byte accumulator for sub-MSS increases.
+    accum: f64,
+}
+
+impl LiaCc {
+    /// Create a controller registered in `group`.
+    pub fn new(group: Rc<RefCell<LiaGroup>>, mss: usize, init_cwnd_segs: u64) -> LiaCc {
+        let mss = mss as u64;
+        let cwnd = mss * init_cwnd_segs;
+        let idx = group.borrow_mut().register(cwnd);
+        LiaCc {
+            group,
+            idx,
+            mss,
+            cwnd,
+            ssthresh: u64::MAX,
+            accum: 0.0,
+        }
+    }
+
+    fn publish(&self, rtt: Option<Dur>) {
+        let mut g = self.group.borrow_mut();
+        let f = &mut g.flows[self.idx];
+        f.cwnd = self.cwnd;
+        if let Some(r) = rtt {
+            f.srtt = r;
+        }
+    }
+
+    /// Mark this subflow dead (stops contributing to alpha).
+    pub fn mark_dead(&mut self) {
+        self.group.borrow_mut().flows[self.idx].alive = false;
+    }
+}
+
+impl CongestionControl for LiaCc {
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, _now: Time, acked: u64, _in_flight: u64, rtt: Option<Dur>) {
+        if self.cwnd < self.ssthresh {
+            // Slow start is uncoupled (RFC 6356 §3).
+            self.cwnd += acked.min(self.mss);
+            self.publish(rtt);
+            return;
+        }
+        self.publish(rtt);
+        let (alpha, total) = {
+            let g = self.group.borrow();
+            (g.alpha(), g.total_cwnd() as f64)
+        };
+        // alpha is scale-invariant (packet units); the byte-space
+        // increase is acked * min(alpha * mss / total, mss / cwnd_i).
+        let coupled = if total > 0.0 {
+            alpha * acked as f64 * self.mss as f64 / total
+        } else {
+            0.0
+        };
+        let reno = acked as f64 * self.mss as f64 / self.cwnd as f64;
+        self.accum += coupled.min(reno).max(0.0);
+        if self.accum >= 1.0 {
+            let whole = self.accum.floor();
+            self.cwnd += whole as u64;
+            self.accum -= whole;
+        }
+        self.publish(rtt);
+    }
+
+    fn on_enter_recovery(&mut self, _now: Time, in_flight: u64) {
+        self.ssthresh = (in_flight / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+        self.accum = 0.0;
+        self.publish(None);
+    }
+
+    fn on_dup_ack_in_recovery(&mut self, _now: Time) {
+        self.cwnd += self.mss;
+        self.publish(None);
+    }
+
+    fn on_partial_ack(&mut self, _now: Time, acked: u64) {
+        self.cwnd = self.cwnd.saturating_sub(acked).max(self.mss) + self.mss;
+        self.publish(None);
+    }
+
+    fn on_exit_recovery(&mut self, _now: Time) {
+        self.cwnd = self.ssthresh.max(2 * self.mss);
+        self.publish(None);
+    }
+
+    fn on_rto(&mut self, _now: Time, in_flight: u64) {
+        self.ssthresh = (in_flight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.accum = 0.0;
+        self.publish(None);
+    }
+
+    fn set_cwnd(&mut self, cwnd: u64) {
+        self.cwnd = cwnd.max(self.mss);
+        self.publish(None);
+    }
+
+    fn name(&self) -> &'static str {
+        "lia"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: usize = 1400;
+
+    fn t0() -> Time {
+        Time::ZERO
+    }
+
+    fn drain_slow_start(cc: &mut LiaCc, in_flight: u64) {
+        // Force out of slow start via a recovery episode.
+        cc.on_enter_recovery(t0(), in_flight);
+        cc.on_exit_recovery(t0());
+    }
+
+    #[test]
+    fn slow_start_grows_like_reno() {
+        let g = LiaGroup::shared();
+        let mut cc = LiaCc::new(g, MSS, 10);
+        let w0 = cc.cwnd();
+        cc.on_ack(t0(), MSS as u64, w0, Some(Dur::from_millis(50)));
+        assert_eq!(cc.cwnd(), w0 + MSS as u64);
+    }
+
+    #[test]
+    fn single_subflow_lia_is_at_most_reno() {
+        // With one subflow, alpha = cwnd * (c/r^2) / (c/r)^2 = 1 in cwnd
+        // units, so the coupled increase equals Reno's.
+        let g = LiaGroup::shared();
+        let mut cc = LiaCc::new(g, MSS, 10);
+        drain_slow_start(&mut cc, 20 * MSS as u64);
+        let w0 = cc.cwnd();
+        // One full window of ACKs: Reno would add exactly one MSS.
+        let mut acked = 0;
+        while acked < w0 {
+            cc.on_ack(t0(), MSS as u64, w0, Some(Dur::from_millis(50)));
+            acked += MSS as u64;
+        }
+        let grown = cc.cwnd() - w0;
+        let tol = MSS as u64 / 4;
+        assert!(
+            grown <= MSS as u64 + tol && grown >= MSS as u64 / 2,
+            "single-flow LIA should track Reno: grew {grown} vs MSS {MSS}"
+        );
+    }
+
+    #[test]
+    fn two_subflows_grow_slower_than_two_renos() {
+        let g = LiaGroup::shared();
+        let mut a = LiaCc::new(g.clone(), MSS, 10);
+        let mut b = LiaCc::new(g.clone(), MSS, 10);
+        drain_slow_start(&mut a, 20 * MSS as u64);
+        drain_slow_start(&mut b, 20 * MSS as u64);
+        let w0 = a.cwnd() + b.cwnd();
+        // Equal RTTs: feed both a window of ACKs.
+        let rtt = Some(Dur::from_millis(50));
+        let per_flow = a.cwnd();
+        let mut acked = 0;
+        while acked < per_flow {
+            a.on_ack(t0(), MSS as u64, per_flow, rtt);
+            b.on_ack(t0(), MSS as u64, per_flow, rtt);
+            acked += MSS as u64;
+        }
+        let total_growth = (a.cwnd() + b.cwnd()) - w0;
+        // Two Renos would grow 2 MSS per RTT; LIA with equal paths grows
+        // about 1 MSS total (alpha gives each flow ~half a Reno share).
+        assert!(
+            total_growth <= (MSS as u64 * 3) / 2,
+            "coupled growth {total_growth} should be well under 2 MSS"
+        );
+        assert!(total_growth >= MSS as u64 / 2, "but not frozen: {total_growth}");
+    }
+
+    #[test]
+    fn lia_prefers_lower_rtt_path() {
+        let g = LiaGroup::shared();
+        let mut fast = LiaCc::new(g.clone(), MSS, 10);
+        let mut slow = LiaCc::new(g.clone(), MSS, 10);
+        drain_slow_start(&mut fast, 20 * MSS as u64);
+        drain_slow_start(&mut slow, 20 * MSS as u64);
+        let w = fast.cwnd();
+        // Fast path 20 ms, slow path 200 ms: run equal ACK volume.
+        for _ in 0..200 {
+            fast.on_ack(t0(), MSS as u64, w, Some(Dur::from_millis(20)));
+            slow.on_ack(t0(), MSS as u64, w, Some(Dur::from_millis(200)));
+        }
+        assert!(
+            fast.cwnd() > slow.cwnd(),
+            "low-RTT subflow should grow faster: {} vs {}",
+            fast.cwnd(),
+            slow.cwnd()
+        );
+    }
+
+    #[test]
+    fn decrease_is_per_subflow_halving() {
+        let g = LiaGroup::shared();
+        let mut cc = LiaCc::new(g, MSS, 10);
+        cc.set_cwnd(40 * MSS as u64);
+        cc.on_enter_recovery(t0(), 40 * MSS as u64);
+        assert_eq!(cc.ssthresh(), 20 * MSS as u64);
+        cc.on_exit_recovery(t0());
+        assert_eq!(cc.cwnd(), 20 * MSS as u64);
+    }
+
+    #[test]
+    fn dead_subflow_leaves_alpha() {
+        let g = LiaGroup::shared();
+        let mut a = LiaCc::new(g.clone(), MSS, 10);
+        let mut b = LiaCc::new(g.clone(), MSS, 10);
+        b.set_cwnd(100 * MSS as u64);
+        b.mark_dead();
+        drain_slow_start(&mut a, 20 * MSS as u64);
+        assert_eq!(g.borrow().total_cwnd(), a.cwnd());
+        // Growth now behaves like a single flow.
+        let w0 = a.cwnd();
+        let mut acked = 0;
+        while acked < w0 {
+            a.on_ack(t0(), MSS as u64, w0, Some(Dur::from_millis(50)));
+            acked += MSS as u64;
+        }
+        assert!(a.cwnd() > w0, "survivor keeps growing");
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let g = LiaGroup::shared();
+        let mut cc = LiaCc::new(g.clone(), MSS, 10);
+        cc.set_cwnd(50 * MSS as u64);
+        cc.on_rto(t0(), 50 * MSS as u64);
+        assert_eq!(cc.cwnd(), MSS as u64);
+        assert_eq!(g.borrow().flows[0].cwnd, MSS as u64, "group sees the collapse");
+    }
+
+    #[test]
+    fn name_is_lia() {
+        let g = LiaGroup::shared();
+        let cc = LiaCc::new(g, MSS, 10);
+        assert_eq!(cc.name(), "lia");
+    }
+}

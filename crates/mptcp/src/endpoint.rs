@@ -1,0 +1,746 @@
+//! MPTCP endpoints: connection managers for a multi-homed client and a
+//! single-homed server.
+//!
+//! These speak `(interface, remote address, Segment)` triples; the
+//! `mpwifi-sim` crate adapts them to emulated-network frames. The server
+//! endpoint demultiplexes by port pair, spawns connections for
+//! MP_CAPABLE SYNs, and attaches MP_JOIN SYNs to existing connections by
+//! token — the same dispatch the Linux implementation performs.
+
+use crate::conn::{MptcpConfig, MptcpConnection, PathSpec};
+use crate::options::{mp_options, MpOption};
+use mpwifi_netem::Addr;
+use mpwifi_simcore::{DetRng, Time};
+use mpwifi_tcp::segment::Segment;
+
+/// Multi-homed client endpoint: owns MPTCP connections whose primary
+/// subflow starts on a chosen interface.
+#[derive(Debug)]
+pub struct ClientEndpoint {
+    server_addr: Addr,
+    /// `(interface address, MPTCP addr id)` for each local interface.
+    ifaces: Vec<(Addr, u8)>,
+    conns: Vec<MptcpConnection>,
+    next_port: u16,
+    key_rng: DetRng,
+}
+
+impl ClientEndpoint {
+    /// Create a client with the given local interfaces (order is only a
+    /// default; each `open` chooses its primary explicitly).
+    pub fn new(server_addr: Addr, ifaces: Vec<(Addr, u8)>, key_seed: u64) -> ClientEndpoint {
+        assert!(!ifaces.is_empty(), "client needs at least one interface");
+        ClientEndpoint {
+            server_addr,
+            ifaces,
+            conns: Vec::new(),
+            next_port: 40_000,
+            key_rng: DetRng::seed_from_u64(key_seed),
+        }
+    }
+
+    fn next_key(&mut self) -> u64 {
+        self.key_rng.next_u64()
+    }
+
+    /// Open an MPTCP connection with the primary subflow on
+    /// `primary_iface`. Returns the connection id.
+    pub fn open(
+        &mut self,
+        now: Time,
+        cfg: MptcpConfig,
+        primary_iface: Addr,
+        remote_port: u16,
+    ) -> usize {
+        let primary_pos = self
+            .ifaces
+            .iter()
+            .position(|&(a, _)| a == primary_iface)
+            .expect("unknown primary interface");
+        let mut order: Vec<(Addr, u8)> = Vec::with_capacity(self.ifaces.len());
+        order.push(self.ifaces[primary_pos]);
+        order.extend(
+            self.ifaces
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != primary_pos)
+                .map(|(_, &s)| s),
+        );
+        assert!(
+            usize::from(self.next_port) + order.len() < usize::from(u16::MAX),
+            "client endpoint exhausted its ephemeral port range"
+        );
+        let paths: Vec<PathSpec> = order
+            .iter()
+            .enumerate()
+            .map(|(k, &(iface, addr_id))| PathSpec {
+                iface,
+                addr_id,
+                local_port: self.next_port + k as u16,
+            })
+            .collect();
+        self.next_port += order.len() as u16;
+        let key = self.next_key();
+        let iss_base = (key >> 32) as u32 ^ (key as u32);
+        let mut conn = MptcpConnection::client(
+            cfg,
+            paths,
+            self.server_addr,
+            remote_port,
+            key,
+            iss_base,
+        );
+        conn.connect(now);
+        self.conns.push(conn);
+        self.conns.len() - 1
+    }
+
+    /// Borrow a connection.
+    pub fn conn(&self, id: usize) -> &MptcpConnection {
+        &self.conns[id]
+    }
+
+    /// Mutably borrow a connection.
+    pub fn conn_mut(&mut self, id: usize) -> &mut MptcpConnection {
+        &mut self.conns[id]
+    }
+
+    /// Number of connections opened.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when no connections exist.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Route one decoded segment (arriving on any interface).
+    pub fn on_segment(&mut self, now: Time, seg: &Segment) {
+        for conn in &mut self.conns {
+            if let Some(sf) = conn.route_ports(seg.dst_port, seg.src_port) {
+                conn.on_segment(now, sf, seg);
+                return;
+            }
+        }
+    }
+
+    /// Earliest timer across connections.
+    pub fn next_timer(&self) -> Option<Time> {
+        self.conns.iter().filter_map(|c| c.next_timer()).min()
+    }
+
+    /// Fire due timers.
+    pub fn on_timers(&mut self, now: Time) {
+        for conn in &mut self.conns {
+            conn.on_timers(now);
+        }
+    }
+
+    /// Drain outgoing segments: `(local interface, remote address, segment)`.
+    pub fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
+        let mut out = Vec::new();
+        for conn in &mut self.conns {
+            for (_, iface, remote, seg) in conn.take_tx(now) {
+                out.push((iface, remote, seg));
+            }
+        }
+        out
+    }
+
+    /// Local notification that an interface was disabled (`multipath
+    /// off`): propagate to every connection.
+    pub fn notify_iface_down(&mut self, now: Time, iface: Addr) {
+        for conn in &mut self.conns {
+            conn.notify_iface_down(now, iface);
+        }
+    }
+}
+
+/// Single-homed MPTCP server endpoint.
+#[derive(Debug)]
+pub struct ServerEndpoint {
+    local_addr: Addr,
+    listen_port: u16,
+    cfg: MptcpConfig,
+    conns: Vec<MptcpConnection>,
+    accepted: Vec<usize>,
+    key_rng: DetRng,
+}
+
+impl ServerEndpoint {
+    /// Listen on `listen_port`, configuring accepted connections with
+    /// `cfg` (the experiment harness keeps it consistent with the
+    /// client's, as the paper did by installing matching kernels).
+    pub fn new(local_addr: Addr, listen_port: u16, cfg: MptcpConfig, key_seed: u64) -> ServerEndpoint {
+        ServerEndpoint {
+            local_addr,
+            listen_port,
+            cfg,
+            conns: Vec::new(),
+            accepted: Vec::new(),
+            key_rng: DetRng::seed_from_u64(key_seed ^ 0xA24B_AED4_963E_E407),
+        }
+    }
+
+    fn next_key(&mut self) -> u64 {
+        self.key_rng.next_u64()
+    }
+
+    /// Borrow a connection.
+    pub fn conn(&self, id: usize) -> &MptcpConnection {
+        &self.conns[id]
+    }
+
+    /// Mutably borrow a connection.
+    pub fn conn_mut(&mut self, id: usize) -> &mut MptcpConnection {
+        &mut self.conns[id]
+    }
+
+    /// Number of connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when no connections exist.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Connections accepted since the last call.
+    pub fn take_accepted(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.accepted)
+    }
+
+    /// Route one decoded segment that arrived from `src_addr`.
+    pub fn on_segment(&mut self, now: Time, seg: &Segment, src_addr: Addr) {
+        // Existing subflow?
+        for conn in &mut self.conns {
+            if let Some(sf) = conn.route_ports(seg.dst_port, seg.src_port) {
+                conn.on_segment(now, sf, seg);
+                return;
+            }
+        }
+        // New subflow: must be a SYN to the listening port.
+        if !(seg.flags.syn && !seg.flags.ack && seg.dst_port == self.listen_port) {
+            return;
+        }
+        for opt in mp_options(seg) {
+            match opt {
+                MpOption::MpCapable { key } => {
+                    let local_key = self.next_key();
+                    let iss_base = (local_key >> 32) as u32 ^ (local_key as u32);
+                    let mut conn = MptcpConnection::server(
+                        self.cfg.clone(),
+                        self.local_addr,
+                        local_key,
+                        iss_base,
+                    );
+                    conn.accept_primary(now, seg, src_addr, key);
+                    self.conns.push(conn);
+                    self.accepted.push(self.conns.len() - 1);
+                    return;
+                }
+                MpOption::MpJoin {
+                    token,
+                    addr_id,
+                    backup,
+                } => {
+                    if let Some(conn) = self
+                        .conns
+                        .iter_mut()
+                        .find(|c| c.local_token() == token)
+                    {
+                        conn.accept_join(now, seg, src_addr, addr_id, backup);
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // Plain TCP SYN without MPTCP options: this endpoint is
+        // MPTCP-only; the sim crate uses a TcpStack endpoint for
+        // single-path runs.
+    }
+
+    /// Earliest timer across connections.
+    pub fn next_timer(&self) -> Option<Time> {
+        self.conns.iter().filter_map(|c| c.next_timer()).min()
+    }
+
+    /// Fire due timers.
+    pub fn on_timers(&mut self, now: Time) {
+        for conn in &mut self.conns {
+            conn.on_timers(now);
+        }
+    }
+
+    /// Drain outgoing segments: `(local interface, remote address, segment)`.
+    pub fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
+        let mut out = Vec::new();
+        for conn in &mut self.conns {
+            for (_, iface, remote, seg) in conn.take_tx(now) {
+                out.push((iface, remote, seg));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::{BackupActivation, CcChoice, Mode};
+    use crate::sched::SchedKind;
+    use bytes::Bytes;
+    use mpwifi_simcore::Dur;
+
+    const WIFI: Addr = Addr(1);
+    const LTE: Addr = Addr(2);
+    const SRV: Addr = Addr(10);
+
+    /// Two-path loopback: per-interface constant delays, optional
+    /// per-interface cut (silent black-holing).
+    struct MpLoopback {
+        client: ClientEndpoint,
+        server: ServerEndpoint,
+        wifi_delay: Dur,
+        lte_delay: Dur,
+        wifi_up: bool,
+        lte_up: bool,
+        /// (deliver_at, to_server, via_iface, segment)
+        in_flight: Vec<(Time, bool, Addr, Segment)>,
+        now: Time,
+    }
+
+    impl MpLoopback {
+        fn new(cfg: MptcpConfig, wifi_delay_ms: u64, lte_delay_ms: u64) -> MpLoopback {
+            MpLoopback {
+                client: ClientEndpoint::new(SRV, vec![(WIFI, 1), (LTE, 2)], 7),
+                server: ServerEndpoint::new(SRV, 80, cfg, 13),
+                wifi_delay: Dur::from_millis(wifi_delay_ms),
+                lte_delay: Dur::from_millis(lte_delay_ms),
+                wifi_up: true,
+                lte_up: true,
+                in_flight: Vec::new(),
+                now: Time::ZERO,
+            }
+        }
+
+        fn iface_up(&self, iface: Addr) -> bool {
+            if iface == WIFI {
+                self.wifi_up
+            } else {
+                self.lte_up
+            }
+        }
+
+        fn delay(&self, iface: Addr) -> Dur {
+            if iface == WIFI {
+                self.wifi_delay
+            } else {
+                self.lte_delay
+            }
+        }
+
+        fn pump(&mut self) {
+            for (iface, _remote, seg) in self.client.take_tx(self.now) {
+                if self.iface_up(iface) {
+                    self.in_flight
+                        .push((self.now + self.delay(iface), true, iface, seg));
+                }
+            }
+            for (_local, remote, seg) in self.server.take_tx(self.now) {
+                // Replies route back via the client interface address.
+                if self.iface_up(remote) {
+                    self.in_flight
+                        .push((self.now + self.delay(remote), false, remote, seg));
+                }
+            }
+        }
+
+        fn step(&mut self) -> bool {
+            self.pump();
+            let next_del = self.in_flight.iter().map(|&(t, ..)| t).min();
+            let next_tmr = [self.client.next_timer(), self.server.next_timer()]
+                .into_iter()
+                .flatten()
+                .min();
+            let next = match (next_del, next_tmr) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => return false,
+            };
+            self.now = next;
+            let mut due = Vec::new();
+            self.in_flight.retain(|(t, to_srv, iface, seg)| {
+                if *t <= next {
+                    due.push((*to_srv, *iface, seg.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (to_srv, iface, seg) in due {
+                let decoded = Segment::decode(seg.encode()).expect("codec round trip");
+                // A segment delivered over a now-dead interface is lost.
+                if !self.iface_up(iface) {
+                    continue;
+                }
+                if to_srv {
+                    self.server.on_segment(self.now, &decoded, iface);
+                } else {
+                    self.client.on_segment(self.now, &decoded);
+                }
+            }
+            self.client.on_timers(self.now);
+            self.server.on_timers(self.now);
+            self.pump();
+            true
+        }
+
+        fn run_until<F: Fn(&MpLoopback) -> bool>(&mut self, pred: F, max_steps: usize) {
+            for _ in 0..max_steps {
+                if pred(self) {
+                    return;
+                }
+                if !self.step() {
+                    break;
+                }
+            }
+            assert!(pred(self), "condition not reached within {max_steps} steps");
+        }
+    }
+
+    fn cfg(cc: CcChoice, mode: Mode) -> MptcpConfig {
+        MptcpConfig {
+            cc,
+            mode,
+            sched: SchedKind::MinRtt,
+            backup_activation: BackupActivation::OnNotify,
+            ..MptcpConfig::default()
+        }
+    }
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 239) as u8).collect()
+    }
+
+    #[test]
+    fn mp_capable_handshake_establishes_primary() {
+        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
+        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+        lb.run_until(|lb| lb.client.conn(c).established_at().is_some(), 100);
+        // Primary over WiFi (10 ms one way): established at 20 ms.
+        assert_eq!(
+            lb.client.conn(c).established_at().unwrap(),
+            Time::from_millis(20)
+        );
+        assert_eq!(lb.server.len(), 1);
+    }
+
+    #[test]
+    fn secondary_joins_after_primary() {
+        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
+        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+        lb.run_until(
+            |lb| {
+                lb.client.conn(c).subflow_count() == 2
+                    && lb.client.conn(c).subflow_stats()[1].established_at.is_some()
+            },
+            500,
+        );
+        let stats = lb.client.conn(c).subflow_stats();
+        // Primary established at 20 ms; join SYN leaves then, LTE RTT is
+        // 60 ms, so the join completes at 80 ms.
+        assert_eq!(stats[0].established_at.unwrap(), Time::from_millis(20));
+        assert_eq!(stats[1].established_at.unwrap(), Time::from_millis(80));
+        assert_eq!(stats[1].iface, LTE);
+        // Server sees two subflows on the same connection.
+        assert_eq!(lb.server.len(), 1);
+        assert_eq!(lb.server.conn(0).subflow_count(), 2);
+    }
+
+    #[test]
+    fn download_uses_both_subflows_and_is_intact() {
+        let mut lb = MpLoopback::new(cfg(CcChoice::Decoupled, Mode::Full), 10, 15);
+        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), WIFI, 80);
+        let data = pattern(500_000);
+        // Server sends on accept.
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        let sid = 0;
+        lb.server.conn_mut(sid).send(Bytes::from(data.clone()));
+        lb.server.conn_mut(sid).close(Time::ZERO);
+        lb.run_until(
+            |lb| lb.client.conn(c).delivered_bytes() == 500_000,
+            100_000,
+        );
+        let got: Vec<u8> = lb.client.conn_mut(c).take_delivered().concat();
+        assert_eq!(got, data, "connection-level stream must be intact");
+        // Both subflows carried data.
+        let srv_stats = lb.server.conn(sid).subflow_stats();
+        assert!(srv_stats[0].bytes_acked > 0, "primary carried data");
+        assert!(srv_stats[1].bytes_acked > 0, "secondary carried data");
+    }
+
+    #[test]
+    fn upload_direction_works_too() {
+        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 15);
+        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), LTE, 80);
+        let data = pattern(200_000);
+        lb.client.conn_mut(c).send(Bytes::from(data.clone()));
+        lb.client.conn_mut(c).close(Time::ZERO);
+        lb.run_until(
+            |lb| !lb.server.is_empty() && lb.server.conn(0).delivered_bytes() == 200_000,
+            100_000,
+        );
+        let got: Vec<u8> = lb.server.conn_mut(0).take_delivered().concat();
+        assert_eq!(got, data);
+        // Primary is LTE this time.
+        assert_eq!(lb.client.conn(c).subflow_stats()[0].iface, LTE);
+    }
+
+    #[test]
+    fn backup_mode_keeps_data_off_backup_subflow() {
+        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Backup), 10, 15);
+        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Backup), WIFI, 80);
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        let data = pattern(300_000);
+        lb.server.conn_mut(0).send(Bytes::from(data.clone()));
+        lb.server.conn_mut(0).close(Time::ZERO);
+        lb.run_until(
+            |lb| lb.client.conn(c).delivered_bytes() == 300_000,
+            100_000,
+        );
+        let srv_stats = lb.server.conn(0).subflow_stats();
+        // The backup (LTE) subflow established but carried zero payload.
+        assert_eq!(srv_stats[1].is_backup, true);
+        assert_eq!(
+            srv_stats[1].bytes_acked, 0,
+            "backup subflow must carry no data while primary lives"
+        );
+        assert!(srv_stats[1].established_at.is_some(), "but it did handshake");
+        let got: Vec<u8> = lb.client.conn_mut(c).take_delivered().concat();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn iproute_down_fails_over_to_backup() {
+        // Download over primary WiFi with LTE backup; at 300 ms the WiFi
+        // interface is disabled via notification (multipath off). The
+        // transfer must complete over LTE.
+        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Backup), 10, 15);
+        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Backup), WIFI, 80);
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        let data = pattern(400_000);
+        lb.server.conn_mut(0).send(Bytes::from(data.clone()));
+        lb.server.conn_mut(0).close(Time::ZERO);
+        // Cut WiFi early in the transfer (the loopback has no rate
+        // limit, so a time-based cut would miss the window).
+        lb.run_until(|lb| lb.client.conn(c).delivered_bytes() > 20_000, 100_000);
+        lb.wifi_up = false;
+        let t_down = lb.now;
+        lb.client.notify_iface_down(t_down, WIFI);
+        lb.run_until(
+            |lb| lb.client.conn(c).delivered_bytes() == 400_000,
+            200_000,
+        );
+        let got: Vec<u8> = lb.client.conn_mut(c).take_delivered().concat();
+        assert_eq!(got, data, "failover must not corrupt the stream");
+        let srv_stats = lb.server.conn(0).subflow_stats();
+        assert!(
+            srv_stats[1].bytes_acked > 0,
+            "backup subflow must take over after the notification"
+        );
+    }
+
+    #[test]
+    fn silent_blackhole_stalls_without_rto_activation() {
+        // Figure 15g: LTE primary unplugged (silent), WiFi backup,
+        // activation OnNotify -> the transfer stalls.
+        let mut cfg_b = cfg(CcChoice::Coupled, Mode::Backup);
+        cfg_b.backup_activation = BackupActivation::OnNotify;
+        let mut lb = MpLoopback::new(cfg_b.clone(), 10, 15);
+        let c = lb.client.open(Time::ZERO, cfg_b, LTE, 80);
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        lb.server.conn_mut(0).send(Bytes::from(pattern(2_000_000)));
+        lb.server.conn_mut(0).close(Time::ZERO);
+        lb.run_until(|lb| lb.client.conn(c).delivered_bytes() > 50_000, 100_000);
+        // Silent unplug of LTE.
+        lb.lte_up = false;
+        let before = lb.client.conn(c).delivered_bytes();
+        // Run 30 simulated seconds further.
+        let deadline = lb.now + Dur::from_secs(30);
+        while lb.now < deadline && lb.step() {}
+        let after = lb.client.conn(c).delivered_bytes();
+        assert!(
+            after < 2_000_000,
+            "transfer must NOT complete after a silent primary death"
+        );
+        // Only retransmission dribble may arrive (nothing new beyond what
+        // was already in flight on WiFi... which is nothing in backup mode).
+        assert_eq!(before, after, "stalled: no progress without notification");
+    }
+
+    #[test]
+    fn silent_blackhole_recovers_with_rto_activation() {
+        // Figure 15h analogue: same silent failure, but RTO-count
+        // activation lets the sender declare the subflow dead and
+        // reinject onto the backup.
+        let mut cfg_b = cfg(CcChoice::Coupled, Mode::Backup);
+        cfg_b.backup_activation = BackupActivation::OnRtoCount(2);
+        let mut lb = MpLoopback::new(cfg_b.clone(), 10, 15);
+        let c = lb.client.open(Time::ZERO, cfg_b, LTE, 80);
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        let data = pattern(400_000);
+        lb.server.conn_mut(0).send(Bytes::from(data.clone()));
+        lb.server.conn_mut(0).close(Time::ZERO);
+        lb.run_until(|lb| lb.client.conn(c).delivered_bytes() > 50_000, 100_000);
+        lb.lte_up = false;
+        lb.run_until(
+            |lb| lb.client.conn(c).delivered_bytes() == 400_000,
+            400_000,
+        );
+        let got: Vec<u8> = lb.client.conn_mut(c).take_delivered().concat();
+        assert_eq!(got, data, "reinjected stream must be intact");
+    }
+
+    #[test]
+    fn full_teardown_closes_all_subflows() {
+        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 15);
+        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        lb.server.conn_mut(0).send(Bytes::from(pattern(50_000)));
+        lb.server.conn_mut(0).close(Time::ZERO);
+        lb.run_until(|lb| lb.client.conn(c).delivered_bytes() == 50_000, 50_000);
+        lb.client.conn_mut(c).close(lb.now);
+        lb.run_until(
+            |lb| lb.client.conn(c).is_closed() && lb.server.conn(0).is_closed(),
+            100_000,
+        );
+    }
+
+    #[test]
+    fn concurrent_mptcp_connections() {
+        let mut lb = MpLoopback::new(cfg(CcChoice::Decoupled, Mode::Full), 10, 15);
+        let c0 = lb.client.open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), WIFI, 80);
+        let c1 = lb.client.open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), LTE, 80);
+        lb.run_until(|lb| lb.server.len() == 2, 1000);
+        let d0 = pattern(80_000);
+        let d1: Vec<u8> = (0..60_000).map(|i| (i % 13) as u8).collect();
+        lb.server.conn_mut(0).send(Bytes::from(d0.clone()));
+        lb.server.conn_mut(0).close(Time::ZERO);
+        lb.server.conn_mut(1).send(Bytes::from(d1.clone()));
+        lb.server.conn_mut(1).close(Time::ZERO);
+        lb.run_until(
+            |lb| {
+                lb.client.conn(c0).delivered_bytes() == 80_000
+                    && lb.client.conn(c1).delivered_bytes() == 60_000
+            },
+            100_000,
+        );
+        assert_eq!(lb.client.conn_mut(c0).take_delivered().concat(), d0);
+        assert_eq!(lb.client.conn_mut(c1).take_delivered().concat(), d1);
+    }
+
+    #[test]
+    fn single_path_mode_opens_no_secondary_while_healthy() {
+        let c = cfg(CcChoice::Coupled, Mode::SinglePath);
+        let mut lb = MpLoopback::new(c.clone(), 10, 15);
+        let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        let data = pattern(200_000);
+        lb.server.conn_mut(0).send(Bytes::from(data.clone()));
+        lb.server.conn_mut(0).close(Time::ZERO);
+        lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() == 200_000, 100_000);
+        // Exactly one subflow ever existed; the LTE radio never woke up.
+        assert_eq!(lb.client.conn(conn).subflow_count(), 1);
+        assert_eq!(lb.client.conn_mut(conn).take_delivered().concat(), data);
+    }
+
+    #[test]
+    fn single_path_mode_breaks_then_makes_on_notified_failure() {
+        let c = cfg(CcChoice::Coupled, Mode::SinglePath);
+        let mut lb = MpLoopback::new(c.clone(), 10, 15);
+        let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        let data = pattern(400_000);
+        lb.server.conn_mut(0).send(Bytes::from(data.clone()));
+        lb.server.conn_mut(0).close(Time::ZERO);
+        lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() > 20_000, 100_000);
+        // WiFi dies with a notification: the LTE subflow is created only
+        // now (break-before-make) and the transfer completes on it.
+        lb.wifi_up = false;
+        let t = lb.now;
+        lb.client.notify_iface_down(t, WIFI);
+        assert_eq!(
+            lb.client.conn(conn).subflow_count(),
+            2,
+            "replacement subflow created at failure time"
+        );
+        lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() == 400_000, 400_000);
+        let got = lb.client.conn_mut(conn).take_delivered().concat();
+        assert_eq!(got, data, "stream must survive break-before-make handover");
+        let stats = lb.client.conn(conn).subflow_stats();
+        assert!(stats[1].established_at.unwrap() > t, "secondary joined after the failure");
+    }
+
+    #[test]
+    fn failover_intact_across_many_cut_offsets() {
+        // Kill the primary at several different progress points; every
+        // variant must reinject cleanly — including chunks that straddle
+        // the cumulative data-ACK at the moment of death.
+        for cut_at in [5_000u64, 33_333, 70_001, 140_000, 260_000] {
+            let c = cfg(CcChoice::Decoupled, Mode::Full);
+            let mut lb = MpLoopback::new(c.clone(), 10, 15);
+            let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
+            lb.run_until(|lb| !lb.server.is_empty(), 100);
+            let data = pattern(400_000);
+            lb.server.conn_mut(0).send(Bytes::from(data.clone()));
+            lb.server.conn_mut(0).close(Time::ZERO);
+            lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() >= cut_at, 200_000);
+            lb.wifi_up = false;
+            let now = lb.now;
+            lb.client.notify_iface_down(now, WIFI);
+            lb.run_until(
+                |lb| lb.client.conn(conn).delivered_bytes() == 400_000,
+                400_000,
+            );
+            let got = lb.client.conn_mut(conn).take_delivered().concat();
+            assert_eq!(got, data, "corruption with cut at {cut_at}");
+        }
+    }
+
+    #[test]
+    fn fastclose_aborts_both_sides() {
+        let c = cfg(CcChoice::Coupled, Mode::Full);
+        let mut lb = MpLoopback::new(c.clone(), 10, 15);
+        let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
+        lb.run_until(|lb| !lb.server.is_empty(), 100);
+        lb.server.conn_mut(0).send(Bytes::from(pattern(500_000)));
+        lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() > 20_000, 100_000);
+        // Client aborts mid-transfer.
+        let now = lb.now;
+        lb.client.conn_mut(conn).abort(now);
+        lb.run_until(
+            |lb| lb.client.conn(conn).is_aborted() && lb.server.conn(0).is_aborted(),
+            50_000,
+        );
+        assert!(lb.client.conn(conn).is_closed());
+        assert!(
+            lb.client.conn(conn).delivered_bytes() < 500_000,
+            "abort stops the transfer"
+        );
+    }
+
+    #[test]
+    fn primary_choice_changes_first_established_iface() {
+        for (primary, expect) in [(WIFI, WIFI), (LTE, LTE)] {
+            let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
+            let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), primary, 80);
+            lb.run_until(|lb| lb.client.conn(c).established_at().is_some(), 200);
+            assert_eq!(lb.client.conn(c).subflow_stats()[0].iface, expect);
+        }
+    }
+}

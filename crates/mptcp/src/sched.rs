@@ -1,0 +1,156 @@
+//! Packet schedulers: which subflow carries the next chunk of data.
+//!
+//! Linux MPTCP's default scheduler picks the established subflow with the
+//! lowest smoothed RTT among those with congestion-window space — that is
+//! [`SchedKind::MinRtt`] and what all paper experiments ran.
+//! [`SchedKind::RoundRobin`] is included as an ablation.
+
+use mpwifi_simcore::Dur;
+
+/// Scheduler selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Lowest-SRTT subflow with window space (Linux default).
+    MinRtt,
+    /// Cycle through eligible subflows.
+    RoundRobin,
+}
+
+/// A snapshot of one subflow's schedulability, assembled by the
+/// connection each scheduling round.
+#[derive(Debug, Clone, Copy)]
+pub struct SubflowView {
+    /// Index into the connection's subflow table.
+    pub idx: usize,
+    /// Established, alive, and not excluded by backup policy.
+    pub eligible: bool,
+    /// Free window: `min(cwnd, snd_wnd) - in_flight - queued_unsent`.
+    pub room: u64,
+    /// Smoothed RTT (`None` before the first measurement).
+    pub srtt: Option<Dur>,
+}
+
+/// Stateful scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    kind: SchedKind,
+    rr_cursor: usize,
+}
+
+impl Scheduler {
+    /// Create a scheduler of the given kind.
+    pub fn new(kind: SchedKind) -> Scheduler {
+        Scheduler { kind, rr_cursor: 0 }
+    }
+
+    /// The configured kind.
+    pub fn kind(&self) -> SchedKind {
+        self.kind
+    }
+
+    /// Pick the subflow to receive the next chunk, or `None` when no
+    /// eligible subflow has room.
+    pub fn pick(&mut self, views: &[SubflowView]) -> Option<usize> {
+        let candidates: Vec<&SubflowView> =
+            views.iter().filter(|v| v.eligible && v.room > 0).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.kind {
+            SchedKind::MinRtt => {
+                // Unmeasured subflows sort last; ties break on index so
+                // the primary subflow wins at connection start.
+                candidates
+                    .iter()
+                    .min_by_key(|v| (v.srtt.unwrap_or(Dur::MAX), v.idx))
+                    .map(|v| v.idx)
+            }
+            SchedKind::RoundRobin => {
+                let pick = candidates[self.rr_cursor % candidates.len()].idx;
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                Some(pick)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(idx: usize, eligible: bool, room: u64, srtt_ms: Option<u64>) -> SubflowView {
+        SubflowView {
+            idx,
+            eligible,
+            room,
+            srtt: srtt_ms.map(Dur::from_millis),
+        }
+    }
+
+    #[test]
+    fn min_rtt_picks_fastest() {
+        let mut s = Scheduler::new(SchedKind::MinRtt);
+        let views = [
+            view(0, true, 1400, Some(80)),
+            view(1, true, 1400, Some(30)),
+        ];
+        assert_eq!(s.pick(&views), Some(1));
+    }
+
+    #[test]
+    fn min_rtt_skips_full_windows() {
+        let mut s = Scheduler::new(SchedKind::MinRtt);
+        let views = [view(0, true, 0, Some(10)), view(1, true, 500, Some(90))];
+        assert_eq!(s.pick(&views), Some(1));
+    }
+
+    #[test]
+    fn min_rtt_skips_ineligible() {
+        let mut s = Scheduler::new(SchedKind::MinRtt);
+        let views = [view(0, false, 1400, Some(10)), view(1, true, 1400, Some(90))];
+        assert_eq!(s.pick(&views), Some(1));
+    }
+
+    #[test]
+    fn min_rtt_prefers_measured_over_unmeasured() {
+        let mut s = Scheduler::new(SchedKind::MinRtt);
+        let views = [view(0, true, 1400, None), view(1, true, 1400, Some(500))];
+        assert_eq!(s.pick(&views), Some(1));
+    }
+
+    #[test]
+    fn min_rtt_tie_breaks_on_lowest_index() {
+        let mut s = Scheduler::new(SchedKind::MinRtt);
+        let views = [view(0, true, 1400, None), view(1, true, 1400, None)];
+        assert_eq!(s.pick(&views), Some(0), "primary wins unmeasured ties");
+    }
+
+    #[test]
+    fn none_when_all_blocked() {
+        let mut s = Scheduler::new(SchedKind::MinRtt);
+        let views = [view(0, true, 0, Some(10)), view(1, false, 99, Some(1))];
+        assert_eq!(s.pick(&views), None);
+        assert_eq!(s.pick(&[]), None);
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut s = Scheduler::new(SchedKind::RoundRobin);
+        let views = [
+            view(0, true, 1400, Some(10)),
+            view(1, true, 1400, Some(999)),
+        ];
+        let picks: Vec<_> = (0..4).map(|_| s.pick(&views).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn round_robin_adapts_to_eligibility() {
+        let mut s = Scheduler::new(SchedKind::RoundRobin);
+        let both = [view(0, true, 1, Some(1)), view(1, true, 1, Some(1))];
+        let only1 = [view(0, true, 0, Some(1)), view(1, true, 1, Some(1))];
+        assert_eq!(s.pick(&both), Some(0));
+        assert_eq!(s.pick(&only1), Some(1));
+        assert_eq!(s.pick(&both), Some(0));
+    }
+}

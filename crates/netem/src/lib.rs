@@ -1,0 +1,39 @@
+//! # mpwifi-netem
+//!
+//! Mahimahi-style network emulation as composable, pollable link stages.
+//!
+//! The paper ran its app-replay experiments inside Mahimahi link shells:
+//! a drop-tail queue feeding either a fixed-rate link or a *trace-driven*
+//! link (a cyclic list of packet delivery opportunities), followed by a
+//! propagation delay. This crate reproduces those semantics:
+//!
+//! * [`LinkQueue`] — drop-tail queue + service process
+//!   ([`Service::FixedRate`] or [`Service::Trace`]);
+//! * [`DelayStage`] — constant propagation delay;
+//! * [`LossStage`] — Bernoulli packet loss;
+//! * [`Pipeline`] — a one-direction chain of stages with an up/down gate
+//!   (the gate models physically unplugging an interface mid-flow, as in
+//!   the paper's Figure 15g/h).
+//!
+//! Stages are *polled*, not callback-driven: each stage reports the next
+//! instant at which a frame can exit ([`Stage::next_ready`]) and the
+//! simulation driver advances the global clock to the minimum over all
+//! components. This keeps the whole simulator single-threaded, allocation-
+//! light and deterministic.
+
+pub mod frame;
+pub mod pipeline;
+pub mod reorder;
+pub mod stage;
+pub mod trace;
+
+pub use frame::{Addr, Frame};
+pub use pipeline::{Pipeline, PipelineStats};
+pub use reorder::ReorderStage;
+pub use stage::{DelayStage, LinkQueue, LossStage, QueueLimit, Service, Stage};
+pub use trace::DeliveryTrace;
+
+/// Maximum transmission unit used throughout the workspace (bytes on the
+/// wire per frame). Mahimahi's trace format assumes 1500-byte delivery
+/// opportunities; we match it.
+pub const MTU: usize = 1500;

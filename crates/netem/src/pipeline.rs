@@ -1,0 +1,290 @@
+//! One-direction paths assembled from stages.
+//!
+//! A [`Pipeline`] chains stages (typically queue+service → delay → loss)
+//! and exposes a single `next_ready`/`poll` interface to the simulation
+//! driver. It also carries the interface up/down gate used to emulate
+//! physically unplugging a tethered phone mid-flow (paper Figure 15g/h):
+//! while the gate is down, every pushed frame is silently dropped and
+//! frames already inside the pipeline are discarded on exit.
+
+use crate::frame::Frame;
+use crate::stage::Stage;
+use mpwifi_simcore::Time;
+
+/// Counters describing everything a pipeline did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Frames offered to the pipeline.
+    pub pushed: u64,
+    /// Frames that exited the far end.
+    pub delivered: u64,
+    /// Bytes that exited the far end.
+    pub bytes_delivered: u64,
+    /// Frames dropped by stages (queue overflow, random loss).
+    pub dropped_in_stages: u64,
+    /// Frames dropped because the interface was down.
+    pub dropped_down: u64,
+}
+
+/// A one-direction emulated path.
+pub struct Pipeline {
+    label: String,
+    stages: Vec<Box<dyn Stage>>,
+    up: bool,
+    stats: PipelineStats,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("label", &self.label)
+            .field("up", &self.up)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Build a pipeline from ordered stages (first stage is the ingress).
+    pub fn new(label: impl Into<String>, stages: Vec<Box<dyn Stage>>) -> Pipeline {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        Pipeline {
+            label: label.into(),
+            stages,
+            up: true,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Human-readable label ("wifi-down", "lte-up", ...).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Gate state.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Raise or cut the link. Cutting models a physical unplug: silent
+    /// black-holing with no notification to either endpoint.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Offer a frame to the ingress.
+    pub fn push(&mut self, now: Time, frame: Frame) {
+        self.stats.pushed += 1;
+        if !self.up {
+            self.stats.dropped_down += 1;
+            return;
+        }
+        self.stages[0].push(now, frame);
+    }
+
+    /// Earliest time any internal stage can emit a frame.
+    pub fn next_ready(&self) -> Option<Time> {
+        self.stages.iter().filter_map(|s| s.next_ready()).min()
+    }
+
+    /// Advance internal frame movement up to `now` and collect frames that
+    /// exit the egress. Must be called with non-decreasing `now`.
+    pub fn poll(&mut self, now: Time) -> Vec<Frame> {
+        let mut out = Vec::new();
+        // Keep moving frames until no stage can emit at `now`. A frame
+        // exiting stage i at time t enters stage i+1 at the same t.
+        loop {
+            let mut moved = false;
+            for i in 0..self.stages.len() {
+                while let Some((exit, frame)) = self.stages[i].pop_ready(now) {
+                    moved = true;
+                    if i + 1 < self.stages.len() {
+                        // Hand the frame over at its true transit instant,
+                        // not the (possibly later) poll instant.
+                        self.stages[i + 1].push(exit, frame);
+                    } else if self.up {
+                        self.stats.delivered += 1;
+                        self.stats.bytes_delivered += frame.wire_len() as u64;
+                        out.push(frame);
+                    } else {
+                        self.stats.dropped_down += 1;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Aggregate counters. Stage drop counts are read live, so the
+    /// conservation identity `pushed == delivered + dropped_in_stages +
+    /// dropped_down + backlog` holds at any instant, not only after a
+    /// `poll`.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            dropped_in_stages: self.stages.iter().map(|s| s.dropped()).sum(),
+            ..self.stats
+        }
+    }
+
+    /// Total frames currently inside the pipeline.
+    pub fn backlog(&self) -> usize {
+        self.stages.iter().map(|s| s.backlog()).sum()
+    }
+
+    /// Mutable access to a stage (e.g. to change a link's service rate
+    /// mid-run). Panics on out-of-range index.
+    pub fn stage_mut(&mut self, index: usize) -> &mut dyn Stage {
+        self.stages[index].as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Addr;
+    use crate::stage::{DelayStage, LinkQueue, LossStage};
+    use bytes::Bytes;
+    use mpwifi_simcore::{DetRng, Dur};
+
+    fn frame(id: u64, len: usize) -> Frame {
+        Frame::new(id, Addr(1), Addr(2), Bytes::from(vec![0u8; len]), Time::ZERO)
+    }
+
+    fn rate_delay_pipeline(bps: u64, delay_ms: u64) -> Pipeline {
+        Pipeline::new(
+            "test",
+            vec![
+                Box::new(LinkQueue::fixed_rate(bps, usize::MAX)),
+                Box::new(DelayStage::new(Dur::from_millis(delay_ms))),
+            ],
+        )
+    }
+
+    #[test]
+    fn end_to_end_latency_is_serialization_plus_delay() {
+        // 12 Mbit/s + 10 ms: a 1500-byte frame exits at 1 + 10 = 11 ms.
+        let mut p = rate_delay_pipeline(12_000_000, 10);
+        p.push(Time::ZERO, frame(1, 1500));
+        assert_eq!(p.next_ready(), Some(Time::from_millis(1)));
+        // Polling at 10 ms moves the frame out of the queue (at its true
+        // 1 ms exit) into the delay stage; it exits end-to-end at 11 ms
+        // even though this poll happened "late".
+        assert!(p.poll(Time::from_millis(10)).is_empty());
+        assert_eq!(p.next_ready(), Some(Time::from_millis(11)));
+        let out = p.poll(Time::from_millis(11));
+        assert_eq!(out.len(), 1);
+        assert_eq!(p.stats().delivered, 1);
+        assert_eq!(p.stats().bytes_delivered, 1500);
+    }
+
+    #[test]
+    fn poll_moves_multiple_frames_in_one_call() {
+        let mut p = rate_delay_pipeline(12_000_000, 5);
+        for i in 0..3 {
+            p.push(Time::ZERO, frame(i, 1500));
+        }
+        // By 20 ms all three have fully exited (1,2,3 ms + 5 ms delay).
+        let out = p.poll(Time::from_millis(20));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.iter().map(|f| f.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn down_pipeline_blackholes_pushes() {
+        let mut p = rate_delay_pipeline(12_000_000, 1);
+        p.set_up(false);
+        p.push(Time::ZERO, frame(1, 100));
+        assert_eq!(p.stats().dropped_down, 1);
+        assert!(p.next_ready().is_none());
+        assert!(p.poll(Time::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn frames_in_flight_when_link_cut_are_dropped_at_egress() {
+        let mut p = rate_delay_pipeline(12_000_000, 10);
+        p.push(Time::ZERO, frame(1, 1500));
+        p.set_up(false);
+        let out = p.poll(Time::from_secs(1));
+        assert!(out.is_empty());
+        assert_eq!(p.stats().dropped_down, 1);
+        // Re-raising the link lets later frames through.
+        p.set_up(true);
+        p.push(Time::from_secs(1), frame(2, 1500));
+        let out = p.poll(Time::from_secs(2));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn loss_stage_counted_in_stats() {
+        let mut p = Pipeline::new(
+            "lossy",
+            vec![
+                Box::new(LinkQueue::fixed_rate(120_000_000, usize::MAX)),
+                Box::new(LossStage::new(1.0, DetRng::seed_from_u64(1))),
+            ],
+        );
+        p.push(Time::ZERO, frame(1, 100));
+        let out = p.poll(Time::from_secs(1));
+        assert!(out.is_empty());
+        assert_eq!(p.stats().dropped_in_stages, 1);
+    }
+
+    #[test]
+    fn backlog_reflects_queued_frames() {
+        let mut p = rate_delay_pipeline(1_000, 1); // very slow link
+        for i in 0..4 {
+            p.push(Time::ZERO, frame(i, 1000));
+        }
+        assert_eq!(p.backlog(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_panics() {
+        let _ = Pipeline::new("empty", vec![]);
+    }
+
+    mod conservation {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Frames are conserved: every pushed frame is either
+            /// delivered, dropped by a stage, dropped by the gate, or
+            /// still inside the pipeline.
+            #[test]
+            fn prop_frames_conserved(
+                sizes in proptest::collection::vec(40usize..1400, 1..120),
+                bps in 100_000u64..50_000_000,
+                queue_kb in 1usize..64,
+                loss in 0.0f64..0.3,
+                drain_ms in 0u64..2000,
+            ) {
+                let mut p = Pipeline::new(
+                    "prop",
+                    vec![
+                        Box::new(LinkQueue::fixed_rate(bps, queue_kb * 1024)),
+                        Box::new(DelayStage::new(Dur::from_millis(10))),
+                        Box::new(LossStage::new(loss, DetRng::seed_from_u64(7))),
+                    ],
+                );
+                let mut delivered = 0u64;
+                for (i, &len) in sizes.iter().enumerate() {
+                    p.push(Time::from_micros(i as u64 * 50), frame(i as u64, len));
+                }
+                delivered += p.poll(Time::from_millis(drain_ms)).len() as u64;
+                delivered += p.poll(Time::from_secs(600)).len() as u64;
+                let s = p.stats();
+                prop_assert_eq!(s.delivered, delivered);
+                prop_assert_eq!(
+                    s.pushed,
+                    s.delivered + s.dropped_in_stages + s.dropped_down + p.backlog() as u64
+                );
+                prop_assert_eq!(p.backlog(), 0, "fully drained after 600 s");
+            }
+        }
+    }
+}

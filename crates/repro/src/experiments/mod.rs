@@ -1,0 +1,84 @@
+//! The experiment implementations, grouped by paper section.
+
+pub mod app_figs;
+pub mod extensions;
+pub mod crowd_figs;
+pub mod flow_figs;
+pub mod mode_figs;
+pub mod table2;
+
+use mpwifi_radio::LocationCondition;
+
+/// The shared 20-location condition set (Table 2 realization). Each
+/// experiment derives from the same seed so figures agree with each
+/// other, like a single measurement campaign.
+pub fn locations(seed: u64) -> Vec<LocationCondition> {
+    mpwifi_radio::paper_locations(seed)
+}
+
+/// Target rate disparity for the "representative" locations of
+/// Figures 9–12: the paper's examples show one network clearly but not
+/// absurdly faster (roughly 2:1).
+const TARGET_RATIO: f64 = 2.0;
+
+/// Pick a representative location where LTE's mean rate clearly exceeds
+/// WiFi's (for Figures 9/11): closest to a 2:1 LTE advantage. LTE must
+/// also win on latency — the paper's Figure 9 location had WiFi so poor
+/// that even the WiFi SYN-ACK took a second.
+pub fn lte_better_location(seed: u64) -> LocationCondition {
+    let locs = locations(seed);
+    let pick = |require_rtt: bool| {
+        locs.iter()
+            .filter(|l| {
+                l.lte_faster()
+                    && l.wifi.loss < 0.012
+                    && (!require_rtt || l.lte.rtt <= l.wifi.rtt)
+            })
+            .min_by(|a, b| {
+                let ra =
+                    (a.lte.down.average_bps() / a.wifi.down.average_bps() - TARGET_RATIO).abs();
+                let rb =
+                    (b.lte.down.average_bps() / b.wifi.down.average_bps() - TARGET_RATIO).abs();
+                ra.partial_cmp(&rb).unwrap()
+            })
+            .cloned()
+    };
+    pick(true)
+        .or_else(|| pick(false))
+        .expect("at least one LTE-better location")
+}
+
+/// Pick a representative location where WiFi clearly beats LTE (for
+/// Figures 10/12): closest to a 2:1 WiFi advantage.
+pub fn wifi_better_location(seed: u64) -> LocationCondition {
+    let locs = locations(seed);
+    // WiFi must win on rate and clearly on latency, and be clean (the
+    // paper's Figure 10 location shows WiFi dominating).
+    locs.iter()
+        .filter(|l| {
+            !l.lte_faster() && l.wifi.rtt.as_nanos() * 10 < l.lte.rtt.as_nanos() * 8
+                && l.wifi.loss < 0.012
+        })
+        .min_by(|a, b| {
+            let ra = (a.wifi.down.average_bps() / a.lte.down.average_bps() - TARGET_RATIO).abs();
+            let rb = (b.wifi.down.average_bps() / b.lte.down.average_bps() - TARGET_RATIO).abs();
+            ra.partial_cmp(&rb).unwrap()
+        })
+        .cloned()
+        .expect("at least one WiFi-better location")
+}
+
+/// The most disparate WiFi-better location (Figure 7a's regime).
+pub fn disparate_location(seed: u64) -> LocationCondition {
+    let locs = locations(seed);
+    locs.iter()
+        .max_by(|a, b| {
+            let r = |l: &LocationCondition| {
+                let (w, lte) = l.mean_down_bps();
+                (w / lte).max(lte / w)
+            };
+            r(a).partial_cmp(&r(b)).unwrap()
+        })
+        .cloned()
+        .expect("non-empty location set")
+}

@@ -1,0 +1,128 @@
+//! # mpwifi-repro
+//!
+//! Regeneration harness: one experiment per table and figure of the
+//! paper. Every experiment produces a [`Report`] — the same rows/series
+//! the paper plots, plus explicit paper-vs-measured checks — and the
+//! `repro` binary prints them (or writes the consolidated
+//! `EXPERIMENTS.md`).
+//!
+//! Run `repro --list` for the experiment inventory, `repro all` for
+//! everything.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{Claim, Report, Scale};
+
+use experiments as ex;
+
+/// All experiment ids in paper order.
+pub const ALL_EXPERIMENTS: [&str; 20] = [
+    "table1", "table2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+];
+
+/// Extension experiments (beyond the paper's figures): the studies the
+/// paper's conclusion calls for, plus design ablations.
+pub const EXTENSION_EXPERIMENTS: [&str; 5] =
+    ["ext-handover", "ext-policy", "ext-sched", "ext-mobility", "ext-stability"];
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Report> {
+    Some(match id {
+        "table1" => ex::crowd_figs::table1(scale, seed),
+        "table2" => ex::table2::table2(seed),
+        "fig3" => ex::crowd_figs::fig3(scale, seed),
+        "fig4" => ex::crowd_figs::fig4(scale, seed),
+        "fig6" => ex::crowd_figs::fig6(scale, seed),
+        "fig7" => ex::flow_figs::fig7(seed),
+        "fig8" => ex::flow_figs::fig8(scale, seed),
+        "fig9" => ex::flow_figs::fig9_10(seed, true),
+        "fig10" => ex::flow_figs::fig9_10(seed, false),
+        "fig11" => ex::flow_figs::fig11_12(seed, true),
+        "fig12" => ex::flow_figs::fig11_12(seed, false),
+        "fig13" => ex::flow_figs::fig13(scale, seed),
+        "fig14" => ex::flow_figs::fig14(scale, seed),
+        "fig15" => ex::mode_figs::fig15(seed),
+        "fig16" => ex::mode_figs::fig16(seed),
+        "fig17" => ex::app_figs::fig17(seed),
+        "fig18" => ex::app_figs::fig18_20(scale, seed, false),
+        "fig19" => ex::app_figs::fig19_21(scale, seed, false),
+        "fig20" => ex::app_figs::fig18_20(scale, seed, true),
+        "fig21" => ex::app_figs::fig19_21(scale, seed, true),
+        "ext-handover" => ex::extensions::ext_handover(seed),
+        "ext-policy" => ex::extensions::ext_policy(scale, seed),
+        "ext-sched" => ex::extensions::ext_sched(seed),
+        "ext-mobility" => ex::extensions::ext_mobility(seed),
+        "ext-stability" => ex::extensions::ext_stability(seed),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment("fig99", Scale::Quick, 1).is_none());
+    }
+
+    #[test]
+    fn table2_claims_hold() {
+        let r = run_experiment("table2", Scale::Quick, 42).unwrap();
+        assert!(r.all_hold(), "{}", r.render_text());
+        assert_eq!(r.id, "table2");
+    }
+
+    #[test]
+    fn fig9_and_fig10_claims_hold() {
+        for id in ["fig9", "fig10"] {
+            let r = run_experiment(id, Scale::Quick, 42).unwrap();
+            assert!(r.all_hold(), "{}", r.render_text());
+            assert!(!r.blocks.is_empty(), "{id} must emit series");
+        }
+    }
+
+    #[test]
+    fn fig15_claims_hold() {
+        let r = run_experiment("fig15", Scale::Quick, 42).unwrap();
+        assert!(r.all_hold(), "{}", r.render_text());
+        assert_eq!(r.claims.len(), 8, "one claim per panel");
+    }
+
+    #[test]
+    fn fig16_claims_hold() {
+        let r = run_experiment("fig16", Scale::Quick, 42).unwrap();
+        assert!(r.all_hold(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn ext_handover_claims_hold() {
+        let r = run_experiment("ext-handover", Scale::Quick, 42).unwrap();
+        assert!(r.all_hold(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn experiments_are_deterministic_per_seed() {
+        for id in ["fig9", "table2", "ext-handover"] {
+            let a = run_experiment(id, Scale::Quick, 7).unwrap();
+            let b = run_experiment(id, Scale::Quick, 7).unwrap();
+            assert_eq!(a.blocks, b.blocks, "{id} output must be reproducible");
+            let measured = |r: &Report| -> Vec<String> {
+                r.claims.iter().map(|c| c.measured.clone()).collect()
+            };
+            assert_eq!(measured(&a), measured(&b));
+        }
+    }
+
+    #[test]
+    fn experiment_ids_are_unique_and_runnable_ids_only() {
+        let mut all: Vec<&str> = ALL_EXPERIMENTS.to_vec();
+        all.extend(EXTENSION_EXPERIMENTS);
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate experiment id");
+    }
+}

@@ -1,0 +1,273 @@
+//! Transport endpoints as seen by the simulation loop.
+//!
+//! An [`Endpoint`] consumes decoded segments and produces addressed
+//! segments. Four implementations cover the paper's six transport
+//! configurations: single-path TCP client/server hosts (WiFi-TCP and
+//! LTE-TCP, differing only in the interface the client binds) and MPTCP
+//! client/server hosts (the four MPTCP variants, configured via
+//! [`mpwifi_mptcp::MptcpConfig`]).
+
+use mpwifi_mptcp::{ClientEndpoint as MpClient, MptcpConfig, ServerEndpoint as MpServer};
+use mpwifi_netem::Addr;
+use mpwifi_simcore::Time;
+use mpwifi_tcp::conn::TcpConfig;
+use mpwifi_tcp::segment::Segment;
+use mpwifi_tcp::stack::{SocketId, TcpStack};
+use std::collections::HashMap;
+
+/// One host's transport layer, driven by [`crate::Sim`].
+pub trait Endpoint {
+    /// A decoded segment arrived (`src`/`dst` are interface addresses).
+    fn on_segment(&mut self, now: Time, seg: &Segment, src: Addr, dst: Addr);
+
+    /// Drain outgoing segments as `(source interface, destination,
+    /// segment)`.
+    fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)>;
+
+    /// Earliest pending timer.
+    fn next_timer(&self) -> Option<Time>;
+
+    /// Fire timers due at `now`.
+    fn on_timers(&mut self, now: Time);
+
+    /// Local notification that an interface went down (iproute-style).
+    fn notify_iface_down(&mut self, _now: Time, _iface: Addr) {}
+}
+
+/// Single-path TCP client: a `TcpStack` bound to one interface.
+#[derive(Debug)]
+pub struct TcpClientHost {
+    /// The interface all connections use (WiFi or LTE — the paper's
+    /// single-path configurations).
+    pub iface: Addr,
+    server_addr: Addr,
+    /// The underlying connection stack (public for workload drivers).
+    pub stack: TcpStack,
+}
+
+impl TcpClientHost {
+    /// Create a client bound to `iface`, talking to `server_addr`.
+    pub fn new(iface: Addr, server_addr: Addr, iss_seed: u32) -> TcpClientHost {
+        TcpClientHost {
+            iface,
+            server_addr,
+            stack: TcpStack::new(iss_seed),
+        }
+    }
+
+    /// Open a connection to the server.
+    pub fn connect(&mut self, now: Time, cfg: TcpConfig, remote_port: u16) -> SocketId {
+        self.stack.connect(now, cfg, remote_port)
+    }
+}
+
+impl Endpoint for TcpClientHost {
+    fn on_segment(&mut self, now: Time, seg: &Segment, _src: Addr, _dst: Addr) {
+        self.stack.on_segment(now, seg);
+    }
+
+    fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
+        self.stack
+            .take_tx(now)
+            .into_iter()
+            .map(|seg| (self.iface, self.server_addr, seg))
+            .collect()
+    }
+
+    fn next_timer(&self) -> Option<Time> {
+        self.stack.next_timer()
+    }
+
+    fn on_timers(&mut self, now: Time) {
+        self.stack.on_timers(now);
+    }
+}
+
+/// Single-path TCP server: a `TcpStack` plus a peer-address table so
+/// replies leave toward the interface each connection arrived from.
+#[derive(Debug)]
+pub struct TcpServerHost {
+    local_addr: Addr,
+    /// The underlying connection stack (public for workload drivers).
+    pub stack: TcpStack,
+    peer_addr: HashMap<SocketId, Addr>,
+}
+
+impl TcpServerHost {
+    /// Create a server at `local_addr` listening on `listen_port`.
+    pub fn new(local_addr: Addr, listen_port: u16, cfg: TcpConfig, iss_seed: u32) -> TcpServerHost {
+        let mut stack = TcpStack::new(iss_seed);
+        stack.listen(listen_port, cfg);
+        TcpServerHost {
+            local_addr,
+            stack,
+            peer_addr: HashMap::new(),
+        }
+    }
+
+    /// Listen on an additional port.
+    pub fn listen(&mut self, port: u16, cfg: TcpConfig) {
+        self.stack.listen(port, cfg);
+    }
+}
+
+impl Endpoint for TcpServerHost {
+    fn on_segment(&mut self, now: Time, seg: &Segment, src: Addr, _dst: Addr) {
+        self.peer_addr.insert((seg.dst_port, seg.src_port), src);
+        self.stack.on_segment(now, seg);
+    }
+
+    fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
+        let local = self.local_addr;
+        let peer_addr = &self.peer_addr;
+        self.stack
+            .take_tx(now)
+            .into_iter()
+            .map(|seg| {
+                let dst = peer_addr
+                    .get(&(seg.src_port, seg.dst_port))
+                    .copied()
+                    .expect("reply for unknown peer");
+                (local, dst, seg)
+            })
+            .collect()
+    }
+
+    fn next_timer(&self) -> Option<Time> {
+        self.stack.next_timer()
+    }
+
+    fn on_timers(&mut self, now: Time) {
+        self.stack.on_timers(now);
+    }
+}
+
+/// MPTCP client host (wraps `mpwifi-mptcp`'s client endpoint).
+#[derive(Debug)]
+pub struct MptcpClientHost {
+    /// The underlying MPTCP endpoint (public for workload drivers).
+    pub mp: MpClient,
+}
+
+impl MptcpClientHost {
+    /// Create a dual-homed MPTCP client. Interfaces use their address
+    /// byte as the MPTCP address id.
+    pub fn new(server_addr: Addr, ifaces: [Addr; 2], key_seed: u64) -> MptcpClientHost {
+        MptcpClientHost {
+            mp: MpClient::new(
+                server_addr,
+                ifaces.iter().map(|&a| (a, a.0)).collect(),
+                key_seed,
+            ),
+        }
+    }
+
+    /// Open an MPTCP connection with the given primary interface.
+    pub fn open(
+        &mut self,
+        now: Time,
+        cfg: MptcpConfig,
+        primary_iface: Addr,
+        remote_port: u16,
+    ) -> usize {
+        self.mp.open(now, cfg, primary_iface, remote_port)
+    }
+}
+
+impl Endpoint for MptcpClientHost {
+    fn on_segment(&mut self, now: Time, seg: &Segment, _src: Addr, _dst: Addr) {
+        self.mp.on_segment(now, seg);
+    }
+
+    fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
+        self.mp.take_tx(now)
+    }
+
+    fn next_timer(&self) -> Option<Time> {
+        self.mp.next_timer()
+    }
+
+    fn on_timers(&mut self, now: Time) {
+        self.mp.on_timers(now);
+    }
+
+    fn notify_iface_down(&mut self, now: Time, iface: Addr) {
+        self.mp.notify_iface_down(now, iface);
+    }
+}
+
+/// MPTCP server host (wraps `mpwifi-mptcp`'s server endpoint).
+#[derive(Debug)]
+pub struct MptcpServerHost {
+    /// The underlying MPTCP endpoint (public for workload drivers).
+    pub mp: MpServer,
+}
+
+impl MptcpServerHost {
+    /// Create an MPTCP server at `local_addr` listening on `port`.
+    pub fn new(local_addr: Addr, port: u16, cfg: MptcpConfig, key_seed: u64) -> MptcpServerHost {
+        MptcpServerHost {
+            mp: MpServer::new(local_addr, port, cfg, key_seed),
+        }
+    }
+}
+
+impl Endpoint for MptcpServerHost {
+    fn on_segment(&mut self, now: Time, seg: &Segment, src: Addr, _dst: Addr) {
+        self.mp.on_segment(now, seg, src);
+    }
+
+    fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
+        self.mp.take_tx(now)
+    }
+
+    fn next_timer(&self) -> Option<Time> {
+        self.mp.next_timer()
+    }
+
+    fn on_timers(&mut self, now: Time) {
+        self.mp.on_timers(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpwifi_tcp::segment::Flags;
+
+    #[test]
+    fn tcp_client_stamps_its_interface() {
+        let mut c = TcpClientHost::new(Addr(2), Addr(10), 1);
+        c.connect(Time::ZERO, TcpConfig::default(), 443);
+        let tx = c.take_tx(Time::ZERO);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].0, Addr(2));
+        assert_eq!(tx[0].1, Addr(10));
+        assert!(tx[0].2.flags.syn);
+    }
+
+    #[test]
+    fn tcp_server_replies_toward_arrival_interface() {
+        let mut s = TcpServerHost::new(Addr(10), 443, TcpConfig::default(), 7);
+        let syn = {
+            let mut seg = Segment::control(50_000, 443, 100, 0, Flags::SYN);
+            seg.options = vec![mpwifi_tcp::segment::TcpOption::Mss(1400)];
+            seg
+        };
+        s.on_segment(Time::ZERO, &syn, Addr(2), Addr(10));
+        let tx = s.take_tx(Time::ZERO);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].0, Addr(10));
+        assert_eq!(tx[0].1, Addr(2), "SYN-ACK routed back to the LTE iface");
+        assert!(tx[0].2.flags.syn && tx[0].2.flags.ack);
+    }
+
+    #[test]
+    fn mptcp_client_primary_iface_selected() {
+        let mut c = MptcpClientHost::new(Addr(10), [Addr(1), Addr(2)], 3);
+        c.open(Time::ZERO, MptcpConfig::default(), Addr(2), 443);
+        let tx = c.take_tx(Time::ZERO);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].0, Addr(2), "primary SYN leaves on LTE");
+    }
+}

@@ -1,0 +1,44 @@
+//! # mpwifi-sim
+//!
+//! The measurement testbed in software: a multi-homed client (WiFi + LTE
+//! interfaces) and a single-homed server, connected by four one-direction
+//! `mpwifi-netem` pipelines, driven by a deterministic event loop.
+//!
+//! This crate replaces the paper's physical setup (Figure 5: a laptop
+//! tethered to two phones, talking to a server at MIT) and its Mahimahi
+//! shells:
+//!
+//! * [`LinkSpec`] / [`PathPair`] — one emulated access link (uplink +
+//!   downlink pipelines with rate or delivery-trace service, propagation
+//!   delay, drop-tail queue, optional random loss);
+//! * [`endpoint::Endpoint`] — the transport glue: single-path TCP hosts
+//!   (over `mpwifi-tcp`) and MPTCP hosts (over `mpwifi-mptcp`);
+//! * [`Sim`] — the event loop: advances simulated time to the next frame
+//!   exit or retransmission timer, routes frames by interface address,
+//!   applies scripted failure events, and keeps per-interface packet
+//!   logs (the `tcpdump` substitute behind Figure 15);
+//! * [`apps`] — reusable workload drivers (bulk transfers with progress
+//!   sampling, request/response exchanges, pings).
+
+pub mod apps;
+pub mod endpoint;
+pub mod link;
+pub mod log;
+pub mod world;
+
+pub use apps::{measure_ping, BulkResult};
+pub use endpoint::{Endpoint, MptcpClientHost, MptcpServerHost, TcpClientHost, TcpServerHost};
+pub use link::{LinkSpec, PathPair, ServiceSpec};
+pub use log::{PacketDir, PacketEvent, PacketLog};
+pub use world::{ScriptEvent, Sim};
+
+use mpwifi_netem::Addr;
+
+/// The client's WiFi interface address.
+pub const WIFI_ADDR: Addr = Addr(1);
+/// The client's LTE interface address.
+pub const LTE_ADDR: Addr = Addr(2);
+/// The server's interface address.
+pub const SERVER_ADDR: Addr = Addr(10);
+/// The server's listening port for measurement transfers.
+pub const SERVER_PORT: u16 = 443;

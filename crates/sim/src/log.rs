@@ -1,0 +1,168 @@
+//! Per-interface packet logs — the simulator's `tcpdump`.
+//!
+//! The paper plots packet activity per interface over time (Figure 15)
+//! and feeds power models from the same timelines (Figure 16). A
+//! [`PacketLog`] records every frame transmitted or received on one
+//! client interface.
+
+use mpwifi_simcore::{Dur, Time};
+
+/// Direction of a logged packet, from the client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketDir {
+    /// Client sent it (entered the uplink).
+    Tx,
+    /// Client received it (exited the downlink).
+    Rx,
+}
+
+/// One logged packet.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketEvent {
+    /// When it crossed the interface.
+    pub at: Time,
+    /// Direction.
+    pub dir: PacketDir,
+    /// Bytes on the wire.
+    pub bytes: usize,
+}
+
+/// Chronological packet activity of one interface.
+#[derive(Debug, Clone, Default)]
+pub struct PacketLog {
+    events: Vec<PacketEvent>,
+}
+
+impl PacketLog {
+    /// Empty log.
+    pub fn new() -> PacketLog {
+        PacketLog::default()
+    }
+
+    /// Record one packet.
+    pub fn record(&mut self, at: Time, dir: PacketDir, bytes: usize) {
+        self.events.push(PacketEvent { at, dir, bytes });
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[PacketEvent] {
+        &self.events
+    }
+
+    /// Number of packets logged.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total bytes in the given direction.
+    pub fn bytes(&self, dir: PacketDir) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.dir == dir)
+            .map(|e| e.bytes as u64)
+            .sum()
+    }
+
+    /// First and last activity timestamps.
+    pub fn span(&self) -> Option<(Time, Time)> {
+        Some((self.events.first()?.at, self.events.last()?.at))
+    }
+
+    /// Activity timestamps merged over both directions — the "vertical
+    /// lines" of the paper's Figure 15.
+    pub fn activity_times(&self) -> Vec<Time> {
+        self.events.iter().map(|e| e.at).collect()
+    }
+
+    /// Intervals during which the interface was "active", closing gaps
+    /// shorter than `gap`. Feeds the radio power model.
+    pub fn busy_intervals(&self, gap: Dur) -> Vec<(Time, Time)> {
+        let mut out: Vec<(Time, Time)> = Vec::new();
+        for e in &self.events {
+            match out.last_mut() {
+                Some((_, end)) if e.at <= *end + gap => {
+                    if e.at > *end {
+                        *end = e.at;
+                    }
+                }
+                _ => out.push((e.at, e.at)),
+            }
+        }
+        out
+    }
+
+    /// Packets per `bin` interval, for rate classification of app flows.
+    pub fn binned_counts(&self, bin: Dur) -> Vec<(Time, usize)> {
+        let mut out: Vec<(Time, usize)> = Vec::new();
+        let Some((start, _)) = self.span() else {
+            return out;
+        };
+        for e in &self.events {
+            let idx = (e.at - start).as_nanos() / bin.as_nanos().max(1);
+            let slot = start + Dur::from_nanos(idx * bin.as_nanos());
+            match out.last_mut() {
+                Some((t, n)) if *t == slot => *n += 1,
+                _ => out.push((slot, 1)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums() {
+        let mut log = PacketLog::new();
+        log.record(Time::from_millis(1), PacketDir::Tx, 100);
+        log.record(Time::from_millis(2), PacketDir::Rx, 1500);
+        log.record(Time::from_millis(3), PacketDir::Tx, 40);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.bytes(PacketDir::Tx), 140);
+        assert_eq!(log.bytes(PacketDir::Rx), 1500);
+        assert_eq!(
+            log.span(),
+            Some((Time::from_millis(1), Time::from_millis(3)))
+        );
+    }
+
+    #[test]
+    fn busy_intervals_merge_close_activity() {
+        let mut log = PacketLog::new();
+        for ms in [0, 10, 20, 500, 510] {
+            log.record(Time::from_millis(ms), PacketDir::Tx, 100);
+        }
+        let busy = log.busy_intervals(Dur::from_millis(100));
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0], (Time::ZERO, Time::from_millis(20)));
+        assert_eq!(busy[1], (Time::from_millis(500), Time::from_millis(510)));
+    }
+
+    #[test]
+    fn empty_log_behaves() {
+        let log = PacketLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.span(), None);
+        assert!(log.busy_intervals(Dur::from_millis(1)).is_empty());
+        assert!(log.binned_counts(Dur::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn binned_counts_group_by_interval() {
+        let mut log = PacketLog::new();
+        for us in [0, 100, 900, 1100, 1200] {
+            log.record(Time::from_micros(us), PacketDir::Rx, 1);
+        }
+        let bins = log.binned_counts(Dur::from_millis(1));
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].1, 3);
+        assert_eq!(bins[1].1, 2);
+    }
+}

@@ -1,0 +1,391 @@
+//! The simulation driver: one multi-homed client, one server, two
+//! emulated access links, scripted failures, deterministic time.
+
+use crate::endpoint::Endpoint;
+use crate::link::{LinkSpec, PathPair};
+use crate::log::{PacketDir, PacketLog};
+use crate::{LTE_ADDR, WIFI_ADDR};
+use mpwifi_netem::{Addr, Frame};
+use mpwifi_simcore::{DetRng, Time};
+use mpwifi_tcp::segment::Segment;
+
+/// A scripted mid-run event (the paper's Figure 15 failure injections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptEvent {
+    /// Physically unplug an interface: both directions black-hole, no
+    /// notification to anyone.
+    CutIface(Addr),
+    /// Re-plug an interface.
+    RestoreIface(Addr),
+    /// `multipath off` via iproute: the client stack is told the
+    /// interface is gone (the path itself keeps working, but the client
+    /// stops using it and informs the peer).
+    NotifyIfaceDown(Addr),
+    /// No-op that forces the event loop to visit this instant (workload
+    /// drivers schedule these to act at exact times, e.g. a server's
+    /// response delay expiring).
+    Wakeup,
+    /// Change an interface's downlink rate mid-run (a WiFi AP degrading,
+    /// an LTE cell emptying out).
+    SetDownRate(Addr, u64),
+    /// Change an interface's uplink rate mid-run.
+    SetUpRate(Addr, u64),
+}
+
+/// The testbed: client ⇄ {WiFi link, LTE link} ⇄ server.
+pub struct Sim<C: Endpoint, S: Endpoint> {
+    /// Current simulated time.
+    pub now: Time,
+    /// The multi-homed client endpoint.
+    pub client: C,
+    /// The server endpoint.
+    pub server: S,
+    /// The WiFi access link.
+    pub wifi: PathPair,
+    /// The LTE access link.
+    pub lte: PathPair,
+    /// Packet log of the client's WiFi interface.
+    pub wifi_log: PacketLog,
+    /// Packet log of the client's LTE interface.
+    pub lte_log: PacketLog,
+    frame_seq: u64,
+    /// Pending script events, sorted ascending by time.
+    script: Vec<(Time, ScriptEvent)>,
+}
+
+impl<C: Endpoint, S: Endpoint> Sim<C, S> {
+    /// Build the testbed from link specs.
+    pub fn new(
+        client: C,
+        server: S,
+        wifi_spec: &LinkSpec,
+        lte_spec: &LinkSpec,
+        seed: u64,
+    ) -> Sim<C, S> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        Sim {
+            now: Time::ZERO,
+            client,
+            server,
+            wifi: PathPair::build(wifi_spec, "wifi", &mut rng.derive(1)),
+            lte: PathPair::build(lte_spec, "lte", &mut rng.derive(2)),
+            wifi_log: PacketLog::new(),
+            lte_log: PacketLog::new(),
+            frame_seq: 0,
+            script: Vec::new(),
+        }
+    }
+
+    /// Schedule a scripted event. Keeps the script sorted via binary
+    /// insertion (replay workloads schedule thousands of wakeups).
+    pub fn schedule(&mut self, at: Time, ev: ScriptEvent) {
+        let pos = self.script.partition_point(|&(t, _)| t <= at);
+        self.script.insert(pos, (at, ev));
+    }
+
+    fn pair_mut(&mut self, iface: Addr) -> &mut PathPair {
+        if iface == WIFI_ADDR {
+            &mut self.wifi
+        } else if iface == LTE_ADDR {
+            &mut self.lte
+        } else {
+            panic!("unknown interface {iface}");
+        }
+    }
+
+    fn log_mut(&mut self, iface: Addr) -> &mut PacketLog {
+        if iface == WIFI_ADDR {
+            &mut self.wifi_log
+        } else {
+            &mut self.lte_log
+        }
+    }
+
+    /// Push endpoint output into the pipelines.
+    fn drain_tx(&mut self) {
+        let now = self.now;
+        // Client: src interface selects the link's uplink.
+        for (src_iface, dst, seg) in self.client.take_tx(now) {
+            let bytes = seg.encode();
+            let len = bytes.len();
+            self.frame_seq += 1;
+            let frame = Frame::new(self.frame_seq, src_iface, dst, bytes, now);
+            self.log_mut(src_iface).record(now, PacketDir::Tx, len);
+            self.pair_mut(src_iface).up.push(now, frame);
+        }
+        // Server: destination (a client interface) selects the downlink.
+        for (src, dst_iface, seg) in self.server.take_tx(now) {
+            let bytes = seg.encode();
+            self.frame_seq += 1;
+            let frame = Frame::new(self.frame_seq, src, dst_iface, bytes, now);
+            self.pair_mut(dst_iface).down.push(now, frame);
+        }
+    }
+
+    fn apply_script(&mut self) {
+        let due = self.script.partition_point(|&(t, _)| t <= self.now);
+        for (_, ev) in self.script.drain(..due).collect::<Vec<_>>() {
+            match ev {
+                ScriptEvent::CutIface(iface) => self.pair_mut(iface).set_up(false),
+                ScriptEvent::RestoreIface(iface) => self.pair_mut(iface).set_up(true),
+                ScriptEvent::NotifyIfaceDown(iface) => {
+                    let now = self.now;
+                    self.client.notify_iface_down(now, iface);
+                }
+                ScriptEvent::Wakeup => {}
+                ScriptEvent::SetDownRate(iface, bps) => {
+                    let now = self.now;
+                    self.pair_mut(iface)
+                        .down
+                        .stage_mut(0)
+                        .replace_service(now, mpwifi_netem::Service::FixedRate { bps });
+                }
+                ScriptEvent::SetUpRate(iface, bps) => {
+                    let now = self.now;
+                    self.pair_mut(iface)
+                        .up
+                        .stage_mut(0)
+                        .replace_service(now, mpwifi_netem::Service::FixedRate { bps });
+                }
+            }
+        }
+    }
+
+    /// Earliest future event of any kind.
+    fn next_event(&self) -> Option<Time> {
+        [
+            self.wifi.next_ready(),
+            self.lte.next_ready(),
+            self.client.next_timer(),
+            self.server.next_timer(),
+            self.script.first().map(|&(t, _)| t),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Advance to the next event. Returns `false` when the simulation has
+    /// fully quiesced.
+    pub fn step(&mut self) -> bool {
+        self.drain_tx();
+        let Some(next) = self.next_event() else {
+            return false;
+        };
+        debug_assert!(next >= self.now, "time went backwards");
+        self.now = self.now.max(next);
+        self.apply_script();
+
+        // Move frames through the links and deliver exits.
+        let now = self.now;
+        let (to_server_w, to_client_w) = self.wifi.poll(now);
+        let (to_server_l, to_client_l) = self.lte.poll(now);
+        for frame in to_server_w.into_iter().chain(to_server_l) {
+            if let Some(seg) = Segment::decode(frame.payload.clone()) {
+                self.server.on_segment(now, &seg, frame.src, frame.dst);
+            }
+        }
+        for frame in to_client_w {
+            self.wifi_log
+                .record(now, PacketDir::Rx, frame.payload.len());
+            if let Some(seg) = Segment::decode(frame.payload.clone()) {
+                self.client.on_segment(now, &seg, frame.src, frame.dst);
+            }
+        }
+        for frame in to_client_l {
+            self.lte_log.record(now, PacketDir::Rx, frame.payload.len());
+            if let Some(seg) = Segment::decode(frame.payload.clone()) {
+                self.client.on_segment(now, &seg, frame.src, frame.dst);
+            }
+        }
+
+        self.client.on_timers(now);
+        self.server.on_timers(now);
+        self.drain_tx();
+        true
+    }
+
+    /// Run until `pred` holds, the simulation quiesces, or `deadline`
+    /// passes. Returns `true` iff the predicate held. The clock never
+    /// advances past `deadline` (a step whose next event lies beyond it
+    /// is not taken), so callers can treat `deadline` as exact.
+    pub fn run_until<F: FnMut(&mut Self) -> bool>(&mut self, mut pred: F, deadline: Time) -> bool {
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if self.now >= deadline || self.next_event().is_none_or(|t| t > deadline) {
+                return false;
+            }
+            if !self.step() {
+                return pred(self);
+            }
+        }
+    }
+
+    /// Run until the simulation quiesces or `deadline` passes.
+    pub fn run_to_quiescence(&mut self, deadline: Time) {
+        self.run_until(|_| false, deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{TcpClientHost, TcpServerHost};
+    use crate::{LTE_ADDR, SERVER_ADDR, SERVER_PORT, WIFI_ADDR};
+    use bytes::Bytes;
+    use mpwifi_simcore::Dur;
+    use mpwifi_tcp::conn::TcpConfig;
+
+    fn specs() -> (LinkSpec, LinkSpec) {
+        (
+            LinkSpec::symmetric(20_000_000, Dur::from_millis(20)),
+            LinkSpec::symmetric(10_000_000, Dur::from_millis(60)),
+        )
+    }
+
+    #[test]
+    fn tcp_download_over_wifi_completes() {
+        let (wifi, lte) = specs();
+        let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+        let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+        let mut sim = Sim::new(client, server, &wifi, &lte, 42);
+        let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+        // Server sends 100 kB when the connection is accepted.
+        let mut sent = false;
+        let ok = sim.run_until(
+            |sim| {
+                if !sent {
+                    for sid in sim.server.stack.take_accepted() {
+                        let conn = sim.server.stack.conn_mut(sid).unwrap();
+                        conn.send(Bytes::from(vec![7u8; 100_000]));
+                        conn.close(Time::ZERO);
+                        sent = true;
+                    }
+                }
+                sim.client
+                    .stack
+                    .conn(id)
+                    .is_some_and(|c| c.delivered_bytes() == 100_000)
+            },
+            Time::from_secs(30),
+        );
+        assert!(ok, "download did not complete");
+        // All traffic used WiFi; LTE stayed silent.
+        assert!(sim.wifi_log.len() > 0);
+        assert_eq!(sim.lte_log.len(), 0);
+        // Throughput sanity: 100 kB over a 20 Mbit/s link with 20 ms RTT
+        // should finish well under a second yet take at least the
+        // serialization + handshake time.
+        assert!(sim.now > Time::from_millis(40));
+        assert!(sim.now < Time::from_secs(1));
+    }
+
+    #[test]
+    fn scripted_cut_blackholes_mid_transfer() {
+        let (wifi, lte) = specs();
+        let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+        let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+        let mut sim = Sim::new(client, server, &wifi, &lte, 42);
+        let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+        sim.schedule(Time::from_millis(100), ScriptEvent::CutIface(WIFI_ADDR));
+        let mut sent = false;
+        let done = sim.run_until(
+            |sim| {
+                if !sent {
+                    for sid in sim.server.stack.take_accepted() {
+                        let c = sim.server.stack.conn_mut(sid).unwrap();
+                        c.send(Bytes::from(vec![7u8; 5_000_000]));
+                        c.close(Time::ZERO);
+                        sent = true;
+                    }
+                }
+                sim.client
+                    .stack
+                    .conn(id)
+                    .is_some_and(|c| c.delivered_bytes() == 5_000_000)
+            },
+            Time::from_secs(20),
+        );
+        assert!(!done, "single-path TCP cannot survive its only link dying");
+    }
+
+    #[test]
+    fn set_up_rate_script_event_throttles_uploads() {
+        let (wifi, lte) = specs();
+        let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+        let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+        let mut sim = Sim::new(client, server, &wifi, &lte, 42);
+        // Uplink collapses to 200 kbit/s almost immediately.
+        sim.schedule(Time::from_millis(50), ScriptEvent::SetUpRate(WIFI_ADDR, 200_000));
+        let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+        {
+            let conn = sim.client.stack.conn_mut(id).unwrap();
+            conn.send(Bytes::from(vec![5u8; 200_000]));
+        }
+        let done = sim.run_until(
+            |sim| {
+                let mut total = 0;
+                for sid in sim.server.stack.socket_ids() {
+                    if let Some(c) = sim.server.stack.conn_mut(sid) {
+                        let _ = c.take_delivered();
+                        total += c.delivered_bytes();
+                    }
+                }
+                total >= 200_000
+            },
+            Time::from_secs(4),
+        );
+        // 200 kB at 200 kbit/s is ~8 s; it must NOT finish within 4 s.
+        assert!(!done, "throttle had no effect");
+    }
+
+    #[test]
+    fn run_until_never_oversteps_its_deadline() {
+        let (wifi, lte) = specs();
+        let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+        let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+        let mut sim = Sim::new(client, server, &wifi, &lte, 42);
+        // Only event: a wakeup far beyond the deadline.
+        sim.schedule(Time::from_secs(100), ScriptEvent::Wakeup);
+        let deadline = Time::from_millis(500);
+        sim.run_until(|_| false, deadline);
+        assert!(
+            sim.now <= deadline,
+            "clock overshot the deadline: {}",
+            sim.now
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (wifi, lte) = specs();
+            let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+            let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+            let mut sim = Sim::new(client, server, &wifi, &lte, 42);
+            let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+            let mut sent = false;
+            sim.run_until(
+                |sim| {
+                    if !sent {
+                        for sid in sim.server.stack.take_accepted() {
+                            let c = sim.server.stack.conn_mut(sid).unwrap();
+                            c.send(Bytes::from(vec![1u8; 300_000]));
+                            c.close(Time::ZERO);
+                            sent = true;
+                        }
+                    }
+                    sim.client
+                        .stack
+                        .conn(id)
+                        .is_some_and(|c| c.delivered_bytes() == 300_000)
+                },
+                Time::from_secs(30),
+            );
+            (sim.now, sim.wifi_log.len(), sim.wifi_log.bytes(PacketDir::Rx))
+        };
+        assert_eq!(run(), run(), "same seed, same scenario, same outcome");
+    }
+}

@@ -1,0 +1,21 @@
+//! # mpwifi-simcore
+//!
+//! Discrete-event simulation core for the `mpwifi` workspace: simulated
+//! time ([`Time`], [`Dur`]), a deterministic event queue ([`EventQueue`]),
+//! a seeded random-number generator with the distributions the study needs
+//! ([`DetRng`]), and time-series helpers ([`series`]).
+//!
+//! Everything in the workspace runs on *simulated* time — there is no wall
+//! clock anywhere — so a given `(seed, scenario)` pair always produces
+//! byte-identical results. That determinism is what makes the paper's
+//! figures reproducible and the protocol stacks property-testable.
+
+pub mod events;
+pub mod rng;
+pub mod series;
+pub mod time;
+
+pub use events::{EventId, EventQueue};
+pub use rng::{norm_quantile, DetRng};
+pub use series::{RateSeries, TimeSeries};
+pub use time::{Dur, Time};

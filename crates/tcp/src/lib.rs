@@ -1,0 +1,44 @@
+//! # mpwifi-tcp
+//!
+//! A from-scratch TCP implementation running over the `mpwifi-netem`
+//! emulated links. This is the workhorse under both the paper's
+//! "single-path TCP" measurements and (via `mpwifi-mptcp`) each MPTCP
+//! subflow.
+//!
+//! What is implemented, mirroring the Linux 3.11-era stack the paper used
+//! where it matters to the results:
+//!
+//! * real wire encoding of segments ([`segment`]): 20-byte header,
+//!   MSS / window-scale / timestamp options, ones'-complement checksum,
+//!   and pass-through "raw" options (kind 30 carries MPTCP);
+//! * the full connection state machine ([`conn`]): three-way handshake,
+//!   simultaneous data/ACK processing, FIN teardown with TIME_WAIT;
+//! * reliability: cumulative ACKs, out-of-order reassembly, RFC 6298
+//!   RTO with Karn's rule via timestamps, exponential backoff, fast
+//!   retransmit / NewReno fast recovery on three duplicate ACKs;
+//! * congestion control ([`cc`]): slow start + AIMD Reno (the paper's
+//!   "decoupled" per-subflow algorithm) and CUBIC, behind a trait so the
+//!   MPTCP layer can install its coupled (LIA) controller;
+//! * flow control: advertised windows with window scaling;
+//! * a port-demultiplexing stack ([`stack`]) so one host can carry many
+//!   concurrent connections (the app-replay workloads need dozens).
+
+pub mod buffer;
+pub mod cc;
+pub mod conn;
+pub mod rtt;
+pub mod segment;
+pub mod seq;
+pub mod stack;
+
+pub use buffer::{RecvBuffer, SendBuffer};
+pub use cc::{CcKind, CongestionControl, CubicCc, RenoCc};
+pub use conn::{ConnStats, TcpConfig, TcpConnection, TcpState};
+pub use rtt::RttEstimator;
+pub use segment::{Flags, Segment, TcpOption};
+pub use stack::{SocketId, TcpStack};
+
+/// Default maximum segment size (payload bytes per segment). 1500-byte
+/// MTU minus 40 bytes of IP+TCP header minus 12 bytes of timestamp option
+/// rounds to 1448 on Linux; we use 1400 to leave room for MPTCP options.
+pub const DEFAULT_MSS: usize = 1400;

@@ -1,0 +1,137 @@
+//! 32-bit wrapping sequence-number arithmetic (RFC 793 style).
+//!
+//! Comparisons are defined modulo 2^32 with a half-window convention:
+//! `a < b` iff `(b - a) mod 2^32` is in `(0, 2^31)`. All TCP window state
+//! in this crate goes through these helpers; raw `<`/`>` on sequence
+//! numbers is a bug.
+
+/// `a == b` in sequence space (plain equality, provided for symmetry).
+#[inline]
+pub fn seq_eq(a: u32, b: u32) -> bool {
+    a == b
+}
+
+/// `a < b` in sequence space.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) > 0
+}
+
+/// `a <= b` in sequence space.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// `a > b` in sequence space.
+#[inline]
+pub fn seq_gt(a: u32, b: u32) -> bool {
+    seq_lt(b, a)
+}
+
+/// `a >= b` in sequence space.
+#[inline]
+pub fn seq_ge(a: u32, b: u32) -> bool {
+    a == b || seq_gt(a, b)
+}
+
+/// Distance from `a` forward to `b` (caller asserts `a <= b`).
+#[inline]
+pub fn seq_diff(b: u32, a: u32) -> u32 {
+    debug_assert!(seq_le(a, b), "seq_diff with b < a");
+    b.wrapping_sub(a)
+}
+
+/// Clamp `x` into the window `[lo, hi]` in sequence space.
+#[inline]
+pub fn seq_clamp(x: u32, lo: u32, hi: u32) -> u32 {
+    if seq_lt(x, lo) {
+        lo
+    } else if seq_gt(x, hi) {
+        hi
+    } else {
+        x
+    }
+}
+
+/// True iff `x` lies within the half-open window `[base, base+len)`.
+#[inline]
+pub fn seq_in_window(x: u32, base: u32, len: u32) -> bool {
+    x.wrapping_sub(base) < len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_orderings() {
+        assert!(seq_lt(1, 2));
+        assert!(seq_gt(2, 1));
+        assert!(seq_le(2, 2));
+        assert!(seq_ge(2, 2));
+        assert!(seq_eq(5, 5));
+    }
+
+    #[test]
+    fn wraparound_orderings() {
+        // Just below the wrap point is "less than" just above it.
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX - 5, 10));
+        assert!(seq_gt(10, u32::MAX - 5));
+    }
+
+    #[test]
+    fn diff_across_wrap() {
+        assert_eq!(seq_diff(5, u32::MAX.wrapping_sub(4)), 10);
+        assert_eq!(seq_diff(100, 40), 60);
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(seq_in_window(5, 0, 10));
+        assert!(!seq_in_window(10, 0, 10));
+        // Window spanning the wrap point.
+        assert!(seq_in_window(2, u32::MAX - 3, 10));
+        assert!(!seq_in_window(7, u32::MAX - 3, 10));
+    }
+
+    #[test]
+    fn clamp_in_window() {
+        assert_eq!(seq_clamp(5, 0, 10), 5);
+        assert_eq!(seq_clamp(15, 0, 10), 10);
+        // Clamp below.
+        assert_eq!(seq_clamp(u32::MAX, 0, 10), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lt_antisymmetric(a: u32, b: u32) {
+            if a != b {
+                // Exactly one of lt(a,b), lt(b,a) unless they are 2^31 apart.
+                let d = b.wrapping_sub(a);
+                if d != 0x8000_0000 {
+                    prop_assert!(seq_lt(a, b) ^ seq_lt(b, a));
+                }
+            } else {
+                prop_assert!(!seq_lt(a, b) && !seq_lt(b, a));
+            }
+        }
+
+        #[test]
+        fn prop_advance_preserves_order(a: u32, step in 1u32..0x4000_0000) {
+            let b = a.wrapping_add(step);
+            prop_assert!(seq_lt(a, b));
+            prop_assert_eq!(seq_diff(b, a), step);
+        }
+
+        #[test]
+        fn prop_window_shift_invariant(x: u32, base: u32, len in 0u32..0x4000_0000, shift: u32) {
+            // Membership is invariant under a common shift.
+            let m1 = seq_in_window(x, base, len);
+            let m2 = seq_in_window(x.wrapping_add(shift), base.wrapping_add(shift), len);
+            prop_assert_eq!(m1, m2);
+        }
+    }
+}

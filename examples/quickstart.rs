@@ -1,0 +1,69 @@
+//! Quickstart: emulate a WiFi/LTE pair, run single-path TCP on each,
+//! then MPTCP over both, and print what the paper would ask you:
+//! *which network should this flow use?*
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpwifi::core::flowstudy::{run_location_study, FlowDir, StudyTransport};
+use mpwifi::measure::render::fmt_bps;
+use mpwifi::sim::LinkSpec;
+use mpwifi::simcore::Dur;
+
+fn main() {
+    // A cafe-like condition: decent WiFi, decent LTE, LTE slower but
+    // not by much.
+    let wifi = LinkSpec::symmetric(9_000_000, Dur::from_millis(30));
+    let lte = LinkSpec::asymmetric(4_000_000, 7_000_000, Dur::from_millis(60));
+
+    println!("link conditions:");
+    println!(
+        "  WiFi: {} down, RTT {}",
+        fmt_bps(wifi.down.average_bps()),
+        wifi.rtt
+    );
+    println!(
+        "  LTE : {} down, RTT {}",
+        fmt_bps(lte.down.average_bps()),
+        lte.rtt
+    );
+
+    // One 1 MB download per configuration; flow-size throughput comes
+    // from prefix truncation, like the paper's Figure 7.
+    let study = run_location_study(0, &wifi, &lte, 1_000_000, false, 42);
+
+    println!("\nthroughput by flow size (downlink):");
+    println!("{:<24} {:>10} {:>10} {:>10}", "configuration", "10 KB", "100 KB", "1 MB");
+    for t in StudyTransport::ALL {
+        let cell = |size: u64| {
+            study
+                .throughput(t, FlowDir::Down, size)
+                .map_or_else(|| "-".into(), fmt_bps)
+        };
+        println!(
+            "{:<24} {:>10} {:>10} {:>10}",
+            t.label(),
+            cell(10_000),
+            cell(100_000),
+            cell(1_000_000)
+        );
+    }
+
+    for size in [10_000u64, 1_000_000] {
+        let sp = study.best_single_path(FlowDir::Down, size).unwrap();
+        let mp = study.best_mptcp(FlowDir::Down, size).unwrap();
+        let verdict = if mp > sp {
+            "use BOTH (MPTCP wins)"
+        } else {
+            "pick the best single network"
+        };
+        println!(
+            "\nfor a {:>7}-byte flow: best single-path {} vs best MPTCP {} -> {}",
+            size,
+            fmt_bps(sp),
+            fmt_bps(mp),
+            verdict
+        );
+    }
+}
