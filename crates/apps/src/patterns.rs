@@ -486,7 +486,11 @@ mod tests {
         assert_eq!(ps[1].class(), AppClass::ShortFlowDominated, "CNN click");
         assert_eq!(ps[2].class(), AppClass::ShortFlowDominated, "IMDB launch");
         assert_eq!(ps[3].class(), AppClass::LongFlowDominated, "IMDB click");
-        assert_eq!(ps[4].class(), AppClass::ShortFlowDominated, "Dropbox launch");
+        assert_eq!(
+            ps[4].class(),
+            AppClass::ShortFlowDominated,
+            "Dropbox launch"
+        );
         assert_eq!(ps[5].class(), AppClass::LongFlowDominated, "Dropbox click");
     }
 

@@ -42,13 +42,15 @@ impl Transport {
         match self {
             Transport::Tcp(a) if *a == WIFI_ADDR => "WiFi-TCP",
             Transport::Tcp(_) => "LTE-TCP",
-            Transport::Mptcp { primary, coupled: true } if *primary == WIFI_ADDR => {
-                "MPTCP-Coupled-WiFi"
-            }
+            Transport::Mptcp {
+                primary,
+                coupled: true,
+            } if *primary == WIFI_ADDR => "MPTCP-Coupled-WiFi",
             Transport::Mptcp { coupled: true, .. } => "MPTCP-Coupled-LTE",
-            Transport::Mptcp { primary, coupled: false } if *primary == WIFI_ADDR => {
-                "MPTCP-Decoupled-WiFi"
-            }
+            Transport::Mptcp {
+                primary,
+                coupled: false,
+            } if *primary == WIFI_ADDR => "MPTCP-Decoupled-WiFi",
             Transport::Mptcp { coupled: false, .. } => "MPTCP-Decoupled-LTE",
         }
     }
@@ -58,10 +60,22 @@ impl Transport {
 pub const ALL_TRANSPORTS: [Transport; 6] = [
     Transport::Tcp(WIFI_ADDR),
     Transport::Tcp(LTE_ADDR),
-    Transport::Mptcp { primary: WIFI_ADDR, coupled: true },
-    Transport::Mptcp { primary: LTE_ADDR, coupled: true },
-    Transport::Mptcp { primary: WIFI_ADDR, coupled: false },
-    Transport::Mptcp { primary: LTE_ADDR, coupled: false },
+    Transport::Mptcp {
+        primary: WIFI_ADDR,
+        coupled: true,
+    },
+    Transport::Mptcp {
+        primary: LTE_ADDR,
+        coupled: true,
+    },
+    Transport::Mptcp {
+        primary: WIFI_ADDR,
+        coupled: false,
+    },
+    Transport::Mptcp {
+        primary: LTE_ADDR,
+        coupled: false,
+    },
 ];
 
 /// Outcome of one replay.
@@ -188,7 +202,8 @@ fn run_replay<H: ReplayHost>(mut host: H, pattern: &AppPattern, deadline: Dur) -
                     host.client_send(h, e.request_bytes);
                     f.req_issued += e.request_bytes;
                     f.resp_expected += e.response_bytes;
-                    f.server_plan.push((f.req_issued, e.response_bytes, e.server_delay));
+                    f.server_plan
+                        .push((f.req_issued, e.response_bytes, e.server_delay));
                     f.next_exchange += 1;
                 } else if delivered >= f.resp_expected && due > now {
                     host.wakeup(due);
@@ -267,12 +282,7 @@ fn run_replay<H: ReplayHost>(mut host: H, pattern: &AppPattern, deadline: Dur) -
         completed,
         flow_spans,
         flow_rates,
-        flow_progress: pattern
-            .flows
-            .iter()
-            .map(|f| f.id)
-            .zip(progress)
-            .collect(),
+        flow_progress: pattern.flows.iter().map(|f| f.id).zip(progress).collect(),
     }
 }
 
@@ -426,7 +436,11 @@ impl ReplayHost for MpReplay {
     }
 
     fn client_send(&mut self, h: u64, bytes: u64) {
-        self.sim.client.mp.conn_mut(h as usize).send(make_payload(bytes));
+        self.sim
+            .client
+            .mp
+            .conn_mut(h as usize)
+            .send(make_payload(bytes));
     }
 
     fn client_close(&mut self, h: u64) {
@@ -472,9 +486,17 @@ pub fn replay(
     match transport {
         Transport::Tcp(iface) => {
             let client = TcpClientHost::new(iface, SERVER_ADDR, seed as u32 | 1);
-            let server =
-                TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), seed as u32 ^ 7);
-            let sim = Sim::new(client, server, wifi, lte, seed);
+            let server = TcpServerHost::new(
+                SERVER_ADDR,
+                SERVER_PORT,
+                TcpConfig::default(),
+                seed as u32 ^ 7,
+            );
+            let sim = Sim::builder(client, server)
+                .wifi(wifi)
+                .lte(lte)
+                .seed(seed)
+                .build();
             run_replay(TcpReplay { sim }, pattern, deadline)
         }
         Transport::Mptcp { primary, coupled } => {
@@ -488,7 +510,11 @@ pub fn replay(
             };
             let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);
             let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), seed ^ 0xF7);
-            let sim = Sim::new(client, server, wifi, lte, seed);
+            let sim = Sim::builder(client, server)
+                .wifi(wifi)
+                .lte(lte)
+                .seed(seed)
+                .build();
             run_replay(
                 MpReplay {
                     sim,
@@ -566,7 +592,11 @@ mod tests {
         assert!(r.completed, "replay must finish");
         // Flow 2 starts at 0.5 s and does two exchanges; response time is
         // at least that but well under 3 s on a fast link.
-        assert!(r.response_time > Dur::from_millis(700), "{}", r.response_time);
+        assert!(
+            r.response_time > Dur::from_millis(700),
+            "{}",
+            r.response_time
+        );
         assert!(r.response_time < Dur::from_secs(3), "{}", r.response_time);
         assert_eq!(r.flow_spans.len(), 2);
     }
@@ -574,10 +604,22 @@ mod tests {
     #[test]
     fn tiny_pattern_completes_over_mptcp_all_variants() {
         for transport in [
-            Transport::Mptcp { primary: WIFI_ADDR, coupled: true },
-            Transport::Mptcp { primary: LTE_ADDR, coupled: true },
-            Transport::Mptcp { primary: WIFI_ADDR, coupled: false },
-            Transport::Mptcp { primary: LTE_ADDR, coupled: false },
+            Transport::Mptcp {
+                primary: WIFI_ADDR,
+                coupled: true,
+            },
+            Transport::Mptcp {
+                primary: LTE_ADDR,
+                coupled: true,
+            },
+            Transport::Mptcp {
+                primary: WIFI_ADDR,
+                coupled: false,
+            },
+            Transport::Mptcp {
+                primary: LTE_ADDR,
+                coupled: false,
+            },
         ] {
             let r = replay(
                 &tiny_pattern(),
@@ -654,8 +696,22 @@ mod tests {
         let pattern = dropbox_click(1);
         let wifi = fast_wifi();
         let lte = LinkSpec::symmetric(1_500_000, Dur::from_millis(80));
-        let on_wifi = replay(&pattern, &wifi, &lte, Transport::Tcp(WIFI_ADDR), Dur::from_secs(300), 5);
-        let on_lte = replay(&pattern, &wifi, &lte, Transport::Tcp(LTE_ADDR), Dur::from_secs(300), 5);
+        let on_wifi = replay(
+            &pattern,
+            &wifi,
+            &lte,
+            Transport::Tcp(WIFI_ADDR),
+            Dur::from_secs(300),
+            5,
+        );
+        let on_lte = replay(
+            &pattern,
+            &wifi,
+            &lte,
+            Transport::Tcp(LTE_ADDR),
+            Dur::from_secs(300),
+            5,
+        );
         assert!(on_wifi.completed && on_lte.completed);
         assert!(
             on_lte.response_time > on_wifi.response_time,
@@ -690,8 +746,22 @@ mod tests {
         let slow_up = LinkSpec::asymmetric(1_000_000, 10_000_000, Dur::from_millis(30));
         let lte = slow_lte();
         let deadline = Dur::from_secs(300);
-        let fast = replay(&pattern, &fast_up, &lte, Transport::Tcp(WIFI_ADDR), deadline, 3);
-        let slow = replay(&pattern, &slow_up, &lte, Transport::Tcp(WIFI_ADDR), deadline, 3);
+        let fast = replay(
+            &pattern,
+            &fast_up,
+            &lte,
+            Transport::Tcp(WIFI_ADDR),
+            deadline,
+            3,
+        );
+        let slow = replay(
+            &pattern,
+            &slow_up,
+            &lte,
+            Transport::Tcp(WIFI_ADDR),
+            deadline,
+            3,
+        );
         assert!(fast.completed && slow.completed);
         assert!(
             slow.response_time.as_secs_f64() > fast.response_time.as_secs_f64() * 2.0,

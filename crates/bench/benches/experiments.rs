@@ -80,7 +80,16 @@ fn bench_app_replay(c: &mut Criterion) {
     let cnn = cnn_launch(1);
     let dropbox = dropbox_click(1);
     g.bench_function("cnn_launch_wifi_tcp", |b| {
-        b.iter(|| replay(&cnn, &wifi, &lte, Transport::Tcp(WIFI_ADDR), Dur::from_secs(120), 5))
+        b.iter(|| {
+            replay(
+                &cnn,
+                &wifi,
+                &lte,
+                Transport::Tcp(WIFI_ADDR),
+                Dur::from_secs(120),
+                5,
+            )
+        })
     });
     g.bench_function("dropbox_click_mptcp", |b| {
         b.iter(|| {
@@ -88,7 +97,10 @@ fn bench_app_replay(c: &mut Criterion) {
                 &dropbox,
                 &wifi,
                 &lte,
-                Transport::Mptcp { primary: LTE_ADDR, coupled: true },
+                Transport::Mptcp {
+                    primary: LTE_ADDR,
+                    coupled: true,
+                },
                 Dur::from_secs(300),
                 5,
             )

@@ -1,0 +1,42 @@
+//! Serial vs parallel experiment-runner throughput.
+//!
+//! Runs the same registry slice through `run_specs` at `--jobs 1` and
+//! `--jobs 4` so the sharding overhead (thread spawn, work-index
+//! atomics, result slots) is visible next to any speedup. On a
+//! single-core host the two should be near parity — the runner's
+//! byte-identical output guarantee means that is the *only* acceptable
+//! difference.
+//!
+//! The slice is the sub-second half of the registry; the app-replay
+//! figures (fig18–fig21) dominate `all` by an order of magnitude and
+//! would turn the benchmark into a measurement of one experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpwifi_repro::{registry, runner, Scale, SeedPolicy};
+
+const SLICE: [&str; 8] = [
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig9",
+    "ext-handover",
+    "ext-stability",
+];
+
+fn bench_runner(c: &mut Criterion) {
+    let specs: Vec<_> = SLICE.iter().map(|id| registry::find(id).unwrap()).collect();
+    let mut group = c.benchmark_group("runner");
+    group.sample_size(10);
+    group.bench_function("all_quick_serial", |b| {
+        b.iter(|| runner::run_specs_with(&specs, Scale::Quick, 42, 1, SeedPolicy::Campaign));
+    });
+    group.bench_function("all_quick_jobs4", |b| {
+        b.iter(|| runner::run_specs_with(&specs, Scale::Quick, 42, 4, SeedPolicy::Campaign));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runner);
+criterion_main!(benches);

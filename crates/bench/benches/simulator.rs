@@ -50,7 +50,13 @@ fn bench_link_pipeline(c: &mut Criterion) {
             || LinkQueue::fixed_rate(100_000_000, usize::MAX),
             |mut link| {
                 for i in 0..1000 {
-                    let f = Frame::new(i, Addr(1), Addr(10), Bytes::from_static(&[0u8; 64]), Time::ZERO);
+                    let f = Frame::new(
+                        i,
+                        Addr(1),
+                        Addr(10),
+                        Bytes::from_static(&[0u8; 64]),
+                        Time::ZERO,
+                    );
                     link.push(Time::ZERO, f);
                 }
                 let mut now = Time::ZERO;
@@ -69,7 +75,13 @@ fn bench_link_pipeline(c: &mut Criterion) {
             || LinkQueue::trace_driven(trace.clone(), usize::MAX),
             |mut link| {
                 for i in 0..1000 {
-                    let f = Frame::new(i, Addr(1), Addr(10), Bytes::from_static(&[0u8; 64]), Time::ZERO);
+                    let f = Frame::new(
+                        i,
+                        Addr(1),
+                        Addr(10),
+                        Bytes::from_static(&[0u8; 64]),
+                        Time::ZERO,
+                    );
                     link.push(Time::ZERO, f);
                 }
                 let mut now = Time::ZERO;

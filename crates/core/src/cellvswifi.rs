@@ -225,10 +225,10 @@ mod tests {
             ..phone()
         });
         assert!(!app.run());
-        assert!(app
-            .log
-            .iter()
-            .any(|o| matches!(o, StepOutcome::Skipped("nothing measured; nothing to upload"))));
+        assert!(app.log.iter().any(|o| matches!(
+            o,
+            StepOutcome::Skipped("nothing measured; nothing to upload")
+        )));
     }
 
     #[test]

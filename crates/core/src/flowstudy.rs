@@ -150,12 +150,7 @@ impl LocationStudy {
     /// Average throughput (bits/s) a flow of `bytes` would have seen
     /// under the given configuration, or `None` if the transfer never
     /// got that far.
-    pub fn throughput(
-        &self,
-        transport: StudyTransport,
-        dir: FlowDir,
-        bytes: u64,
-    ) -> Option<f64> {
+    pub fn throughput(&self, transport: StudyTransport, dir: FlowDir, bytes: u64) -> Option<f64> {
         self.results
             .get(&(transport, dir))?
             .throughput_at_flow_size(bytes)
@@ -269,8 +264,12 @@ mod tests {
     #[test]
     fn single_path_wifi_beats_lte_when_wifi_faster() {
         let s = run_location_study(1, &wifi_fast(), &lte_slow(), 300_000, false, 42);
-        let w = s.throughput(StudyTransport::TcpWifi, FlowDir::Down, 300_000).unwrap();
-        let l = s.throughput(StudyTransport::TcpLte, FlowDir::Down, 300_000).unwrap();
+        let w = s
+            .throughput(StudyTransport::TcpWifi, FlowDir::Down, 300_000)
+            .unwrap();
+        let l = s
+            .throughput(StudyTransport::TcpLte, FlowDir::Down, 300_000)
+            .unwrap();
         assert!(w > l);
         assert_eq!(s.best_single_path(FlowDir::Down, 300_000), Some(w.max(l)));
     }

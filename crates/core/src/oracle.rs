@@ -59,20 +59,44 @@ impl OracleKind {
                 vec![Transport::Tcp(WIFI_ADDR), Transport::Tcp(LTE_ADDR)]
             }
             OracleKind::DecoupledMptcp => vec![
-                Transport::Mptcp { primary: WIFI_ADDR, coupled: false },
-                Transport::Mptcp { primary: LTE_ADDR, coupled: false },
+                Transport::Mptcp {
+                    primary: WIFI_ADDR,
+                    coupled: false,
+                },
+                Transport::Mptcp {
+                    primary: LTE_ADDR,
+                    coupled: false,
+                },
             ],
             OracleKind::CoupledMptcp => vec![
-                Transport::Mptcp { primary: WIFI_ADDR, coupled: true },
-                Transport::Mptcp { primary: LTE_ADDR, coupled: true },
+                Transport::Mptcp {
+                    primary: WIFI_ADDR,
+                    coupled: true,
+                },
+                Transport::Mptcp {
+                    primary: LTE_ADDR,
+                    coupled: true,
+                },
             ],
             OracleKind::MptcpWifiPrimary => vec![
-                Transport::Mptcp { primary: WIFI_ADDR, coupled: true },
-                Transport::Mptcp { primary: WIFI_ADDR, coupled: false },
+                Transport::Mptcp {
+                    primary: WIFI_ADDR,
+                    coupled: true,
+                },
+                Transport::Mptcp {
+                    primary: WIFI_ADDR,
+                    coupled: false,
+                },
             ],
             OracleKind::MptcpLtePrimary => vec![
-                Transport::Mptcp { primary: LTE_ADDR, coupled: true },
-                Transport::Mptcp { primary: LTE_ADDR, coupled: false },
+                Transport::Mptcp {
+                    primary: LTE_ADDR,
+                    coupled: true,
+                },
+                Transport::Mptcp {
+                    primary: LTE_ADDR,
+                    coupled: false,
+                },
             ],
         }
     }
@@ -152,10 +176,34 @@ mod tests {
         cond(&[
             (Transport::Tcp(WIFI_ADDR), wifi),
             (Transport::Tcp(LTE_ADDR), lte),
-            (Transport::Mptcp { primary: WIFI_ADDR, coupled: true }, mp[0]),
-            (Transport::Mptcp { primary: LTE_ADDR, coupled: true }, mp[1]),
-            (Transport::Mptcp { primary: WIFI_ADDR, coupled: false }, mp[2]),
-            (Transport::Mptcp { primary: LTE_ADDR, coupled: false }, mp[3]),
+            (
+                Transport::Mptcp {
+                    primary: WIFI_ADDR,
+                    coupled: true,
+                },
+                mp[0],
+            ),
+            (
+                Transport::Mptcp {
+                    primary: LTE_ADDR,
+                    coupled: true,
+                },
+                mp[1],
+            ),
+            (
+                Transport::Mptcp {
+                    primary: WIFI_ADDR,
+                    coupled: false,
+                },
+                mp[2],
+            ),
+            (
+                Transport::Mptcp {
+                    primary: LTE_ADDR,
+                    coupled: false,
+                },
+                mp[3],
+            ),
         ])
     }
 
@@ -209,7 +257,13 @@ mod tests {
     fn oracle_with_missing_choice_uses_available() {
         let c = cond(&[
             (Transport::Tcp(WIFI_ADDR), 900),
-            (Transport::Mptcp { primary: WIFI_ADDR, coupled: true }, 700),
+            (
+                Transport::Mptcp {
+                    primary: WIFI_ADDR,
+                    coupled: true,
+                },
+                700,
+            ),
         ]);
         assert_eq!(
             OracleKind::MptcpWifiPrimary.response_time(&c),

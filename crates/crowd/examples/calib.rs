@@ -4,14 +4,19 @@ use mpwifi_simcore::DetRng;
 
 fn main() {
     for target in [0.1f64, 0.25, 0.4, 0.55, 0.7, 0.8] {
-        let world = WirelessWorld::with_target(8_000_000.0, mpwifi_crowd::world::combined_target_adjustment(target));
+        let world = WirelessWorld::with_target(
+            8_000_000.0,
+            mpwifi_crowd::world::combined_target_adjustment(target),
+        );
         let mut rng = DetRng::seed_from_u64(42);
         let n = 4000;
         let mut wins = 0;
         for i in 0..n {
             let d = world.draw(&mut rng);
             let m = measure_pair(&d.wifi, &d.lte, RunMode::Analytic, i);
-            if m.lte_wins_combined() { wins += 1; }
+            if m.lte_wins_combined() {
+                wins += 1;
+            }
         }
         println!("target {target} -> combined {:.3}", wins as f64 / n as f64);
     }

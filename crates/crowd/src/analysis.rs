@@ -64,14 +64,8 @@ pub fn analyze(dataset: &[MeasurementRun]) -> CrowdAnalysis {
             let name = profiles
                 .iter()
                 .min_by(|a, b| {
-                    let da = mpwifi_measure::haversine_km(
-                        GeoPoint::new(a.lat, a.lon),
-                        c.centroid,
-                    );
-                    let db = mpwifi_measure::haversine_km(
-                        GeoPoint::new(b.lat, b.lon),
-                        c.centroid,
-                    );
+                    let da = mpwifi_measure::haversine_km(GeoPoint::new(a.lat, a.lon), c.centroid);
+                    let db = mpwifi_measure::haversine_km(GeoPoint::new(b.lat, b.lon), c.centroid);
                     da.partial_cmp(&db).unwrap()
                 })
                 .map(|p| p.name)
@@ -103,7 +97,8 @@ pub fn analyze(dataset: &[MeasurementRun]) -> CrowdAnalysis {
     let lte_win_down = frac_negative(&down_diff);
     let pooled: Vec<f64> = up_diff.iter().chain(down_diff.iter()).copied().collect();
     let lte_win_combined = frac_negative(&pooled);
-    let lte_rtt_lower = rtt_diff.iter().filter(|&&d| d > 0.0).count() as f64 / rtt_diff.len() as f64;
+    let lte_rtt_lower =
+        rtt_diff.iter().filter(|&&d| d > 0.0).count() as f64 / rtt_diff.len() as f64;
 
     CrowdAnalysis {
         table1,
@@ -124,12 +119,7 @@ fn frac_negative(v: &[f64]) -> f64 {
 impl CrowdAnalysis {
     /// Render Table 1.
     pub fn render_table1(&self) -> String {
-        let mut t = TextTable::new(vec![
-            "Location Name",
-            "(Lat, Long)",
-            "# of Runs",
-            "LTE %",
-        ]);
+        let mut t = TextTable::new(vec!["Location Name", "(Lat, Long)", "# of Runs", "LTE %"]);
         for row in &self.table1 {
             t.row(vec![
                 row.name.to_string(),

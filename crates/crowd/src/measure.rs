@@ -71,10 +71,42 @@ fn measure_fullsim(wifi: &LinkSpec, lte: &LinkSpec, seed: u64) -> RunMeasurement
     // We point both transfers at the WiFi slot of the testbed and swap
     // specs, so the unused network can't interfere (it wouldn't anyway).
     let idle = LinkSpec::symmetric(1_000_000, Dur::from_millis(50));
-    let w_down = run_tcp_download(wifi, &idle, WIFI_ADDR, TRANSFER_BYTES, cfg(), deadline, seed);
-    let w_up = run_tcp_upload(wifi, &idle, WIFI_ADDR, TRANSFER_BYTES, cfg(), deadline, seed ^ 1);
-    let l_down = run_tcp_download(lte, &idle, WIFI_ADDR, TRANSFER_BYTES, cfg(), deadline, seed ^ 2);
-    let l_up = run_tcp_upload(lte, &idle, WIFI_ADDR, TRANSFER_BYTES, cfg(), deadline, seed ^ 3);
+    let w_down = run_tcp_download(
+        wifi,
+        &idle,
+        WIFI_ADDR,
+        TRANSFER_BYTES,
+        cfg(),
+        deadline,
+        seed,
+    );
+    let w_up = run_tcp_upload(
+        wifi,
+        &idle,
+        WIFI_ADDR,
+        TRANSFER_BYTES,
+        cfg(),
+        deadline,
+        seed ^ 1,
+    );
+    let l_down = run_tcp_download(
+        lte,
+        &idle,
+        WIFI_ADDR,
+        TRANSFER_BYTES,
+        cfg(),
+        deadline,
+        seed ^ 2,
+    );
+    let l_up = run_tcp_upload(
+        lte,
+        &idle,
+        WIFI_ADDR,
+        TRANSFER_BYTES,
+        cfg(),
+        deadline,
+        seed ^ 3,
+    );
     RunMeasurement {
         wifi_up_bps: w_up.avg_throughput_bps().unwrap_or(0.0),
         wifi_down_bps: w_down.avg_throughput_bps().unwrap_or(0.0),

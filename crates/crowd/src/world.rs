@@ -85,14 +85,16 @@ pub fn paper_clusters() -> Vec<ClusterProfile> {
         ("US (Santa Fe)", 35.9, -106.3, 4, 0.00, 10e6),
     ];
     rows.iter()
-        .map(|&(name, lat, lon, runs, lte_win_frac, wifi_median_bps)| ClusterProfile {
-            name,
-            lat,
-            lon,
-            runs,
-            lte_win_frac,
-            wifi_median_bps,
-        })
+        .map(
+            |&(name, lat, lon, runs, lte_win_frac, wifi_median_bps)| ClusterProfile {
+                name,
+                lat,
+                lon,
+                runs,
+                lte_win_frac,
+                wifi_median_bps,
+            },
+        )
         .collect()
 }
 
@@ -176,9 +178,9 @@ pub fn generate_dataset(mode: RunMode, seed: u64) -> Vec<MeasurementRun> {
             let next = std::sync::atomic::AtomicUsize::new(0);
             let mut out: Vec<Option<MeasurementRun>> = (0..specs.len()).map(|_| None).collect();
             let slots = std::sync::Mutex::new(&mut out);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|_| loop {
+                    scope.spawn(|| loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= specs.len() {
                             break;
@@ -187,8 +189,7 @@ pub fn generate_dataset(mode: RunMode, seed: u64) -> Vec<MeasurementRun> {
                         slots.lock().unwrap()[i] = Some(run);
                     });
                 }
-            })
-            .expect("measurement worker panicked");
+            });
             out.into_iter().map(|r| r.expect("slot filled")).collect()
         }
     }
@@ -297,17 +298,13 @@ mod tests {
     #[test]
     fn calibration_fit_still_valid() {
         for target in [0.25f64, 0.4, 0.55, 0.7] {
-            let world = WirelessWorld::with_target(
-                8_000_000.0,
-                combined_target_adjustment(target),
-            );
+            let world = WirelessWorld::with_target(8_000_000.0, combined_target_adjustment(target));
             let mut rng = DetRng::seed_from_u64(42);
             let n = 4000;
             let wins = (0..n)
                 .filter(|i| {
                     let d = world.draw(&mut rng);
-                    measure_pair(&d.wifi, &d.lte, RunMode::Analytic, *i)
-                        .lte_wins_combined()
+                    measure_pair(&d.wifi, &d.lte, RunMode::Analytic, *i).lte_wins_combined()
                 })
                 .count();
             let frac = wins as f64 / n as f64;

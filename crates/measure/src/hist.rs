@@ -173,7 +173,10 @@ mod tests {
         let samples: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
         let (lo, hi) = bootstrap_mean_ci(&samples, 0.95, 500, 7);
         let mean = 4.5;
-        assert!(lo <= mean && mean <= hi, "CI [{lo}, {hi}] should contain {mean}");
+        assert!(
+            lo <= mean && mean <= hi,
+            "CI [{lo}, {hi}] should contain {mean}"
+        );
         assert!(hi - lo < 1.0, "CI unexpectedly wide");
     }
 

@@ -135,7 +135,12 @@ mod tests {
     #[test]
     fn every_point_assigned_exactly_once() {
         let pts: Vec<GeoPoint> = (0..50)
-            .map(|i| p(((i * 7) % 120) as f64 - 60.0, ((i * 13) % 300) as f64 - 150.0))
+            .map(|i| {
+                p(
+                    ((i * 7) % 120) as f64 - 60.0,
+                    ((i * 13) % 300) as f64 - 150.0,
+                )
+            })
             .collect();
         let clusters = cluster_geo(&pts, 100.0, 10);
         let mut seen = vec![false; pts.len()];

@@ -231,22 +231,18 @@ impl Subflow {
         let end = entry.sf_end();
         while start < end {
             // Existing entry covering `start`, if any.
-            let covering = self.rx_maps.iter().position(|e| {
-                start >= e.sf_off && start < e.sf_end()
-            });
+            let covering = self
+                .rx_maps
+                .iter()
+                .position(|e| start >= e.sf_off && start < e.sf_end());
             if let Some(i) = covering {
                 start = self.rx_maps[i].sf_end();
                 continue;
             }
             // Uncovered at `start`: the piece runs to the next existing
             // entry or to the end of the incoming mapping.
-            let pos = self
-                .rx_maps
-                .partition_point(|e| e.sf_off <= start);
-            let piece_end = self
-                .rx_maps
-                .get(pos)
-                .map_or(end, |e| e.sf_off.min(end));
+            let pos = self.rx_maps.partition_point(|e| e.sf_off <= start);
+            let piece_end = self.rx_maps.get(pos).map_or(end, |e| e.sf_off.min(end));
             let piece = MapEntry {
                 sf_off: start,
                 dsn: entry.dsn + (start - entry.sf_off),
@@ -339,8 +335,21 @@ impl MptcpConnection {
 
     /// Server side. Subflows are attached as SYNs arrive
     /// ([`MptcpConnection::accept_primary`], [`MptcpConnection::accept_join`]).
-    pub fn server(cfg: MptcpConfig, local_addr: Addr, key_local: u64, iss_base: u32) -> MptcpConnection {
-        MptcpConnection::new(cfg, Role::Server, Vec::new(), local_addr, 0, key_local, iss_base)
+    pub fn server(
+        cfg: MptcpConfig,
+        local_addr: Addr,
+        key_local: u64,
+        iss_base: u32,
+    ) -> MptcpConnection {
+        MptcpConnection::new(
+            cfg,
+            Role::Server,
+            Vec::new(),
+            local_addr,
+            0,
+            key_local,
+            iss_base,
+        )
     }
 
     fn new(
@@ -433,14 +442,12 @@ impl MptcpConnection {
         assert!(self.subflows.is_empty(), "connect() called twice");
         self.opened_at = Some(now);
         let spec = self.paths[0];
-        let mut conn = self.make_subflow_conn(
-            spec.local_port,
-            self.remote_port,
-            self.iss_base,
-            true,
-        );
-        conn.set_handshake_options(vec![MpOption::MpCapable { key: self.key_local }
-            .to_tcp_option()]);
+        let mut conn =
+            self.make_subflow_conn(spec.local_port, self.remote_port, self.iss_base, true);
+        conn.set_handshake_options(vec![MpOption::MpCapable {
+            key: self.key_local,
+        }
+        .to_tcp_option()]);
         conn.open(now);
         self.subflows.push(Subflow {
             iface: spec.iface,
@@ -473,10 +480,11 @@ impl MptcpConnection {
         assert_eq!(self.role, Role::Server);
         self.opened_at = Some(now);
         self.key_peer = Some(key_peer);
-        let mut conn =
-            self.make_subflow_conn(seg.dst_port, seg.src_port, self.iss_base, false);
-        conn.set_handshake_options(vec![MpOption::MpCapable { key: self.key_local }
-            .to_tcp_option()]);
+        let mut conn = self.make_subflow_conn(seg.dst_port, seg.src_port, self.iss_base, false);
+        conn.set_handshake_options(vec![MpOption::MpCapable {
+            key: self.key_local,
+        }
+        .to_tcp_option()]);
         conn.on_segment(now, seg);
         self.subflows.push(Subflow {
             iface: self.server_addr,
@@ -547,7 +555,11 @@ impl MptcpConnection {
     /// Abort the whole MPTCP connection: an MP_FASTCLOSE rides out on a
     /// live subflow, then every subflow is reset locally.
     pub fn abort(&mut self, now: Time) {
-        if let Some(live) = self.subflows.iter().position(|s| !s.dead && !s.conn.is_closed()) {
+        if let Some(live) = self
+            .subflows
+            .iter()
+            .position(|s| !s.dead && !s.conn.is_closed())
+        {
             self.subflows[live].pending_fastclose = true;
             self.subflows[live].conn.request_ack();
         }
@@ -621,11 +633,7 @@ impl MptcpConnection {
 
     /// All subflows fully closed (or dead).
     pub fn is_closed(&self) -> bool {
-        !self.subflows.is_empty()
-            && self
-                .subflows
-                .iter()
-                .all(|s| s.dead || s.conn.is_closed())
+        !self.subflows.is_empty() && self.subflows.iter().all(|s| s.dead || s.conn.is_closed())
     }
 
     /// Per-subflow observability.
@@ -651,9 +659,9 @@ impl MptcpConnection {
 
     /// Does one of our subflows use this (local_port, remote_port) pair?
     pub fn route_ports(&self, local_port: u16, remote_port: u16) -> Option<usize> {
-        self.subflows.iter().position(|s| {
-            s.conn.local_port() == local_port && s.conn.remote_port() == remote_port
-        })
+        self.subflows
+            .iter()
+            .position(|s| s.conn.local_port() == local_port && s.conn.remote_port() == remote_port)
     }
 
     // ------------------------------------------------------------------
@@ -790,13 +798,9 @@ impl MptcpConnection {
             .subflows
             .iter()
             .any(|s| !s.dead && !s.is_backup && s.conn.is_established());
-        self.subflows
-            .iter()
-            .position(|s| {
-                !s.dead
-                    && s.conn.is_established()
-                    && (!s.is_backup || !any_regular_alive)
-            })
+        self.subflows.iter().position(|s| {
+            !s.dead && s.conn.is_established() && (!s.is_backup || !any_regular_alive)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -837,8 +841,7 @@ impl MptcpConnection {
                     if let Some(m) = map {
                         // The mapping's subflow position is the carrying
                         // segment's own payload position.
-                        let sf_off =
-                            self.subflows[sf_idx].conn.recv_stream_off_of_seq(seg.seq);
+                        let sf_off = self.subflows[sf_idx].conn.recv_stream_off_of_seq(seg.seq);
                         self.subflows[sf_idx].push_rx_map(MapEntry {
                             sf_off,
                             dsn: m.dsn,
@@ -1006,9 +1009,8 @@ impl MptcpConnection {
             .iter()
             .enumerate()
             .map(|(idx, s)| {
-                let eligible = !s.dead
-                    && s.conn.is_established()
-                    && (!s.is_backup || !any_regular_alive);
+                let eligible =
+                    !s.dead && s.conn.is_established() && (!s.is_backup || !any_regular_alive);
                 let window = s.conn.cwnd().min(s.conn.send_window());
                 let used = s.conn.in_flight() + s.conn.bytes_unsent();
                 SubflowView {
@@ -1144,10 +1146,7 @@ impl MptcpConnection {
             }
         }
         // Once the FASTCLOSE has left, tear the subflows down locally.
-        if self.aborting
-            && !self.aborted
-            && self.subflows.iter().all(|s| !s.pending_fastclose)
-        {
+        if self.aborting && !self.aborted && self.subflows.iter().all(|s| !s.pending_fastclose) {
             self.finish_abort(now);
         }
         out
@@ -1186,11 +1185,17 @@ impl MptcpConnection {
             push_if_room(&mut seg, full, || pushed = true);
             let fin_deferred = std::mem::take(&mut pushed);
             if fin_deferred {
-                let no_fin = MpOption::Dss { data_ack, map: None, fin: false, fin_dsn: 0 };
+                let no_fin = MpOption::Dss {
+                    data_ack,
+                    map: None,
+                    fin: false,
+                    fin_dsn: 0,
+                };
                 let mut still_full = false;
                 push_if_room(&mut seg, no_fin.clone(), || still_full = true);
                 if still_full {
-                    seg.options.retain(|o| !matches!(o, mpwifi_tcp::segment::TcpOption::Sack(_)));
+                    seg.options
+                        .retain(|o| !matches!(o, mpwifi_tcp::segment::TcpOption::Sack(_)));
                     seg.options.push(no_fin.to_tcp_option());
                 }
             }
@@ -1210,9 +1215,7 @@ impl MptcpConnection {
         }
 
         // Data segment: split along mapping boundaries.
-        let base_off = self.subflows[sf_idx]
-            .conn
-            .send_stream_off_of_seq(seg.seq);
+        let base_off = self.subflows[sf_idx].conn.send_stream_off_of_seq(seg.seq);
         let mut pieces = Vec::new();
         let mut consumed = 0usize;
         while consumed < seg.payload.len() {
@@ -1273,7 +1276,8 @@ impl MptcpConnection {
 fn push_if_room(seg: &mut Segment, opt: MpOption, defer: impl FnOnce()) {
     let tcp_opt = opt.to_tcp_option();
     seg.options.push(tcp_opt);
-    let opt_len: usize = seg.wire_len() - mpwifi_tcp::segment::IP_OVERHEAD
+    let opt_len: usize = seg.wire_len()
+        - mpwifi_tcp::segment::IP_OVERHEAD
         - mpwifi_tcp::segment::HEADER_LEN
         - seg.payload.len();
     if opt_len > 40 {
@@ -1337,11 +1341,15 @@ mod tests {
         sf.push_rx_map(entry(0, 1000, 1400));
         sf.push_rx_map(entry(1400, 9000, 1400));
         sf.push_rx_map(entry(700, 1700, 1400)); // 1000+700 .. consistent dsn
-        // Every offset must resolve, to the original (consistent) dsn.
+                                                // Every offset must resolve, to the original (consistent) dsn.
         for off in [0u64, 699, 700, 1399, 1400, 2799] {
             let e = sf.rx_map_at(off).unwrap();
             let dsn = e.dsn + (off - e.sf_off);
-            let expect = if off < 1400 { 1000 + off } else { 9000 + (off - 1400) };
+            let expect = if off < 1400 {
+                1000 + off
+            } else {
+                9000 + (off - 1400)
+            };
             assert_eq!(dsn, expect, "offset {off}");
         }
         // And the map stays sorted + non-overlapping.

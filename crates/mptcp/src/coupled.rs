@@ -17,8 +17,8 @@
 //! and is less aggressive than N independent Reno flows (the effect
 //! behind the paper's Figures 13/14 for 1 MB flows).
 
-use mpwifi_tcp::cc::CongestionControl;
 use mpwifi_simcore::{Dur, Time};
+use mpwifi_tcp::cc::CongestionControl;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -287,7 +287,10 @@ mod tests {
             total_growth <= (MSS as u64 * 3) / 2,
             "coupled growth {total_growth} should be well under 2 MSS"
         );
-        assert!(total_growth >= MSS as u64 / 2, "but not frozen: {total_growth}");
+        assert!(
+            total_growth >= MSS as u64 / 2,
+            "but not frozen: {total_growth}"
+        );
     }
 
     #[test]
@@ -348,7 +351,11 @@ mod tests {
         cc.set_cwnd(50 * MSS as u64);
         cc.on_rto(t0(), 50 * MSS as u64);
         assert_eq!(cc.cwnd(), MSS as u64);
-        assert_eq!(g.borrow().flows[0].cwnd, MSS as u64, "group sees the collapse");
+        assert_eq!(
+            g.borrow().flows[0].cwnd,
+            MSS as u64,
+            "group sees the collapse"
+        );
     }
 
     #[test]

@@ -82,14 +82,8 @@ impl ClientEndpoint {
         self.next_port += order.len() as u16;
         let key = self.next_key();
         let iss_base = (key >> 32) as u32 ^ (key as u32);
-        let mut conn = MptcpConnection::client(
-            cfg,
-            paths,
-            self.server_addr,
-            remote_port,
-            key,
-            iss_base,
-        );
+        let mut conn =
+            MptcpConnection::client(cfg, paths, self.server_addr, remote_port, key, iss_base);
         conn.connect(now);
         self.conns.push(conn);
         self.conns.len() - 1
@@ -172,7 +166,12 @@ impl ServerEndpoint {
     /// Listen on `listen_port`, configuring accepted connections with
     /// `cfg` (the experiment harness keeps it consistent with the
     /// client's, as the paper did by installing matching kernels).
-    pub fn new(local_addr: Addr, listen_port: u16, cfg: MptcpConfig, key_seed: u64) -> ServerEndpoint {
+    pub fn new(
+        local_addr: Addr,
+        listen_port: u16,
+        cfg: MptcpConfig,
+        key_seed: u64,
+    ) -> ServerEndpoint {
         ServerEndpoint {
             local_addr,
             listen_port,
@@ -246,11 +245,7 @@ impl ServerEndpoint {
                     addr_id,
                     backup,
                 } => {
-                    if let Some(conn) = self
-                        .conns
-                        .iter_mut()
-                        .find(|c| c.local_token() == token)
-                    {
+                    if let Some(conn) = self.conns.iter_mut().find(|c| c.local_token() == token) {
                         conn.accept_join(now, seg, src_addr, addr_id, backup);
                     }
                     return;
@@ -430,7 +425,9 @@ mod tests {
     #[test]
     fn mp_capable_handshake_establishes_primary() {
         let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
-        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+        let c = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
         lb.run_until(|lb| lb.client.conn(c).established_at().is_some(), 100);
         // Primary over WiFi (10 ms one way): established at 20 ms.
         assert_eq!(
@@ -443,11 +440,15 @@ mod tests {
     #[test]
     fn secondary_joins_after_primary() {
         let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
-        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+        let c = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
         lb.run_until(
             |lb| {
                 lb.client.conn(c).subflow_count() == 2
-                    && lb.client.conn(c).subflow_stats()[1].established_at.is_some()
+                    && lb.client.conn(c).subflow_stats()[1]
+                        .established_at
+                        .is_some()
             },
             500,
         );
@@ -465,17 +466,16 @@ mod tests {
     #[test]
     fn download_uses_both_subflows_and_is_intact() {
         let mut lb = MpLoopback::new(cfg(CcChoice::Decoupled, Mode::Full), 10, 15);
-        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), WIFI, 80);
+        let c = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), WIFI, 80);
         let data = pattern(500_000);
         // Server sends on accept.
         lb.run_until(|lb| !lb.server.is_empty(), 100);
         let sid = 0;
         lb.server.conn_mut(sid).send(Bytes::from(data.clone()));
         lb.server.conn_mut(sid).close(Time::ZERO);
-        lb.run_until(
-            |lb| lb.client.conn(c).delivered_bytes() == 500_000,
-            100_000,
-        );
+        lb.run_until(|lb| lb.client.conn(c).delivered_bytes() == 500_000, 100_000);
         let got: Vec<u8> = lb.client.conn_mut(c).take_delivered().concat();
         assert_eq!(got, data, "connection-level stream must be intact");
         // Both subflows carried data.
@@ -487,7 +487,9 @@ mod tests {
     #[test]
     fn upload_direction_works_too() {
         let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 15);
-        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), LTE, 80);
+        let c = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), LTE, 80);
         let data = pattern(200_000);
         lb.client.conn_mut(c).send(Bytes::from(data.clone()));
         lb.client.conn_mut(c).close(Time::ZERO);
@@ -504,15 +506,14 @@ mod tests {
     #[test]
     fn backup_mode_keeps_data_off_backup_subflow() {
         let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Backup), 10, 15);
-        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Backup), WIFI, 80);
+        let c = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Backup), WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
         let data = pattern(300_000);
         lb.server.conn_mut(0).send(Bytes::from(data.clone()));
         lb.server.conn_mut(0).close(Time::ZERO);
-        lb.run_until(
-            |lb| lb.client.conn(c).delivered_bytes() == 300_000,
-            100_000,
-        );
+        lb.run_until(|lb| lb.client.conn(c).delivered_bytes() == 300_000, 100_000);
         let srv_stats = lb.server.conn(0).subflow_stats();
         // The backup (LTE) subflow established but carried zero payload.
         assert_eq!(srv_stats[1].is_backup, true);
@@ -520,7 +521,10 @@ mod tests {
             srv_stats[1].bytes_acked, 0,
             "backup subflow must carry no data while primary lives"
         );
-        assert!(srv_stats[1].established_at.is_some(), "but it did handshake");
+        assert!(
+            srv_stats[1].established_at.is_some(),
+            "but it did handshake"
+        );
         let got: Vec<u8> = lb.client.conn_mut(c).take_delivered().concat();
         assert_eq!(got, data);
     }
@@ -531,7 +535,9 @@ mod tests {
         // interface is disabled via notification (multipath off). The
         // transfer must complete over LTE.
         let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Backup), 10, 15);
-        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Backup), WIFI, 80);
+        let c = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Backup), WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
         let data = pattern(400_000);
         lb.server.conn_mut(0).send(Bytes::from(data.clone()));
@@ -542,10 +548,7 @@ mod tests {
         lb.wifi_up = false;
         let t_down = lb.now;
         lb.client.notify_iface_down(t_down, WIFI);
-        lb.run_until(
-            |lb| lb.client.conn(c).delivered_bytes() == 400_000,
-            200_000,
-        );
+        lb.run_until(|lb| lb.client.conn(c).delivered_bytes() == 400_000, 200_000);
         let got: Vec<u8> = lb.client.conn_mut(c).take_delivered().concat();
         assert_eq!(got, data, "failover must not corrupt the stream");
         let srv_stats = lb.server.conn(0).subflow_stats();
@@ -598,10 +601,7 @@ mod tests {
         lb.server.conn_mut(0).close(Time::ZERO);
         lb.run_until(|lb| lb.client.conn(c).delivered_bytes() > 50_000, 100_000);
         lb.lte_up = false;
-        lb.run_until(
-            |lb| lb.client.conn(c).delivered_bytes() == 400_000,
-            400_000,
-        );
+        lb.run_until(|lb| lb.client.conn(c).delivered_bytes() == 400_000, 400_000);
         let got: Vec<u8> = lb.client.conn_mut(c).take_delivered().concat();
         assert_eq!(got, data, "reinjected stream must be intact");
     }
@@ -609,7 +609,9 @@ mod tests {
     #[test]
     fn full_teardown_closes_all_subflows() {
         let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 15);
-        let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+        let c = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
         lb.server.conn_mut(0).send(Bytes::from(pattern(50_000)));
         lb.server.conn_mut(0).close(Time::ZERO);
@@ -624,8 +626,12 @@ mod tests {
     #[test]
     fn concurrent_mptcp_connections() {
         let mut lb = MpLoopback::new(cfg(CcChoice::Decoupled, Mode::Full), 10, 15);
-        let c0 = lb.client.open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), WIFI, 80);
-        let c1 = lb.client.open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), LTE, 80);
+        let c0 = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), WIFI, 80);
+        let c1 = lb
+            .client
+            .open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), LTE, 80);
         lb.run_until(|lb| lb.server.len() == 2, 1000);
         let d0 = pattern(80_000);
         let d1: Vec<u8> = (0..60_000).map(|i| (i % 13) as u8).collect();
@@ -653,7 +659,10 @@ mod tests {
         let data = pattern(200_000);
         lb.server.conn_mut(0).send(Bytes::from(data.clone()));
         lb.server.conn_mut(0).close(Time::ZERO);
-        lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() == 200_000, 100_000);
+        lb.run_until(
+            |lb| lb.client.conn(conn).delivered_bytes() == 200_000,
+            100_000,
+        );
         // Exactly one subflow ever existed; the LTE radio never woke up.
         assert_eq!(lb.client.conn(conn).subflow_count(), 1);
         assert_eq!(lb.client.conn_mut(conn).take_delivered().concat(), data);
@@ -668,7 +677,10 @@ mod tests {
         let data = pattern(400_000);
         lb.server.conn_mut(0).send(Bytes::from(data.clone()));
         lb.server.conn_mut(0).close(Time::ZERO);
-        lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() > 20_000, 100_000);
+        lb.run_until(
+            |lb| lb.client.conn(conn).delivered_bytes() > 20_000,
+            100_000,
+        );
         // WiFi dies with a notification: the LTE subflow is created only
         // now (break-before-make) and the transfer completes on it.
         lb.wifi_up = false;
@@ -679,11 +691,17 @@ mod tests {
             2,
             "replacement subflow created at failure time"
         );
-        lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() == 400_000, 400_000);
+        lb.run_until(
+            |lb| lb.client.conn(conn).delivered_bytes() == 400_000,
+            400_000,
+        );
         let got = lb.client.conn_mut(conn).take_delivered().concat();
         assert_eq!(got, data, "stream must survive break-before-make handover");
         let stats = lb.client.conn(conn).subflow_stats();
-        assert!(stats[1].established_at.unwrap() > t, "secondary joined after the failure");
+        assert!(
+            stats[1].established_at.unwrap() > t,
+            "secondary joined after the failure"
+        );
     }
 
     #[test]
@@ -699,7 +717,10 @@ mod tests {
             let data = pattern(400_000);
             lb.server.conn_mut(0).send(Bytes::from(data.clone()));
             lb.server.conn_mut(0).close(Time::ZERO);
-            lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() >= cut_at, 200_000);
+            lb.run_until(
+                |lb| lb.client.conn(conn).delivered_bytes() >= cut_at,
+                200_000,
+            );
             lb.wifi_up = false;
             let now = lb.now;
             lb.client.notify_iface_down(now, WIFI);
@@ -719,7 +740,10 @@ mod tests {
         let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
         lb.server.conn_mut(0).send(Bytes::from(pattern(500_000)));
-        lb.run_until(|lb| lb.client.conn(conn).delivered_bytes() > 20_000, 100_000);
+        lb.run_until(
+            |lb| lb.client.conn(conn).delivered_bytes() > 20_000,
+            100_000,
+        );
         // Client aborts mid-transfer.
         let now = lb.now;
         lb.client.conn_mut(conn).abort(now);
@@ -738,7 +762,9 @@ mod tests {
     fn primary_choice_changes_first_established_iface() {
         for (primary, expect) in [(WIFI, WIFI), (LTE, LTE)] {
             let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
-            let c = lb.client.open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), primary, 80);
+            let c = lb
+                .client
+                .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), primary, 80);
             lb.run_until(|lb| lb.client.conn(c).established_at().is_some(), 200);
             assert_eq!(lb.client.conn(c).subflow_stats()[0].iface, expect);
         }

@@ -256,7 +256,9 @@ mod tests {
 
     #[test]
     fn mp_capable_round_trip() {
-        let opt = MpOption::MpCapable { key: 0xDEAD_BEEF_0BAD_F00D };
+        let opt = MpOption::MpCapable {
+            key: 0xDEAD_BEEF_0BAD_F00D,
+        };
         assert_eq!(MpOption::decode(opt.encode()), Some(opt));
     }
 
@@ -275,10 +277,18 @@ mod tests {
     #[test]
     fn dss_round_trip_all_shapes() {
         let shapes = [
-            MpOption::Dss { data_ack: 0, map: None, fin: false, fin_dsn: 0 },
+            MpOption::Dss {
+                data_ack: 0,
+                map: None,
+                fin: false,
+                fin_dsn: 0,
+            },
             MpOption::Dss {
                 data_ack: 9_999_999_999,
-                map: Some(DssMap { dsn: 1 << 40, len: 1400 }),
+                map: Some(DssMap {
+                    dsn: 1 << 40,
+                    len: 1400,
+                }),
                 fin: false,
                 fin_dsn: 0,
             },
@@ -288,7 +298,12 @@ mod tests {
                 fin: true,
                 fin_dsn: 101,
             },
-            MpOption::Dss { data_ack: 42, map: None, fin: true, fin_dsn: 42 },
+            MpOption::Dss {
+                data_ack: 42,
+                map: None,
+                fin: true,
+                fin_dsn: 42,
+            },
         ];
         for opt in shapes {
             assert_eq!(MpOption::decode(opt.encode()), Some(opt));
@@ -325,7 +340,10 @@ mod tests {
         let mut seg = Segment::control(1, 2, 10, 20, Flags::ACK);
         let dss = MpOption::Dss {
             data_ack: 4096,
-            map: Some(DssMap { dsn: 4096, len: 1400 }),
+            map: Some(DssMap {
+                dsn: 4096,
+                len: 1400,
+            }),
             fin: false,
             fin_dsn: 0,
         };
@@ -359,7 +377,10 @@ mod tests {
             mpwifi_tcp::segment::TcpOption::Timestamp { val: 1, ecr: 2 },
             MpOption::Dss {
                 data_ack: u64::MAX,
-                map: Some(DssMap { dsn: u64::MAX, len: u16::MAX }),
+                map: Some(DssMap {
+                    dsn: u64::MAX,
+                    len: u16::MAX,
+                }),
                 fin: false,
                 fin_dsn: 0,
             }

@@ -90,10 +90,7 @@ mod tests {
     #[test]
     fn min_rtt_picks_fastest() {
         let mut s = Scheduler::new(SchedKind::MinRtt);
-        let views = [
-            view(0, true, 1400, Some(80)),
-            view(1, true, 1400, Some(30)),
-        ];
+        let views = [view(0, true, 1400, Some(80)), view(1, true, 1400, Some(30))];
         assert_eq!(s.pick(&views), Some(1));
     }
 
@@ -107,7 +104,10 @@ mod tests {
     #[test]
     fn min_rtt_skips_ineligible() {
         let mut s = Scheduler::new(SchedKind::MinRtt);
-        let views = [view(0, false, 1400, Some(10)), view(1, true, 1400, Some(90))];
+        let views = [
+            view(0, false, 1400, Some(10)),
+            view(1, true, 1400, Some(90)),
+        ];
         assert_eq!(s.pick(&views), Some(1));
     }
 

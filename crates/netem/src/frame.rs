@@ -63,7 +63,13 @@ mod tests {
 
     #[test]
     fn wire_len_is_payload_len() {
-        let f = Frame::new(1, Addr(1), Addr(2), Bytes::from_static(b"hello"), Time::ZERO);
+        let f = Frame::new(
+            1,
+            Addr(1),
+            Addr(2),
+            Bytes::from_static(b"hello"),
+            Time::ZERO,
+        );
         assert_eq!(f.wire_len(), 5);
     }
 

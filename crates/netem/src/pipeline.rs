@@ -150,7 +150,13 @@ mod tests {
     use mpwifi_simcore::{DetRng, Dur};
 
     fn frame(id: u64, len: usize) -> Frame {
-        Frame::new(id, Addr(1), Addr(2), Bytes::from(vec![0u8; len]), Time::ZERO)
+        Frame::new(
+            id,
+            Addr(1),
+            Addr(2),
+            Bytes::from(vec![0u8; len]),
+            Time::ZERO,
+        )
     }
 
     fn rate_delay_pipeline(bps: u64, delay_ms: u64) -> Pipeline {

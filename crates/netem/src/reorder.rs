@@ -78,7 +78,13 @@ mod tests {
     use bytes::Bytes;
 
     fn frame(id: u64) -> Frame {
-        Frame::new(id, Addr(1), Addr(2), Bytes::from_static(&[0u8; 100]), Time::ZERO)
+        Frame::new(
+            id,
+            Addr(1),
+            Addr(2),
+            Bytes::from_static(&[0u8; 100]),
+            Time::ZERO,
+        )
     }
 
     fn drain(stage: &mut ReorderStage) -> Vec<u64> {

@@ -226,7 +226,10 @@ impl Stage for LinkQueue {
         if exit > now {
             return None;
         }
-        let frame = self.queue.pop_front().expect("head scheduled but queue empty");
+        let frame = self
+            .queue
+            .pop_front()
+            .expect("head scheduled but queue empty");
         self.queued_bytes -= frame.wire_len();
         self.server_busy_until = Some(exit);
         self.head_exit = None;
@@ -362,7 +365,13 @@ mod tests {
     use bytes::Bytes;
 
     fn frame(id: u64, len: usize) -> Frame {
-        Frame::new(id, Addr(1), Addr(2), Bytes::from(vec![0u8; len]), Time::ZERO)
+        Frame::new(
+            id,
+            Addr(1),
+            Addr(2),
+            Bytes::from(vec![0u8; len]),
+            Time::ZERO,
+        )
     }
 
     #[test]
@@ -499,13 +508,19 @@ mod tests {
         let mut link = LinkQueue::fixed_rate(12_000_000, usize::MAX);
         link.push(Time::ZERO, frame(1, 1500));
         assert_eq!(link.next_ready(), Some(Time::from_millis(1)));
-        link.set_service(Time::from_micros(500), Service::FixedRate { bps: 1_200_000 });
+        link.set_service(
+            Time::from_micros(500),
+            Service::FixedRate { bps: 1_200_000 },
+        );
         assert_eq!(link.next_ready(), Some(Time::from_micros(5_500)));
         let (_, f) = link.pop_ready(Time::from_micros(5_500)).unwrap();
         assert_eq!(f.id, 1);
         // A rate increase also scales only the remaining fraction.
         link.push(Time::from_millis(20), frame(2, 1500));
-        link.set_service(Time::from_millis(20), Service::FixedRate { bps: 120_000_000 });
+        link.set_service(
+            Time::from_millis(20),
+            Service::FixedRate { bps: 120_000_000 },
+        );
         assert_eq!(link.next_ready(), Some(Time::from_micros(20_100)));
     }
 
@@ -538,7 +553,10 @@ mod tests {
             }
         }
         assert!(delivered, "head frame starved by rate oscillation");
-        assert!(now < Time::from_millis(30), "delivered at {now}, far too late");
+        assert!(
+            now < Time::from_millis(30),
+            "delivered at {now}, far too late"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl DeliveryTrace {
     /// Build from raw offsets. Offsets are sorted and deduplicated;
     /// panics if empty or if any offset falls outside the period.
     pub fn new(mut offsets: Vec<u64>, period: Dur) -> DeliveryTrace {
-        assert!(!offsets.is_empty(), "trace must have at least one opportunity");
+        assert!(
+            !offsets.is_empty(),
+            "trace must have at least one opportunity"
+        );
         let period = period.as_nanos();
         assert!(period > 0, "trace period must be positive");
         offsets.sort_unstable();
@@ -195,7 +198,10 @@ mod tests {
         );
         // Full-period rotation is the identity.
         let full = t.rotated(Dur::from_millis(1));
-        assert_eq!(full.next_opportunity_after(Time::ZERO), t.next_opportunity_after(Time::ZERO));
+        assert_eq!(
+            full.next_opportunity_after(Time::ZERO),
+            t.next_opportunity_after(Time::ZERO)
+        );
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! spread.
 
 use crate::{MAX_RATE_BPS, MIN_RATE_BPS};
-use mpwifi_simcore::{norm_quantile, DetRng, Dur};
 use mpwifi_sim::{LinkSpec, ServiceSpec};
+use mpwifi_simcore::{norm_quantile, DetRng, Dur};
 use serde::{Deserialize, Serialize};
 
 /// Cellular technology of a run (the app filtered to LTE/HSPA+).
@@ -255,10 +255,7 @@ mod tests {
             let frac = wins as f64 / n as f64;
             // HSPA+ scaling and clamping pull slightly off the ideal;
             // stay within 5 points.
-            assert!(
-                (frac - target).abs() < 0.05,
-                "target {target}, got {frac}"
-            );
+            assert!((frac - target).abs() < 0.05, "target {target}, got {frac}");
         }
     }
 

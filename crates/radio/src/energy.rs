@@ -14,8 +14,8 @@
 //! [`PowerModel::power_timeline`] converts a packet log into a piecewise
 //! power curve; [`PowerModel::energy`] integrates it.
 
-use mpwifi_simcore::{Dur, Time, TimeSeries};
 use mpwifi_sim::PacketLog;
+use mpwifi_simcore::{Dur, Time, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 /// Which radio a timeline models.

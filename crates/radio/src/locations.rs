@@ -13,8 +13,8 @@
 
 use crate::conditions::{EnvKind, WirelessWorld};
 use crate::tracegen::{lte_trace, wifi_trace};
-use mpwifi_simcore::{DetRng, Dur};
 use mpwifi_sim::{LinkSpec, ServiceSpec};
+use mpwifi_simcore::{DetRng, Dur};
 
 /// One measurement location: Table 2 row + realized link conditions.
 #[derive(Debug, Clone)]
@@ -39,7 +39,11 @@ pub struct LocationCondition {
 /// Table 2 rows: (city, description, archetype).
 const TABLE2: [(&str, &str, EnvKind); 20] = [
     ("Amherst, MA", "University Campus, Indoor", EnvKind::Campus),
-    ("Amherst, MA", "University Campus, Outdoor", EnvKind::Outdoor),
+    (
+        "Amherst, MA",
+        "University Campus, Outdoor",
+        EnvKind::Outdoor,
+    ),
     ("Amherst, MA", "Cafe, Indoor", EnvKind::Cafe),
     ("Amherst, MA", "Downtown, Outdoor", EnvKind::Outdoor),
     ("Amherst, MA", "Apartment, Indoor", EnvKind::Apartment),
@@ -53,7 +57,11 @@ const TABLE2: [(&str, &str, EnvKind); 20] = [
     ("Boston, MA", "Store, Indoor", EnvKind::Cafe),
     ("Santa Barbara, CA", "Hotel Lobby, Indoor", EnvKind::Hotel),
     ("Santa Barbara, CA", "Hotel Room, Indoor", EnvKind::Hotel),
-    ("Santa Barbara, CA", "Conference Room, Indoor", EnvKind::Campus),
+    (
+        "Santa Barbara, CA",
+        "Conference Room, Indoor",
+        EnvKind::Campus,
+    ),
     ("Los Angeles, CA", "Airport, Indoor", EnvKind::PublicVenue),
     ("Washington, D.C.", "Hotel Room, Indoor", EnvKind::Hotel),
     ("Princeton, NJ", "Hotel Room, Indoor", EnvKind::Hotel),
@@ -87,8 +95,20 @@ fn wifi_with_trace(spec: &LinkSpec, env: EnvKind, rng: &mut DetRng) -> LinkSpec 
     let down_mean = spec.down.average_bps();
     let up_mean = spec.up.average_bps();
     LinkSpec {
-        down: ServiceSpec::Trace(wifi_trace(rng, down_mean, burst_prob, degraded, Dur::from_secs(4))),
-        up: ServiceSpec::Trace(wifi_trace(rng, up_mean, burst_prob, degraded, Dur::from_secs(4))),
+        down: ServiceSpec::Trace(wifi_trace(
+            rng,
+            down_mean,
+            burst_prob,
+            degraded,
+            Dur::from_secs(4),
+        )),
+        up: ServiceSpec::Trace(wifi_trace(
+            rng,
+            up_mean,
+            burst_prob,
+            degraded,
+            Dur::from_secs(4),
+        )),
         ..spec.clone()
     }
 }

@@ -124,10 +124,7 @@ impl RrcMachine {
 
     /// The state at instant `at`.
     pub fn state_at(&self, at: Time) -> RrcState {
-        match self
-            .transitions
-            .partition_point(|&(t, _)| t <= at)
-        {
+        match self.transitions.partition_point(|&(t, _)| t <= at) {
             0 => RrcState::Idle,
             i => self.transitions[i - 1].1,
         }
@@ -202,7 +199,10 @@ mod tests {
         }
         assert_eq!(m.state_at(Time::from_millis(3000)), RrcState::Connected);
         // 15.3 s after the last packet it finally demotes.
-        assert_eq!(m.state_at(Time::from_millis(4900 + 300 + 15_000 + 100)), RrcState::Idle);
+        assert_eq!(
+            m.state_at(Time::from_millis(4900 + 300 + 15_000 + 100)),
+            RrcState::Idle
+        );
     }
 
     #[test]
@@ -243,15 +243,18 @@ mod tests {
             log.record(Time::from_millis(ms), PacketDir::Tx, 100);
         }
         let horizon = Time::from_secs(40);
-        let non_idle = horizon.saturating_since(Time::ZERO)
-            - m.time_in(RrcState::Idle, horizon);
+        let non_idle = horizon.saturating_since(Time::ZERO) - m.time_in(RrcState::Idle, horizon);
         let pm = PowerModel::default();
         let e = pm.energy(RadioKind::Lte, &log, horizon);
         // Power model's non-base energy implies a non-idle duration of
         // roughly active/tail wattage * time; just check the same order:
         // both should be ~ (activity span + one tail) ≈ 8.1 + 15.3 s.
         let expect = Dur::from_secs(23);
-        let delta = if non_idle > expect { non_idle - expect } else { expect - non_idle };
+        let delta = if non_idle > expect {
+            non_idle - expect
+        } else {
+            expect - non_idle
+        };
         assert!(delta < Dur::from_secs(2), "machine non-idle {non_idle}");
         assert!(e.radio_j() > 15.0, "power model agrees something burned");
     }

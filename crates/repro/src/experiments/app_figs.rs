@@ -121,7 +121,10 @@ pub fn fig17(seed: u64) -> Report {
         "CNN/IMDB-launch/Dropbox-launch are short-flow dominated",
         "short-flow dominated",
         String::from("4 of 6 patterns short-flow dominated"),
-        ps.iter().filter(|p| p.class() == AppClass::ShortFlowDominated).count() == 4,
+        ps.iter()
+            .filter(|p| p.class() == AppClass::ShortFlowDominated)
+            .count()
+            == 4,
     );
     r.claim(
         "IMDB click and Dropbox click are long-flow dominated",
@@ -150,7 +153,10 @@ pub fn fig18_20(scale: Scale, seed: u64, long_flow: bool) -> Report {
     let study = run_app_study(&pattern, &conds, Dur::from_secs(300), seed);
     let mut r = Report::new(
         id,
-        format!("{} app-response time under different network conditions", pattern.app),
+        format!(
+            "{} app-response time under different network conditions",
+            pattern.app
+        ),
         "4 representative conditions (2 WiFi-better, 2 LTE-better) × 6 transport configurations",
     );
     let mut t = TextTable::new(vec![
@@ -196,21 +202,30 @@ pub fn fig18_20(scale: Scale, seed: u64, long_flow: bool) -> Report {
     r.claim(
         "choosing the right network for single-path TCP matters",
         "up to ~2x (50%) reduction",
-        format!("mean reduction vs wrong network: {:.0}%", avg(&sp_gains) * 100.0),
+        format!(
+            "mean reduction vs wrong network: {:.0}%",
+            avg(&sp_gains) * 100.0
+        ),
         avg(&sp_gains) > 0.15,
     );
     if long_flow {
         r.claim(
             "best MPTCP variant helps the long-flow app",
             "MPTCP reduces response time markedly",
-            format!("best MPTCP vs best single-path: {:+.0}%", -avg(&mp_gains) * 100.0),
+            format!(
+                "best MPTCP vs best single-path: {:+.0}%",
+                -avg(&mp_gains) * 100.0
+            ),
             avg(&mp_gains) > -0.25,
         );
     } else {
         r.claim(
             "MPTCP gives the short-flow app little or no benefit",
             "≤ single-path oracle's gain",
-            format!("best MPTCP vs best single-path: {:+.0}%", -avg(&mp_gains) * 100.0),
+            format!(
+                "best MPTCP vs best single-path: {:+.0}%",
+                -avg(&mp_gains) * 100.0
+            ),
             avg(&mp_gains) < 0.25,
         );
     }
@@ -266,7 +281,11 @@ pub fn fig19_21(scale: Scale, seed: u64, long_flow: bool) -> Report {
         r.claim(
             "MPTCP oracles reduce response time at least as much as single-path",
             "MPTCP up to 50%, single-path 42%",
-            format!("single-path {:.0}%, best MPTCP {:.0}%", sp * 100.0, best_mp * 100.0),
+            format!(
+                "single-path {:.0}%, best MPTCP {:.0}%",
+                sp * 100.0,
+                best_mp * 100.0
+            ),
             best_mp >= sp - 0.08,
         );
         r.claim(
@@ -279,7 +298,11 @@ pub fn fig19_21(scale: Scale, seed: u64, long_flow: bool) -> Report {
         r.claim(
             "single-path oracle gives the biggest reduction",
             "50% vs 15–35% for MPTCP oracles",
-            format!("single-path {:.0}%, best MPTCP {:.0}%", sp * 100.0, best_mp * 100.0),
+            format!(
+                "single-path {:.0}%, best MPTCP {:.0}%",
+                sp * 100.0,
+                best_mp * 100.0
+            ),
             sp >= best_mp - 0.05,
         );
         r.claim(

@@ -62,7 +62,10 @@ pub fn fig3(scale: Scale, seed: u64) -> Report {
     let mut r = Report::new(
         "fig3",
         "CDF of Tput(WiFi) − Tput(LTE), uplink and downlink",
-        format!("2104 runs × (1 MB up + 1 MB down) per network; {}", mode_note(scale)),
+        format!(
+            "2104 runs × (1 MB up + 1 MB down) per network; {}",
+            mode_note(scale)
+        ),
     );
     r.block(series_block(
         "fig3a uplink: x = Tput(WiFi)-Tput(LTE) Mbit/s, y = CDF",

@@ -37,7 +37,11 @@ pub fn ext_handover(seed: u64) -> Report {
         };
         let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);
         let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), seed ^ 0xCE);
-        let mut sim = Sim::new(client, server, &wifi, &lte, seed);
+        let mut sim = Sim::builder(client, server)
+            .wifi(&wifi)
+            .lte(&lte)
+            .seed(seed)
+            .build();
         // WiFi (primary) dies, with notification, at t = 4 s.
         let fail_at = Time::from_secs(4);
         sim.schedule(fail_at, ScriptEvent::CutIface(WIFI_ADDR));
@@ -69,7 +73,10 @@ pub fn ext_handover(seed: u64) -> Report {
         // Close and drain teardown so FIN tails are charged.
         let now = sim.now;
         sim.client.mp.conn_mut(id).close(now);
-        sim.run_until(|sim| sim.client.mp.conn(0).is_closed(), now + Dur::from_secs(10));
+        sim.run_until(
+            |sim| sim.client.mp.conn(0).is_closed(),
+            now + Dur::from_secs(10),
+        );
         let gap = first_progress_after_fail.map_or(Dur::MAX, |t| t - fail_at);
         let lte_j = model
             .energy(RadioKind::Lte, &sim.lte_log, sim.now + Dur::from_secs(16))
@@ -82,7 +89,12 @@ pub fn ext_handover(seed: u64) -> Report {
         "EXTENSION — Backup vs Single-Path (break-before-make) handover",
         "3 MB download, WiFi primary dies (notified) at t=4 s; gap = time to first post-failure delivery; energy = LTE radio joules incl. tails",
     );
-    let mut t = TextTable::new(vec!["Mode", "Failover gap", "LTE radio energy", "Completed"]);
+    let mut t = TextTable::new(vec![
+        "Mode",
+        "Failover gap",
+        "LTE radio energy",
+        "Completed",
+    ]);
     for (label, gap, j, done) in &rows {
         t.row(vec![
             label.to_string(),
@@ -129,7 +141,10 @@ pub fn ext_policy(scale: Scale, seed: u64) -> Report {
     let policies: Vec<(&str, Box<dyn NetworkSelector>)> = vec![
         ("always-wifi (today's default)", Box::new(AlwaysWifi)),
         ("best-measured single path", Box::new(BestMeasured)),
-        ("paper-guided (flows+comparability)", Box::new(PaperGuided::default())),
+        (
+            "paper-guided (flows+comparability)",
+            Box::new(PaperGuided::default()),
+        ),
     ];
     let mut totals = vec![0.0f64; policies.len() + 1]; // + oracle
     let mut t = TextTable::new(vec![
@@ -151,9 +166,16 @@ pub fn ext_policy(scale: Scale, seed: u64) -> Report {
                 NetworkChoice::Both if wifi_measured_better => StudyTransport::MpWifiDecoupled,
                 NetworkChoice::Both => StudyTransport::MpLteDecoupled,
             };
-            run_transfer(&loc.wifi, &loc.lte, transport, FlowDir::Down, flow_bytes, seed)
-                .avg_throughput_bps()
-                .unwrap_or(0.0)
+            run_transfer(
+                &loc.wifi,
+                &loc.lte,
+                transport,
+                FlowDir::Down,
+                flow_bytes,
+                seed,
+            )
+            .avg_throughput_bps()
+            .unwrap_or(0.0)
         };
         let mut row = vec![format!("loc {:2} ({})", loc.id, loc.description)];
         let mut best_here = 0.0f64;
@@ -203,7 +225,11 @@ pub fn ext_policy(scale: Scale, seed: u64) -> Report {
     r.claim(
         "the paper-guided policy (MPTCP for long comparable flows) beats single-path selection",
         "MPTCP helps 1 MB flows on comparable links",
-        format!("{} vs {}", fmt_bps(guided_mean), fmt_bps(best_measured_mean)),
+        format!(
+            "{} vs {}",
+            fmt_bps(guided_mean),
+            fmt_bps(best_measured_mean)
+        ),
         guided_mean >= best_measured_mean,
     );
     r.claim(
@@ -238,17 +264,19 @@ pub fn ext_mobility(seed: u64) -> Report {
 
     // Single-path TCP over WiFi: doomed.
     let tcp_client = mpwifi_sim::endpoint::TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
-    let tcp_server = mpwifi_sim::endpoint::TcpServerHost::new(
-        SERVER_ADDR,
-        SERVER_PORT,
-        TcpConfig::default(),
-        2,
-    );
-    let mut sim = Sim::new(tcp_client, tcp_server, &wifi, &lte, seed);
+    let tcp_server =
+        mpwifi_sim::endpoint::TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+    let mut sim = Sim::builder(tcp_client, tcp_server)
+        .wifi(&wifi)
+        .lte(&lte)
+        .seed(seed)
+        .build();
     for (ms, ev) in decay {
         sim.schedule(Time::from_millis(ms), ev);
     }
-    let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+    let id = sim
+        .client
+        .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
     let mut sent = false;
     let tcp_done = sim.run_until(
         |sim| {
@@ -267,17 +295,17 @@ pub fn ext_mobility(seed: u64) -> Report {
         },
         Time::from_secs(60),
     );
-    let tcp_delivered = sim
-        .client
-        .stack
-        .conn(id)
-        .map_or(0, |c| c.delivered_bytes());
+    let tcp_delivered = sim.client.stack.conn(id).map_or(0, |c| c.delivered_bytes());
 
     // MPTCP: hands over to LTE and finishes.
     let cfg = MptcpConfig::default();
     let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);
     let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), seed ^ 3);
-    let mut sim = Sim::new(client, server, &wifi, &lte, seed);
+    let mut sim = Sim::builder(client, server)
+        .wifi(&wifi)
+        .lte(&lte)
+        .seed(seed)
+        .build();
     for (ms, ev) in decay {
         sim.schedule(Time::from_millis(ms), ev);
     }

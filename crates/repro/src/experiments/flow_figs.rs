@@ -13,8 +13,7 @@ const SIZES: [(u64, &str); 3] = [(10_000, "10 KB"), (100_000, "100 KB"), (1_000_
 /// Log-spaced flow sizes for the x-axes of Figures 7/11/12 (KB).
 fn sweep_sizes() -> Vec<u64> {
     vec![
-        1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 400_000, 700_000,
-        1_000_000,
+        1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 400_000, 700_000, 1_000_000,
     ]
 }
 
@@ -29,7 +28,10 @@ pub fn fig7(seed: u64) -> Report {
     let disparate = super::disparate_location(seed);
     let comparable = comparable_location(seed);
     let mut studies = Vec::new();
-    for (panel, loc) in [("fig7a (disparate links)", &disparate), ("fig7b (comparable links)", &comparable)] {
+    for (panel, loc) in [
+        ("fig7a (disparate links)", &disparate),
+        ("fig7b (comparable links)", &comparable),
+    ] {
         let study = run_location_study(loc.id, &loc.wifi, &loc.lte, 1_000_000, false, seed);
         for t in StudyTransport::ALL {
             let pts: Vec<(f64, f64)> = sweep_sizes()
@@ -63,7 +65,8 @@ pub fn fig7(seed: u64) -> Report {
     // Panel-specific 1 MB claims, reusing the studies computed above.
     let s_a = &studies[0];
     let (sp_a, mp_a) = (
-        s_a.best_single_path(FlowDir::Down, 1_000_000).unwrap_or(0.0),
+        s_a.best_single_path(FlowDir::Down, 1_000_000)
+            .unwrap_or(0.0),
         s_a.best_mptcp(FlowDir::Down, 1_000_000).unwrap_or(0.0),
     );
     r.claim(
@@ -72,9 +75,17 @@ pub fn fig7(seed: u64) -> Report {
         format!("SP {:.2} vs MPTCP {:.2} Mbit/s", sp_a / 1e6, mp_a / 1e6),
         sp_a >= mp_a * 0.95,
     );
-    let s_b = run_location_study(comparable.id, &comparable.wifi, &comparable.lte, 2_000_000, false, seed);
+    let s_b = run_location_study(
+        comparable.id,
+        &comparable.wifi,
+        &comparable.lte,
+        2_000_000,
+        false,
+        seed,
+    );
     let (sp_b, mp_b) = (
-        s_b.best_single_path(FlowDir::Down, 2_000_000).unwrap_or(0.0),
+        s_b.best_single_path(FlowDir::Down, 2_000_000)
+            .unwrap_or(0.0),
         s_b.best_mptcp(FlowDir::Down, 2_000_000).unwrap_or(0.0),
     );
     r.claim(
@@ -188,7 +199,10 @@ pub fn fig8(scale: Scale, seed: u64) -> Report {
     r.claim(
         "smaller flows are affected more by the primary choice",
         "monotone decrease with flow size",
-        format!("{:.0}% ≥ {:.0}% ≥ {:.0}%", medians[0], medians[1], medians[2]),
+        format!(
+            "{:.0}% ≥ {:.0}% ≥ {:.0}%",
+            medians[0], medians[1], medians[2]
+        ),
         medians[0] >= medians[1] && medians[1] >= medians[2],
     );
     r
@@ -223,7 +237,14 @@ pub fn fig9_10(seed: u64, lte_better: bool) -> Report {
         ("(a) WiFi primary", StudyTransport::MpWifiDecoupled),
         ("(b) LTE primary", StudyTransport::MpLteDecoupled),
     ] {
-        let res = run_transfer(&loc.wifi, &loc.lte, transport, FlowDir::Down, 1_000_000, seed);
+        let res = run_transfer(
+            &loc.wifi,
+            &loc.lte,
+            transport,
+            FlowDir::Down,
+            1_000_000,
+            seed,
+        );
         // The claim compares mean throughput over several runs — a single
         // trace can be distorted by one unlucky SYN loss (the paper's own
         // Figure 9a shows a 1 s SYN retry). The primary's influence is an
@@ -311,7 +332,10 @@ pub fn fig11_12(seed: u64, lte_better: bool) -> Report {
             "Absolute and relative MPTCP throughput vs flow size ({} faster)",
             if lte_better { "LTE" } else { "WiFi" }
         ),
-        format!("1 MB downlink at location {}; prefix throughput per flow size", loc.id),
+        format!(
+            "1 MB downlink at location {}; prefix throughput per flow size",
+            loc.id
+        ),
     );
     let lte_p = run_transfer(
         &loc.wifi,
@@ -408,14 +432,20 @@ pub fn fig11_12(seed: u64, lte_better: bool) -> Report {
 }
 
 fn rel_ratio(a: &mpwifi_sim::BulkResult, b: &mpwifi_sim::BulkResult, size: u64) -> f64 {
-    match (a.throughput_at_flow_size(size), b.throughput_at_flow_size(size)) {
+    match (
+        a.throughput_at_flow_size(size),
+        b.throughput_at_flow_size(size),
+    ) {
         (Some(x), Some(y)) if x > 0.0 && y > 0.0 => (x / y).max(y / x),
         _ => 1.0,
     }
 }
 
 fn abs_diff(a: &mpwifi_sim::BulkResult, b: &mpwifi_sim::BulkResult, size: u64) -> f64 {
-    match (a.throughput_at_flow_size(size), b.throughput_at_flow_size(size)) {
+    match (
+        a.throughput_at_flow_size(size),
+        b.throughput_at_flow_size(size),
+    ) {
         (Some(x), Some(y)) => (x - y).abs(),
         _ => 0.0,
     }
@@ -544,7 +574,10 @@ pub fn fig13(scale: Scale, seed: u64) -> Report {
     r.claim(
         "CC choice matters most for large flows",
         "1 MB median is the largest",
-        format!("{:.0}% / {:.0}% / {:.0}%", medians[0], medians[1], medians[2]),
+        format!(
+            "{:.0}% / {:.0}% / {:.0}%",
+            medians[0], medians[1], medians[2]
+        ),
         medians[2] >= medians[0] && medians[2] >= medians[1],
     );
     r

@@ -4,13 +4,13 @@
 
 use crate::report::Report;
 use mpwifi_mptcp::{BackupActivation, CcChoice, Mode, MptcpConfig};
+use mpwifi_netem::Addr;
 use mpwifi_radio::{EnergyBreakdown, PowerModel, RadioKind};
 use mpwifi_sim::endpoint::{MptcpClientHost, MptcpServerHost};
 use mpwifi_sim::{
     LinkSpec, PacketLog, ScriptEvent, Sim, LTE_ADDR, SERVER_ADDR, SERVER_PORT, WIFI_ADDR,
 };
 use mpwifi_simcore::{Dur, Time};
-use mpwifi_netem::Addr;
 use std::fmt::Write as _;
 
 /// Links sized so a 4 MB transfer takes roughly the paper's ~20 s.
@@ -56,7 +56,11 @@ fn run_panel(p: &Panel, seed: u64) -> (PacketLog, PacketLog, u64, bool) {
     };
     let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);
     let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), seed ^ 0xFE);
-    let mut sim = Sim::new(client, server, &wifi_link(), &lte_link(), seed);
+    let mut sim = Sim::builder(client, server)
+        .wifi(&wifi_link())
+        .lte(&lte_link())
+        .seed(seed)
+        .build();
     for (ms, ev) in &p.events {
         sim.schedule(Time::from_millis(*ms), *ev);
     }
@@ -228,7 +232,10 @@ pub fn fig15(seed: u64) -> Report {
                 r.claim(
                     format!("{}: transfer stalls (paper's observed anomaly)", p.label),
                     "halts until replug",
-                    format!("completed: {done}, delivered {:.1} MB", delivered as f64 / 1e6),
+                    format!(
+                        "completed: {done}, delivered {:.1} MB",
+                        delivered as f64 / 1e6
+                    ),
                     !done,
                 );
             }
@@ -269,8 +276,16 @@ pub fn fig16(seed: u64) -> Report {
 
     let horizon = Time::from_secs(50);
     let panels: [(&str, RadioKind, &PacketLog); 4] = [
-        ("(a) LTE, non-backup (active) subflow", RadioKind::Lte, &lte_log_lp),
-        ("(b) WiFi, non-backup (active) subflow", RadioKind::Wifi, &wifi_log_wp),
+        (
+            "(a) LTE, non-backup (active) subflow",
+            RadioKind::Lte,
+            &lte_log_lp,
+        ),
+        (
+            "(b) WiFi, non-backup (active) subflow",
+            RadioKind::Wifi,
+            &wifi_log_wp,
+        ),
         ("(c) LTE, backup subflow", RadioKind::Lte, &lte_log_wp),
         ("(d) WiFi, backup subflow", RadioKind::Wifi, &wifi_log_lp),
     ];

@@ -36,7 +36,12 @@ pub fn table2(seed: u64) -> Report {
         "the Table 2 rows realized as emulated link conditions (fixed per-location seeds)",
     );
     r.block(t.render());
-    r.claim("location count", "20", locs.len().to_string(), locs.len() == 20);
+    r.claim(
+        "location count",
+        "20",
+        locs.len().to_string(),
+        locs.len() == 20,
+    );
     let dual = locs.iter().filter(|l| l.lte_sprint.is_some()).count();
     r.claim(
         "dual-carrier (Verizon+Sprint) locations",

@@ -10,53 +10,29 @@
 //! everything.
 
 pub mod experiments;
+pub mod registry;
 pub mod report;
+pub mod runner;
 
+pub use registry::{ExperimentSpec, REGISTRY};
 pub use report::{Claim, Report, Scale};
+pub use runner::{derive_seed, run_specs, run_specs_with, RunOutcome, SeedPolicy};
 
-use experiments as ex;
-
-/// All experiment ids in paper order.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
-    "table1", "table2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-];
+/// All paper experiment ids in paper order, derived from [`REGISTRY`].
+pub const ALL_EXPERIMENTS: [&str; 20] = registry::collect_ids::<20>(false);
 
 /// Extension experiments (beyond the paper's figures): the studies the
-/// paper's conclusion calls for, plus design ablations.
-pub const EXTENSION_EXPERIMENTS: [&str; 5] =
-    ["ext-handover", "ext-policy", "ext-sched", "ext-mobility", "ext-stability"];
+/// paper's conclusion calls for, plus design ablations. Derived from
+/// [`REGISTRY`].
+pub const EXTENSION_EXPERIMENTS: [&str; 5] = registry::collect_ids::<5>(true);
 
-/// Run one experiment by id.
+/// Run one experiment by id, with `seed` passed to it verbatim.
+///
+/// This is the single-run entry point; the parallel runner
+/// ([`run_specs`]) layers per-experiment seed derivation and metric
+/// bracketing on top of the same registry.
 pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Report> {
-    Some(match id {
-        "table1" => ex::crowd_figs::table1(scale, seed),
-        "table2" => ex::table2::table2(seed),
-        "fig3" => ex::crowd_figs::fig3(scale, seed),
-        "fig4" => ex::crowd_figs::fig4(scale, seed),
-        "fig6" => ex::crowd_figs::fig6(scale, seed),
-        "fig7" => ex::flow_figs::fig7(seed),
-        "fig8" => ex::flow_figs::fig8(scale, seed),
-        "fig9" => ex::flow_figs::fig9_10(seed, true),
-        "fig10" => ex::flow_figs::fig9_10(seed, false),
-        "fig11" => ex::flow_figs::fig11_12(seed, true),
-        "fig12" => ex::flow_figs::fig11_12(seed, false),
-        "fig13" => ex::flow_figs::fig13(scale, seed),
-        "fig14" => ex::flow_figs::fig14(scale, seed),
-        "fig15" => ex::mode_figs::fig15(seed),
-        "fig16" => ex::mode_figs::fig16(seed),
-        "fig17" => ex::app_figs::fig17(seed),
-        "fig18" => ex::app_figs::fig18_20(scale, seed, false),
-        "fig19" => ex::app_figs::fig19_21(scale, seed, false),
-        "fig20" => ex::app_figs::fig18_20(scale, seed, true),
-        "fig21" => ex::app_figs::fig19_21(scale, seed, true),
-        "ext-handover" => ex::extensions::ext_handover(seed),
-        "ext-policy" => ex::extensions::ext_policy(scale, seed),
-        "ext-sched" => ex::extensions::ext_sched(seed),
-        "ext-mobility" => ex::extensions::ext_mobility(seed),
-        "ext-stability" => ex::extensions::ext_stability(seed),
-        _ => return None,
-    })
+    registry::find(id).map(|spec| (spec.run)(scale, seed))
 }
 
 #[cfg(test)]

@@ -1,17 +1,27 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--seed N] [--markdown FILE] <experiment>... | all | --list
+//! repro [--full] [--seed N] [--jobs N] [--markdown FILE] [--metrics FILE] <experiment>... | all | --list
 //! ```
+//!
+//! Experiments shard across `--jobs N` worker threads. Every
+//! experiment's seed is a pure function of `--seed` and its id
+//! (verbatim by default; mixed per-id under `--derive-seeds`), so
+//! reports are byte-identical for every `--jobs` value.
 
-use mpwifi_repro::{run_experiment, Report, Scale, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS};
+use mpwifi_repro::{
+    registry, runner, runner::SeedPolicy, Scale, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, REGISTRY,
+};
 use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut seed = 42u64;
+    let mut jobs = 1usize;
+    let mut policy = SeedPolicy::Campaign;
     let mut markdown: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut csv: Option<String> = None;
     let mut data_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -27,12 +37,29 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+            }
+            "--derive-seeds" => policy = SeedPolicy::Derived,
             "--markdown" => {
                 i += 1;
                 markdown = Some(
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| die("--markdown needs a path")),
+                );
+            }
+            "--metrics" => {
+                i += 1;
+                metrics_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--metrics needs a path")),
                 );
             }
             "--csv" => {
@@ -53,18 +80,18 @@ fn main() {
             }
             "--list" => {
                 println!("paper experiments:");
-                for id in ALL_EXPERIMENTS {
-                    println!("  {id}");
+                for spec in REGISTRY.iter().filter(|s| !s.extension) {
+                    println!("  {:14} {:4} {}", spec.id, spec.section, spec.title);
                 }
                 println!("extension experiments:");
-                for id in EXTENSION_EXPERIMENTS {
-                    println!("  {id}");
+                for spec in REGISTRY.iter().filter(|s| s.extension) {
+                    println!("  {:14} {:4} {}", spec.id, spec.section, spec.title);
                 }
                 return;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [--markdown FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list"
+                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list"
                 );
                 return;
             }
@@ -96,50 +123,72 @@ fn main() {
         println!("wrote {} runs to {path}", ds.len());
     }
 
-    let mut reports: Vec<Report> = Vec::new();
+    // Resolve targets against the registry up front so a typo fails
+    // before any experiment burns time.
     let mut failures = 0usize;
+    let mut specs: Vec<&'static registry::ExperimentSpec> = Vec::new();
     for id in &targets {
-        let start = std::time::Instant::now();
-        let Some(report) = run_experiment(id, scale, seed) else {
-            eprintln!("unknown experiment: {id}");
-            failures += 1;
-            continue;
-        };
-        println!("{}", report.render_text());
-        println!("({} finished in {:.1?})\n", id, start.elapsed());
+        match registry::find(id) {
+            Some(spec) => specs.push(spec),
+            None => {
+                eprintln!("unknown experiment: {id}");
+                failures += 1;
+            }
+        }
+    }
+
+    let outcomes = runner::run_specs_with(&specs, scale, seed, jobs, policy);
+    for o in &outcomes {
+        println!("{}", o.report.render_text());
+        println!("({} finished in {:.1?}, seed {})\n", o.id, o.wall, o.seed);
         if let Some(dir) = &data_dir {
             std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("{dir}: {e}")));
             // One gnuplot-ready file per experiment with all its blocks.
-            let path = format!("{dir}/{id}.dat");
-            let body = report.blocks.join("\n\n");
+            let path = format!("{dir}/{}.dat", o.id);
+            let body = o.report.blocks.join("\n\n");
             std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("{path}: {e}")));
         }
-        if !report.all_hold() {
+        if !o.report.all_hold() {
             failures += 1;
         }
-        reports.push(report);
+    }
+
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, runner::metrics_json(&outcomes))
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        println!("wrote per-run metrics to {path}");
     }
 
     if let Some(path) = markdown {
         let mut out = String::new();
         out.push_str("# EXPERIMENTS — paper vs measured\n\n");
         out.push_str(&format!(
-            "Generated by `repro {} --seed {seed}`.\n\n",
-            if scale == Scale::Full { "--full" } else { "--quick" }
+            "Generated by `repro {}{} --seed {seed}` (sharded runner; \
+             output is identical for every `--jobs` value).\n\n",
+            if scale == Scale::Full {
+                "--full"
+            } else {
+                "--quick"
+            },
+            if policy == SeedPolicy::Derived {
+                " --derive-seeds"
+            } else {
+                ""
+            }
         ));
-        for r in &reports {
-            out.push_str(&r.render_markdown());
+        for o in &outcomes {
+            out.push_str(&o.report.render_markdown());
         }
         let mut f = std::fs::File::create(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
         f.write_all(out.as_bytes()).expect("write markdown");
         println!("wrote {path}");
     }
 
-    let ok = reports.iter().filter(|r| r.all_hold()).count();
+    let ok = outcomes.iter().filter(|o| o.report.all_hold()).count();
     println!(
         "{}/{} experiments fully reproduce the paper's findings",
         ok,
-        reports.len()
+        outcomes.len()
     );
     if failures > 0 {
         std::process::exit(1);

@@ -1,6 +1,7 @@
 //! Experiment report structure: rows/series plus paper-vs-measured
 //! checks, renderable as terminal text or Markdown (for EXPERIMENTS.md).
 
+use mpwifi_simcore::RunMetrics;
 use std::fmt::Write as _;
 
 /// Execution scale.
@@ -55,17 +56,28 @@ pub struct Report {
     pub blocks: Vec<String>,
     /// Paper-vs-measured checks.
     pub claims: Vec<Claim>,
+    /// Simulator instrumentation for the run that produced this report
+    /// (attached by the runner; `None` when the experiment function is
+    /// called directly). Deterministic per `(id, scale, seed)`, so it
+    /// is safe to render: serial and parallel runs print the same
+    /// bytes.
+    pub metrics: Option<RunMetrics>,
 }
 
 impl Report {
     /// Create an empty report.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, method: impl Into<String>) -> Report {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        method: impl Into<String>,
+    ) -> Report {
         Report {
             id: id.into(),
             title: title.into(),
             method: method.into(),
             blocks: Vec::new(),
             claims: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -113,6 +125,13 @@ impl Report {
                 );
             }
         }
+        if let Some(m) = &self.metrics {
+            let _ = writeln!(
+                out,
+                "\nrun metrics: {} events, {} frames, {} payload bytes, {} retransmits",
+                m.events_popped, m.frames_forwarded, m.bytes_delivered, m.tcp_retransmits
+            );
+        }
         out
     }
 
@@ -138,6 +157,13 @@ impl Report {
         }
         for b in &self.blocks {
             let _ = writeln!(out, "```text\n{b}\n```\n");
+        }
+        if let Some(m) = &self.metrics {
+            let _ = writeln!(
+                out,
+                "*Run:* {} events, {} frames, {} payload bytes, {} retransmits\n",
+                m.events_popped, m.frames_forwarded, m.bytes_delivered, m.tcp_retransmits
+            );
         }
         out
     }

@@ -1,0 +1,249 @@
+//! Parallel, instrumented experiment runner.
+//!
+//! [`run_specs`] shards a list of [`ExperimentSpec`]s across a pool of
+//! worker threads (`--jobs N` on the CLI). Two properties make the
+//! parallel run byte-identical to the serial one:
+//!
+//! 1. **Deterministic per-experiment seeds.** Each experiment's seed is
+//!    a pure function of the root seed and the experiment id (see
+//!    [`SeedPolicy`]), independent of which worker picks the experiment
+//!    up or in what order. Reordering the work list cannot change any
+//!    experiment's randomness.
+//! 2. **Per-run metric bracketing.** The instrumentation counters in
+//!    [`mpwifi_simcore::metrics`] are thread-local; each worker resets
+//!    them before an experiment and snapshots them after, so counts
+//!    attribute cleanly no matter how experiments shard. Every counter
+//!    is a deterministic function of `(id, scale, seed)`.
+//!
+//! Results are returned in the order of the input spec list regardless
+//! of completion order. Only wall time varies run-to-run, and it is
+//! deliberately kept out of [`Report`] rendering — it lives here, in
+//! [`RunOutcome`], for the `--metrics` JSON sidecar.
+
+use crate::registry::ExperimentSpec;
+use crate::report::{Report, Scale};
+use mpwifi_simcore::RunMetrics;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How each experiment's seed is computed from the root seed. Both
+/// variants are pure functions of `(root, id)`, so either way the
+/// reports cannot depend on sharding or run order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedPolicy {
+    /// Every experiment receives the root seed verbatim. This is the
+    /// default: the experiments model *one* measurement campaign — the
+    /// same 20-location condition set threads through every figure
+    /// (fig6 checks against table1's dataset, for example), which only
+    /// works if they all draw it from the same seed.
+    #[default]
+    Campaign,
+    /// Each experiment runs with [`derive_seed`]`(root, id)`:
+    /// statistically independent streams per experiment, for
+    /// seed-robustness sweeps. Cross-figure dataset identities do not
+    /// hold under this policy.
+    Derived,
+}
+
+impl SeedPolicy {
+    /// The seed an experiment runs with under this policy.
+    pub fn seed_for(self, root: u64, id: &str) -> u64 {
+        match self {
+            SeedPolicy::Campaign => root,
+            SeedPolicy::Derived => derive_seed(root, id),
+        }
+    }
+}
+
+/// One experiment's run: its report plus run-level instrumentation.
+pub struct RunOutcome {
+    /// Experiment id (from the spec).
+    pub id: &'static str,
+    /// The seed the experiment actually ran with (see [`SeedPolicy`]).
+    pub seed: u64,
+    /// The experiment's report.
+    pub report: Report,
+    /// Simulator counters for this run (also attached to the report).
+    pub metrics: RunMetrics,
+    /// Wall-clock time of this run. Not deterministic; never rendered
+    /// into reports.
+    pub wall: Duration,
+}
+
+/// FNV-1a hash of an experiment id.
+fn fnv1a(id: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: diffuses the combined root/id value so nearby
+/// root seeds produce unrelated experiment seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The seed an experiment runs with under root seed `root`: a pure
+/// function of `(root, id)`, so it cannot depend on sharding or run
+/// order.
+pub fn derive_seed(root: u64, id: &str) -> u64 {
+    splitmix64(root ^ fnv1a(id))
+}
+
+/// Run one spec with metric bracketing on the current thread.
+fn run_one(spec: &ExperimentSpec, scale: Scale, seed: u64) -> RunOutcome {
+    mpwifi_simcore::metrics::reset();
+    let start = std::time::Instant::now();
+    let mut report = (spec.run)(scale, seed);
+    let wall = start.elapsed();
+    let metrics = mpwifi_simcore::metrics::snapshot();
+    report.metrics = Some(metrics);
+    RunOutcome {
+        id: spec.id,
+        seed,
+        report,
+        metrics,
+        wall,
+    }
+}
+
+/// Run `specs` on `jobs` worker threads (1 = serial) under the default
+/// [`SeedPolicy::Campaign`]. Results come back in input order; reports
+/// are byte-identical for any `jobs` value.
+pub fn run_specs(
+    specs: &[&'static ExperimentSpec],
+    scale: Scale,
+    root_seed: u64,
+    jobs: usize,
+) -> Vec<RunOutcome> {
+    run_specs_with(specs, scale, root_seed, jobs, SeedPolicy::default())
+}
+
+/// [`run_specs`] with an explicit [`SeedPolicy`].
+pub fn run_specs_with(
+    specs: &[&'static ExperimentSpec],
+    scale: Scale,
+    root_seed: u64,
+    jobs: usize,
+    policy: SeedPolicy,
+) -> Vec<RunOutcome> {
+    let jobs = jobs.clamp(1, specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<RunOutcome>>> =
+        Mutex::new((0..specs.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let outcome = run_one(spec, scale, policy.seed_for(root_seed, spec.id));
+                slots.lock().unwrap()[i] = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("worker pool completed every slot"))
+        .collect()
+}
+
+/// Render run records as a JSON array (one object per experiment) for
+/// the `--metrics FILE` flag. Hand-rolled: ids are known-safe (no
+/// escapes needed) and the schema is flat.
+pub fn metrics_json(outcomes: &[RunOutcome]) -> String {
+    let mut out = String::from("[\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"seed\": {}, \"wall_ms\": {:.3}, \
+             \"events_popped\": {}, \"frames_forwarded\": {}, \
+             \"bytes_delivered\": {}, \"tcp_retransmits\": {}, \
+             \"claims_hold\": {}}}{}\n",
+            o.id,
+            o.seed,
+            o.wall.as_secs_f64() * 1e3,
+            o.metrics.events_popped,
+            o.metrics.frames_forwarded,
+            o.metrics.bytes_delivered,
+            o.metrics.tcp_retransmits,
+            o.report.all_hold(),
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn derive_seed_is_order_independent() {
+        // The derived seed is a pure function of (root, id): deriving
+        // in any order, any number of times, gives the same value.
+        let ids = ["fig9", "table2", "ext-handover", "fig15"];
+        let forward: Vec<u64> = ids.iter().map(|id| derive_seed(42, id)).collect();
+        let backward: Vec<u64> = ids.iter().rev().map(|id| derive_seed(42, id)).collect();
+        let backward: Vec<u64> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        assert_eq!(derive_seed(42, "fig9"), derive_seed(42, "fig9"));
+    }
+
+    #[test]
+    fn seed_policies_are_pure_functions_of_root_and_id() {
+        assert_eq!(SeedPolicy::Campaign.seed_for(42, "fig9"), 42);
+        assert_eq!(SeedPolicy::Campaign.seed_for(42, "fig10"), 42);
+        assert_eq!(
+            SeedPolicy::Derived.seed_for(42, "fig9"),
+            derive_seed(42, "fig9")
+        );
+        assert_eq!(SeedPolicy::default(), SeedPolicy::Campaign);
+    }
+
+    #[test]
+    fn derive_seed_separates_ids_and_roots() {
+        assert_ne!(derive_seed(42, "fig9"), derive_seed(42, "fig10"));
+        assert_ne!(derive_seed(42, "fig9"), derive_seed(43, "fig9"));
+    }
+
+    #[test]
+    fn runner_attaches_metrics_and_preserves_order() {
+        let specs: Vec<&'static registry::ExperimentSpec> = ["fig9", "table2"]
+            .iter()
+            .map(|id| registry::find(id).unwrap())
+            .collect();
+        let outcomes = run_specs(&specs, Scale::Quick, 42, 2);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].id, "fig9");
+        assert_eq!(outcomes[1].id, "table2");
+        for o in &outcomes {
+            assert_eq!(o.report.metrics, Some(o.metrics));
+            assert!(
+                o.metrics.events_popped > 0 || o.metrics.frames_forwarded > 0,
+                "{}: a packet-level experiment should tick some counter",
+                o.id
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_json_is_one_object_per_run() {
+        let specs = vec![registry::find("fig9").unwrap()];
+        let outcomes = run_specs(&specs, Scale::Quick, 42, 1);
+        let json = metrics_json(&outcomes);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"id\": \"fig9\""));
+        assert!(json.contains("\"events_popped\""));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}

@@ -70,8 +70,17 @@ pub fn run_tcp_download(
     seed: u64,
 ) -> BulkResult {
     let client = TcpClientHost::new(iface, SERVER_ADDR, seed as u32 | 1);
-    let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), (seed as u32) ^ 0xBEEF);
-    let mut sim = Sim::new(client, server, wifi, lte, seed);
+    let server = TcpServerHost::new(
+        SERVER_ADDR,
+        SERVER_PORT,
+        cfg.clone(),
+        (seed as u32) ^ 0xBEEF,
+    );
+    let mut sim = Sim::builder(client, server)
+        .wifi(wifi)
+        .lte(lte)
+        .seed(seed)
+        .build();
     let id = sim.client.connect(Time::ZERO, cfg, SERVER_PORT);
     let mut progress = RateSeries::new();
     progress.mark_start(Time::ZERO);
@@ -102,8 +111,7 @@ pub fn run_tcp_download(
         .conn(id)
         .and_then(|c| c.stats().established_at)
         .map(|t| t - Time::ZERO);
-    let completed = (progress.total_bytes() >= bytes)
-        .then(|| progress.end().unwrap() - Time::ZERO);
+    let completed = (progress.total_bytes() >= bytes).then(|| progress.end().unwrap() - Time::ZERO);
     BulkResult {
         progress,
         established,
@@ -126,8 +134,17 @@ pub fn run_tcp_upload(
     seed: u64,
 ) -> BulkResult {
     let client = TcpClientHost::new(iface, SERVER_ADDR, seed as u32 | 1);
-    let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), (seed as u32) ^ 0xBEEF);
-    let mut sim = Sim::new(client, server, wifi, lte, seed);
+    let server = TcpServerHost::new(
+        SERVER_ADDR,
+        SERVER_PORT,
+        cfg.clone(),
+        (seed as u32) ^ 0xBEEF,
+    );
+    let mut sim = Sim::builder(client, server)
+        .wifi(wifi)
+        .lte(lte)
+        .seed(seed)
+        .build();
     let id = sim.client.connect(Time::ZERO, cfg, SERVER_PORT);
     {
         let conn = sim.client.stack.conn_mut(id).unwrap();
@@ -156,8 +173,7 @@ pub fn run_tcp_upload(
         .conn(id)
         .and_then(|c| c.stats().established_at)
         .map(|t| t - Time::ZERO);
-    let completed = (progress.total_bytes() >= bytes)
-        .then(|| progress.end().unwrap() - Time::ZERO);
+    let completed = (progress.total_bytes() >= bytes).then(|| progress.end().unwrap() - Time::ZERO);
     BulkResult {
         progress,
         established,
@@ -184,7 +200,11 @@ pub fn run_mptcp_download(
 ) -> BulkResult {
     let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);
     let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), seed ^ 0xBEEF);
-    let mut sim = Sim::new(client, server, wifi, lte, seed);
+    let mut sim = Sim::builder(client, server)
+        .wifi(wifi)
+        .lte(lte)
+        .seed(seed)
+        .build();
     let id = sim.client.open(Time::ZERO, cfg, primary, SERVER_PORT);
     let mut progress = RateSeries::new();
     progress.mark_start(Time::ZERO);
@@ -217,9 +237,13 @@ pub fn run_mptcp_download(
         },
         Time::ZERO + deadline,
     );
-    let established = sim.client.mp.conn(id).established_at().map(|t| t - Time::ZERO);
-    let completed = (progress.total_bytes() >= bytes)
-        .then(|| progress.end().unwrap() - Time::ZERO);
+    let established = sim
+        .client
+        .mp
+        .conn(id)
+        .established_at()
+        .map(|t| t - Time::ZERO);
+    let completed = (progress.total_bytes() >= bytes).then(|| progress.end().unwrap() - Time::ZERO);
     BulkResult {
         progress,
         established,
@@ -243,7 +267,11 @@ pub fn run_mptcp_upload(
 ) -> BulkResult {
     let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);
     let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), seed ^ 0xBEEF);
-    let mut sim = Sim::new(client, server, wifi, lte, seed);
+    let mut sim = Sim::builder(client, server)
+        .wifi(wifi)
+        .lte(lte)
+        .seed(seed)
+        .build();
     let id = sim.client.open(Time::ZERO, cfg, primary, SERVER_PORT);
     sim.client.mp.conn_mut(id).send(make_payload(bytes));
     sim.client.mp.conn_mut(id).close(Time::ZERO);
@@ -262,9 +290,13 @@ pub fn run_mptcp_upload(
         },
         Time::ZERO + deadline,
     );
-    let established = sim.client.mp.conn(id).established_at().map(|t| t - Time::ZERO);
-    let completed = (progress.total_bytes() >= bytes)
-        .then(|| progress.end().unwrap() - Time::ZERO);
+    let established = sim
+        .client
+        .mp
+        .conn(id)
+        .established_at()
+        .map(|t| t - Time::ZERO);
+    let completed = (progress.total_bytes() >= bytes).then(|| progress.end().unwrap() - Time::ZERO);
     BulkResult {
         progress,
         established,
@@ -291,7 +323,13 @@ pub fn measure_ping(spec: &LinkSpec, n: usize, seed: u64) -> Dur {
     for i in 0..n {
         let start = now;
         // 64-byte ICMP-ish probe + 20-byte IP header.
-        let probe = Frame::new(i as u64, WIFI_ADDR, SERVER_ADDR, Bytes::from(vec![0u8; 84]), now);
+        let probe = Frame::new(
+            i as u64,
+            WIFI_ADDR,
+            SERVER_ADDR,
+            Bytes::from(vec![0u8; 84]),
+            now,
+        );
         pair.up.push(now, probe);
         // Walk the echo through both directions; a probe can be lost in
         // either one.
@@ -306,8 +344,13 @@ pub fn measure_ping(spec: &LinkSpec, n: usize, seed: u64) -> Dur {
             }
         };
         let echoed = up_exit.is_some_and(|up_exit| {
-            let echo =
-                Frame::new(u64::MAX - i as u64, SERVER_ADDR, WIFI_ADDR, up_exit.payload, now);
+            let echo = Frame::new(
+                u64::MAX - i as u64,
+                SERVER_ADDR,
+                WIFI_ADDR,
+                up_exit.payload,
+                now,
+            );
             pair.down.push(now, echo);
             loop {
                 let Some(t) = pair.down.next_ready() else {

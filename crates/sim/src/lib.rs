@@ -30,7 +30,7 @@ pub use apps::{measure_ping, BulkResult};
 pub use endpoint::{Endpoint, MptcpClientHost, MptcpServerHost, TcpClientHost, TcpServerHost};
 pub use link::{LinkSpec, PathPair, ServiceSpec};
 pub use log::{PacketDir, PacketEvent, PacketLog};
-pub use world::{ScriptEvent, Sim};
+pub use world::{ScriptEvent, Sim, SimBuilder};
 
 use mpwifi_netem::Addr;
 

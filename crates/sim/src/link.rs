@@ -150,7 +150,13 @@ mod tests {
         let mut pp = PathPair::build(&spec, "wifi", &mut rng);
         assert_eq!(pp.up.label(), "wifi-up");
         // 1500 B at 10 Mbit/s = 1.2 ms serialization + 20 ms one-way.
-        let f = Frame::new(1, Addr(1), Addr(10), Bytes::from(vec![0u8; 1500]), Time::ZERO);
+        let f = Frame::new(
+            1,
+            Addr(1),
+            Addr(10),
+            Bytes::from(vec![0u8; 1500]),
+            Time::ZERO,
+        );
         pp.up.push(Time::ZERO, f);
         let ready = pp.next_ready().unwrap();
         assert_eq!(ready, Time::from_micros(1200));
@@ -166,7 +172,13 @@ mod tests {
             ..LinkSpec::symmetric(10_000_000, Dur::from_millis(10))
         };
         let mut pp = PathPair::build(&spec, "lossy", &mut rng);
-        let f = Frame::new(1, Addr(1), Addr(10), Bytes::from(vec![0u8; 100]), Time::ZERO);
+        let f = Frame::new(
+            1,
+            Addr(1),
+            Addr(10),
+            Bytes::from(vec![0u8; 100]),
+            Time::ZERO,
+        );
         pp.up.push(Time::ZERO, f);
         let (ups, _) = pp.poll(Time::from_secs(1));
         assert!(ups.is_empty(), "100% loss drops everything");
@@ -187,11 +199,23 @@ mod tests {
         pp.set_up(false);
         pp.up.push(
             Time::ZERO,
-            Frame::new(1, Addr(1), Addr(10), Bytes::from(vec![0u8; 100]), Time::ZERO),
+            Frame::new(
+                1,
+                Addr(1),
+                Addr(10),
+                Bytes::from(vec![0u8; 100]),
+                Time::ZERO,
+            ),
         );
         pp.down.push(
             Time::ZERO,
-            Frame::new(2, Addr(10), Addr(1), Bytes::from(vec![0u8; 100]), Time::ZERO),
+            Frame::new(
+                2,
+                Addr(10),
+                Addr(1),
+                Bytes::from(vec![0u8; 100]),
+                Time::ZERO,
+            ),
         );
         let (u, d) = pp.poll(Time::from_secs(1));
         assert!(u.is_empty() && d.is_empty());

@@ -6,7 +6,7 @@ use crate::link::{LinkSpec, PathPair};
 use crate::log::{PacketDir, PacketLog};
 use crate::{LTE_ADDR, WIFI_ADDR};
 use mpwifi_netem::{Addr, Frame};
-use mpwifi_simcore::{DetRng, Time};
+use mpwifi_simcore::{metrics, DetRng, Time};
 use mpwifi_tcp::segment::Segment;
 
 /// A scripted mid-run event (the paper's Figure 15 failure injections).
@@ -53,8 +53,84 @@ pub struct Sim<C: Endpoint, S: Endpoint> {
     script: Vec<(Time, ScriptEvent)>,
 }
 
+/// Named-setter builder for [`Sim`], replacing the positional
+/// `Sim::new(client, server, wifi, lte, seed)` call shape.
+///
+/// Both link specs are required; [`SimBuilder::build`] panics if either
+/// is missing so a misconfigured scenario fails loudly at setup rather
+/// than producing silently wrong measurements. The seed defaults to `0`
+/// and script events may be queued up front with
+/// [`SimBuilder::event`].
+///
+/// ```ignore
+/// let sim = Sim::builder(client, server)
+///     .wifi(&wifi_spec)
+///     .lte(&lte_spec)
+///     .seed(42)
+///     .event(Time::from_secs(5), ScriptEvent::CutIface(WIFI_ADDR))
+///     .build();
+/// ```
+pub struct SimBuilder<'a, C: Endpoint, S: Endpoint> {
+    client: C,
+    server: S,
+    wifi: Option<&'a LinkSpec>,
+    lte: Option<&'a LinkSpec>,
+    seed: u64,
+    script: Vec<(Time, ScriptEvent)>,
+}
+
+impl<'a, C: Endpoint, S: Endpoint> SimBuilder<'a, C, S> {
+    /// The WiFi access link (required).
+    pub fn wifi(mut self, spec: &'a LinkSpec) -> Self {
+        self.wifi = Some(spec);
+        self
+    }
+
+    /// The LTE access link (required).
+    pub fn lte(mut self, spec: &'a LinkSpec) -> Self {
+        self.lte = Some(spec);
+        self
+    }
+
+    /// Root seed for the link RNGs (defaults to 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Queue a scripted event for time `at`.
+    pub fn event(mut self, at: Time, ev: ScriptEvent) -> Self {
+        self.script.push((at, ev));
+        self
+    }
+
+    /// Construct the [`Sim`]. Panics if either link spec is missing.
+    pub fn build(self) -> Sim<C, S> {
+        let wifi_spec = self.wifi.expect("SimBuilder: wifi link spec not set");
+        let lte_spec = self.lte.expect("SimBuilder: lte link spec not set");
+        let mut sim = Sim::new(self.client, self.server, wifi_spec, lte_spec, self.seed);
+        for (at, ev) in self.script {
+            sim.schedule(at, ev);
+        }
+        sim
+    }
+}
+
 impl<C: Endpoint, S: Endpoint> Sim<C, S> {
-    /// Build the testbed from link specs.
+    /// Start building a testbed; see [`SimBuilder`].
+    pub fn builder<'a>(client: C, server: S) -> SimBuilder<'a, C, S> {
+        SimBuilder {
+            client,
+            server,
+            wifi: None,
+            lte: None,
+            seed: 0,
+            script: Vec::new(),
+        }
+    }
+
+    /// Build the testbed from link specs. Thin positional shim over
+    /// [`Sim::builder`]; prefer the builder in new code.
     pub fn new(
         client: C,
         server: S,
@@ -172,6 +248,7 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
         let Some(next) = self.next_event() else {
             return false;
         };
+        metrics::record_event_pop();
         debug_assert!(next >= self.now, "time went backwards");
         self.now = self.now.max(next);
         self.apply_script();
@@ -180,8 +257,14 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
         let now = self.now;
         let (to_server_w, to_client_w) = self.wifi.poll(now);
         let (to_server_l, to_client_l) = self.lte.poll(now);
+        let exits =
+            (to_server_w.len() + to_server_l.len() + to_client_w.len() + to_client_l.len()) as u64;
+        if exits > 0 {
+            metrics::record_frames_forwarded(exits);
+        }
         for frame in to_server_w.into_iter().chain(to_server_l) {
             if let Some(seg) = Segment::decode(frame.payload.clone()) {
+                metrics::record_bytes_delivered(seg.payload.len() as u64);
                 self.server.on_segment(now, &seg, frame.src, frame.dst);
             }
         }
@@ -189,12 +272,14 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
             self.wifi_log
                 .record(now, PacketDir::Rx, frame.payload.len());
             if let Some(seg) = Segment::decode(frame.payload.clone()) {
+                metrics::record_bytes_delivered(seg.payload.len() as u64);
                 self.client.on_segment(now, &seg, frame.src, frame.dst);
             }
         }
         for frame in to_client_l {
             self.lte_log.record(now, PacketDir::Rx, frame.payload.len());
             if let Some(seg) = Segment::decode(frame.payload.clone()) {
+                metrics::record_bytes_delivered(seg.payload.len() as u64);
                 self.client.on_segment(now, &seg, frame.src, frame.dst);
             }
         }
@@ -251,7 +336,9 @@ mod tests {
         let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
         let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
         let mut sim = Sim::new(client, server, &wifi, &lte, 42);
-        let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+        let id = sim
+            .client
+            .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
         // Server sends 100 kB when the connection is accepted.
         let mut sent = false;
         let ok = sim.run_until(
@@ -288,7 +375,9 @@ mod tests {
         let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
         let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
         let mut sim = Sim::new(client, server, &wifi, &lte, 42);
-        let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+        let id = sim
+            .client
+            .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
         sim.schedule(Time::from_millis(100), ScriptEvent::CutIface(WIFI_ADDR));
         let mut sent = false;
         let done = sim.run_until(
@@ -318,8 +407,13 @@ mod tests {
         let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
         let mut sim = Sim::new(client, server, &wifi, &lte, 42);
         // Uplink collapses to 200 kbit/s almost immediately.
-        sim.schedule(Time::from_millis(50), ScriptEvent::SetUpRate(WIFI_ADDR, 200_000));
-        let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+        sim.schedule(
+            Time::from_millis(50),
+            ScriptEvent::SetUpRate(WIFI_ADDR, 200_000),
+        );
+        let id = sim
+            .client
+            .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
         {
             let conn = sim.client.stack.conn_mut(id).unwrap();
             conn.send(Bytes::from(vec![5u8; 200_000]));
@@ -365,7 +459,9 @@ mod tests {
             let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
             let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
             let mut sim = Sim::new(client, server, &wifi, &lte, 42);
-            let id = sim.client.connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+            let id = sim
+                .client
+                .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
             let mut sent = false;
             sim.run_until(
                 |sim| {
@@ -384,7 +480,11 @@ mod tests {
                 },
                 Time::from_secs(30),
             );
-            (sim.now, sim.wifi_log.len(), sim.wifi_log.bytes(PacketDir::Rx))
+            (
+                sim.now,
+                sim.wifi_log.len(),
+                sim.wifi_log.bytes(PacketDir::Rx),
+            )
         };
         assert_eq!(run(), run(), "same seed, same scenario, same outcome");
     }

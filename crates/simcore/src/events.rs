@@ -101,7 +101,10 @@ impl<T> EventQueue<T> {
     /// Pop the earliest live event.
     pub fn pop(&mut self) -> Option<(Time, T)> {
         self.skip_cancelled();
-        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+        self.heap.pop().map(|Reverse(e)| {
+            crate::metrics::record_event_pop();
+            (e.at, e.payload)
+        })
     }
 
     /// Pop the earliest live event only if it fires at or before `now`.

@@ -11,11 +11,13 @@
 //! figures reproducible and the protocol stacks property-testable.
 
 pub mod events;
+pub mod metrics;
 pub mod rng;
 pub mod series;
 pub mod time;
 
 pub use events::{EventId, EventQueue};
+pub use metrics::RunMetrics;
 pub use rng::{norm_quantile, DetRng};
 pub use series::{RateSeries, TimeSeries};
 pub use time::{Dur, Time};

@@ -215,8 +215,7 @@ impl RecvBuffer {
         }
         // Enforce the window: drop bytes beyond the advertised space
         // past `next` (unread in-order data shrinks it).
-        let window_end =
-            self.next + self.capacity.saturating_sub(self.unconsumed_bytes) as u64;
+        let window_end = self.next + self.capacity.saturating_sub(self.unconsumed_bytes) as u64;
         if start >= window_end {
             return 0;
         }
@@ -243,10 +242,7 @@ impl RecvBuffer {
             }
         }
         // Trim against successors, possibly splitting around them.
-        loop {
-            let Some((&sstart, sdata)) = self.ooo.range(start..).next() else {
-                break;
-            };
+        while let Some((&sstart, sdata)) = self.ooo.range(start..).next() {
             let end = start + data.len() as u64;
             if sstart >= end {
                 break;

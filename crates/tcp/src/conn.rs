@@ -403,7 +403,10 @@ impl TcpConnection {
     /// Request that a pure ACK be emitted at the next output pass
     /// (used by the MPTCP layer to carry urgent control options).
     pub fn request_ack(&mut self) {
-        if !matches!(self.state, TcpState::Closed | TcpState::Listen | TcpState::SynSent) {
+        if !matches!(
+            self.state,
+            TcpState::Closed | TcpState::Listen | TcpState::SynSent
+        ) {
             self.ack_need = AckNeed::Now;
         }
     }
@@ -421,7 +424,10 @@ impl TcpConnection {
         let out = self.rcv_buf.take_delivered();
         if was_tight
             && self.rcv_buf.window_available() >= self.cfg.mss
-            && !matches!(self.state, TcpState::Closed | TcpState::Listen | TcpState::SynSent)
+            && !matches!(
+                self.state,
+                TcpState::Closed | TcpState::Listen | TcpState::SynSent
+            )
         {
             self.ack_need = AckNeed::Now;
         }
@@ -577,7 +583,8 @@ impl TcpConnection {
             self.ts_recent = val;
         }
         if let Some(sent) = self.syn_sent_at {
-            self.rtt.sample(now.saturating_since(sent).max(Dur::from_micros(1)));
+            self.rtt
+                .sample(now.saturating_since(sent).max(Dur::from_micros(1)));
         }
         self.establish(now);
         self.rtx_deadline = None;
@@ -619,7 +626,8 @@ impl TcpConnection {
         if self.state == TcpState::SynRcvd {
             if seg.ack == self.iss.wrapping_add(1) {
                 if let Some(sent) = self.syn_sent_at {
-                    self.rtt.sample(now.saturating_since(sent).max(Dur::from_micros(1)));
+                    self.rtt
+                        .sample(now.saturating_since(sent).max(Dur::from_micros(1)));
                 }
                 self.establish(now);
                 self.rtx_deadline = None;
@@ -691,10 +699,11 @@ impl TcpConnection {
                     }
                     self.recovery_rtx_next = self.recovery_rtx_next.max(self.snd_una);
                     self.queue_holes(2);
-                    self.stats.retransmits += 1;
+                    self.note_retransmit();
                 }
             } else {
-                self.cc.on_ack(now, newly, in_flight_before, self.rtt.srtt());
+                self.cc
+                    .on_ack(now, newly, in_flight_before, self.rtt.srtt());
                 // Two repair triggers outside formal recovery:
                 // (a) SACKed data above the new snd_una — the segment in
                 //     between was lost (typical right after an RTO fixed
@@ -703,15 +712,12 @@ impl TcpConnection {
                 //     SACK information at all (pure tail loss produces no
                 //     dup ACKs) — retransmit ack-clocked instead of
                 //     burning one full RTO per hole.
-                let sack_hole = self
-                    .sacked
-                    .iter()
-                    .any(|&(a, _)| a > self.snd_una)
+                let sack_hole = self.sacked.iter().any(|&(a, _)| a > self.snd_una)
                     && !self.is_sacked(self.snd_una);
                 if self.snd_una < self.snd_nxt && (sack_hole || self.rto_repair) {
                     self.recovery_rtx_next = self.snd_una;
                     self.queue_holes(2);
-                    self.stats.retransmits += 1;
+                    self.note_retransmit();
                 }
                 if self.snd_una >= self.snd_nxt {
                     self.rto_repair = false;
@@ -738,7 +744,7 @@ impl TcpConnection {
                 self.recovery_rtx_next = self.snd_una;
                 self.queue_holes(2);
                 self.stats.fast_retransmits += 1;
-                self.stats.retransmits += 1;
+                self.note_retransmit();
             } else if self.in_recovery && self.dupacks > 3 {
                 self.cc.on_dup_ack_in_recovery(now);
                 // Each further dup ACK frees pipe room: repair another hole.
@@ -856,7 +862,7 @@ impl TcpConnection {
             }
             TcpState::Closed | TcpState::Listen | TcpState::TimeWait => {}
             _ => {
-                if self.in_flight() == 0 && !(self.fin_sent && !self.fin_acked) {
+                if self.in_flight() == 0 && (!self.fin_sent || self.fin_acked) {
                     return; // spurious
                 }
                 self.retries += 1;
@@ -865,7 +871,7 @@ impl TcpConnection {
                     return;
                 }
                 self.stats.rtos += 1;
-                self.stats.retransmits += 1;
+                self.note_retransmit();
                 self.cc.on_rto(now, self.in_flight());
                 self.rtt.backoff();
                 self.in_recovery = false;
@@ -1135,6 +1141,13 @@ impl TcpConnection {
         self.timewait_deadline = None;
     }
 
+    /// Count a retransmission in both the per-connection stats and the
+    /// per-thread run instrumentation.
+    fn note_retransmit(&mut self) {
+        self.stats.retransmits += 1;
+        mpwifi_simcore::metrics::record_tcp_retransmit();
+    }
+
     fn arm_rtx(&mut self, now: Time) {
         self.rtx_deadline = Some(now + self.rtt.rto());
     }
@@ -1284,14 +1297,15 @@ fn unwrap_near(rel: u32, near: u64) -> u64 {
     let base = near & !0xFFFF_FFFFu64;
     let mut best = base | rel;
     let mut best_dist = best.abs_diff(near);
-    for cand_base in [base.checked_sub(1 << 32), base.checked_add(1 << 32)] {
-        if let Some(cb) = cand_base {
-            let cand = cb | rel;
-            let d = cand.abs_diff(near);
-            if d < best_dist {
-                best = cand;
-                best_dist = d;
-            }
+    for cb in [base.checked_sub(1 << 32), base.checked_add(1 << 32)]
+        .into_iter()
+        .flatten()
+    {
+        let cand = cb | rel;
+        let d = cand.abs_diff(near);
+        if d < best_dist {
+            best = cand;
+            best_dist = d;
         }
     }
     best
@@ -1499,7 +1513,8 @@ mod tests {
         c.on_segment(Time::from_millis(50), &ack);
         assert_eq!(c.state(), TcpState::FinWait2);
         // ...then sends its own FIN.
-        let mut peer_fin = Segment::control(80, 1000, 77_001, fin.seq.wrapping_add(1), Flags::FIN_ACK);
+        let mut peer_fin =
+            Segment::control(80, 1000, 77_001, fin.seq.wrapping_add(1), Flags::FIN_ACK);
         peer_fin.window = u16::MAX;
         c.on_segment(Time::from_millis(60), &peer_fin);
         assert_eq!(c.state(), TcpState::TimeWait);
@@ -1570,10 +1585,20 @@ mod tests {
         // the gap fills, the connection must advance to CloseWait.
         let mut c = established_client(TcpConfig::default());
         // Peer FIN at stream offset 1000 (data [0,1000) not yet here).
-        let mut fin = Segment::control(80, 1000, 77_001u32.wrapping_add(1000), 5_001, Flags::FIN_ACK);
+        let mut fin = Segment::control(
+            80,
+            1000,
+            77_001u32.wrapping_add(1000),
+            5_001,
+            Flags::FIN_ACK,
+        );
         fin.window = u16::MAX;
         c.on_segment(Time::from_millis(30), &fin);
-        assert_eq!(c.state(), TcpState::Established, "FIN parked behind the gap");
+        assert_eq!(
+            c.state(),
+            TcpState::Established,
+            "FIN parked behind the gap"
+        );
         // The missing kilobyte arrives.
         let mut data = Segment::control(80, 1000, 77_001, 5_001, Flags::ACK);
         data.window = u16::MAX;
@@ -1602,7 +1627,10 @@ mod tests {
         let probe_at = c.next_timer().expect("persist timer armed");
         c.on_timers(probe_at);
         let tx = c.take_tx(probe_at);
-        let probe = tx.iter().find(|s| s.payload.len() == 1).expect("1-byte probe");
+        let probe = tx
+            .iter()
+            .find(|s| s.payload.len() == 1)
+            .expect("1-byte probe");
         assert_eq!(probe.seq, 5_001, "probe carries our first new byte");
         // Peer ACKs the probe byte and opens the window.
         let mut ack = Segment::control(80, 1000, 77_001, 5_002, Flags::ACK);

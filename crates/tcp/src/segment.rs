@@ -36,15 +36,45 @@ pub struct Flags {
 
 impl Flags {
     /// A pure SYN.
-    pub const SYN: Flags = Flags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    pub const SYN: Flags = Flags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// SYN+ACK.
-    pub const SYN_ACK: Flags = Flags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    pub const SYN_ACK: Flags = Flags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// A pure ACK.
-    pub const ACK: Flags = Flags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    pub const ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// FIN+ACK.
-    pub const FIN_ACK: Flags = Flags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    pub const FIN_ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
     /// RST.
-    pub const RST: Flags = Flags { syn: false, ack: false, fin: false, rst: true, psh: false };
+    pub const RST: Flags = Flags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
 
     fn to_bits(self) -> u8 {
         (self.fin as u8)
@@ -83,7 +113,15 @@ impl fmt::Display for Flags {
         if self.ack {
             parts.push("ACK");
         }
-        write!(f, "{}", if parts.is_empty() { "-".into() } else { parts.join("|") })
+        write!(
+            f,
+            "{}",
+            if parts.is_empty() {
+                "-".into()
+            } else {
+                parts.join("|")
+            }
+        )
     }
 }
 
@@ -276,8 +314,7 @@ impl Segment {
         if wire.len() < IP_OVERHEAD + HEADER_LEN {
             return None;
         }
-        let total_len =
-            u16::from_be_bytes([wire[IP_OVERHEAD - 2], wire[IP_OVERHEAD - 1]]) as usize;
+        let total_len = u16::from_be_bytes([wire[IP_OVERHEAD - 2], wire[IP_OVERHEAD - 1]]) as usize;
         if total_len != wire.len() {
             return None;
         }
@@ -355,7 +392,7 @@ fn parse_option(kind: u8, mut data: Bytes) -> Option<TcpOption> {
             TcpOption::SackPermitted
         }
         5 => {
-            if data.len() % 8 != 0 {
+            if !data.len().is_multiple_of(8) {
                 return None;
             }
             let mut ranges = Vec::with_capacity(data.len() / 8);
@@ -409,7 +446,10 @@ mod tests {
             flags: Flags::ACK,
             window: 0x7FFF,
             options: vec![
-                TcpOption::Timestamp { val: 12345, ecr: 678 },
+                TcpOption::Timestamp {
+                    val: 12345,
+                    ecr: 678,
+                },
                 TcpOption::Raw {
                     kind: OPT_KIND_MPTCP,
                     data: Bytes::from_static(&[0x20, 1, 2, 3, 4, 5]),

@@ -306,7 +306,9 @@ mod tests {
         lb.b.listen(80, TcpConfig::default());
         let ca = lb.a.connect(Time::ZERO, TcpConfig::default(), 80);
         let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
-        lb.a.conn_mut(ca).unwrap().send(Bytes::from(payload.clone()));
+        lb.a.conn_mut(ca)
+            .unwrap()
+            .send(Bytes::from(payload.clone()));
         lb.run_until(
             |lb| {
                 lb.b.socket_ids()
@@ -317,12 +319,7 @@ mod tests {
             10_000,
         );
         let cb = lb.b.socket_ids()[0];
-        let got: Vec<u8> = lb
-            .b
-            .conn_mut(cb)
-            .unwrap()
-            .take_delivered()
-            .concat();
+        let got: Vec<u8> = lb.b.conn_mut(cb).unwrap().take_delivered().concat();
         assert_eq!(got, payload);
     }
 
@@ -346,9 +343,7 @@ mod tests {
         assert_eq!(got, b"hi".to_vec());
         lb.b.conn_mut(cb).unwrap().close(lb.now);
         lb.run_until(
-            |lb| {
-                lb.a.conn(ca).unwrap().is_closed() && lb.b.conn(cb).unwrap().is_closed()
-            },
+            |lb| lb.a.conn(ca).unwrap().is_closed() && lb.b.conn(cb).unwrap().is_closed(),
             1000,
         );
         assert!(lb.a.conn(ca).unwrap().error().is_none());
@@ -363,7 +358,9 @@ mod tests {
         lb.b.listen(80, TcpConfig::default());
         let ca = lb.a.connect(Time::ZERO, TcpConfig::default(), 80);
         let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 127) as u8).collect();
-        lb.a.conn_mut(ca).unwrap().send(Bytes::from(payload.clone()));
+        lb.a.conn_mut(ca)
+            .unwrap()
+            .send(Bytes::from(payload.clone()));
         // Drop the 20th data segment once.
         let mut data_count = 0;
         let mut dropped = false;
@@ -403,7 +400,9 @@ mod tests {
         lb.b.listen(80, TcpConfig::default());
         let ca = lb.a.connect(Time::ZERO, TcpConfig::default(), 80);
         let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 241) as u8).collect();
-        lb.a.conn_mut(ca).unwrap().send(Bytes::from(payload.clone()));
+        lb.a.conn_mut(ca)
+            .unwrap()
+            .send(Bytes::from(payload.clone()));
         let mut data_count = 0;
         lb.drop_fn = Some(Box::new(move |seg| {
             if !seg.payload.is_empty() {
@@ -427,9 +426,16 @@ mod tests {
             "burst loss must not cost one RTO per segment: {} RTOs",
             st.rtos
         );
-        assert!(lb.now < Time::from_secs(10), "no backoff spiral: {}", lb.now);
+        assert!(
+            lb.now < Time::from_secs(10),
+            "no backoff spiral: {}",
+            lb.now
+        );
         let cb = lb.b.socket_ids()[0];
-        assert_eq!(lb.b.conn_mut(cb).unwrap().take_delivered().concat(), payload);
+        assert_eq!(
+            lb.b.conn_mut(cb).unwrap().take_delivered().concat(),
+            payload
+        );
     }
 
     #[test]
@@ -439,7 +445,9 @@ mod tests {
         lb.b.listen(80, TcpConfig::default());
         let ca = lb.a.connect(Time::ZERO, TcpConfig::default(), 80);
         let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 11) as u8).collect();
-        lb.a.conn_mut(ca).unwrap().send(Bytes::from(payload.clone()));
+        lb.a.conn_mut(ca)
+            .unwrap()
+            .send(Bytes::from(payload.clone()));
         let mut rng = DetRng::seed_from_u64(99);
         lb.drop_fn = Some(Box::new(move |_| rng.chance(0.05)));
         lb.run_until(
@@ -465,7 +473,9 @@ mod tests {
         // Now drop ALL client data segments for a while: the client must
         // hit an RTO, back off, and eventually deliver when we stop
         // dropping.
-        lb.a.conn_mut(ca).unwrap().send(Bytes::from(vec![7u8; 5000]));
+        lb.a.conn_mut(ca)
+            .unwrap()
+            .send(Bytes::from(vec![7u8; 5000]));
         let mut drops_left = 8;
         lb.drop_fn = Some(Box::new(move |seg| {
             if !seg.payload.is_empty() && drops_left > 0 {
@@ -525,12 +535,11 @@ mod tests {
                         .iter()
                         .all(|id| lb.b.conn(*id).unwrap().delivered_bytes() > 0)
                     && {
-                        let total: u64 = lb
-                            .b
-                            .socket_ids()
-                            .iter()
-                            .map(|id| lb.b.conn(*id).unwrap().delivered_bytes())
-                            .sum();
+                        let total: u64 =
+                            lb.b.socket_ids()
+                                .iter()
+                                .map(|id| lb.b.conn(*id).unwrap().delivered_bytes())
+                                .sum();
                         total == (0..10).map(|i| 5000 + i * 100).sum::<usize>() as u64
                     }
             },
@@ -572,7 +581,9 @@ mod tests {
             let ca = lb.a.connect(Time::ZERO, TcpConfig::default(), 80);
             lb.run_until(|lb| lb.a.conn(ca).unwrap().is_established(), 100);
             let sent_at = lb.now;
-            lb.a.conn_mut(ca).unwrap().send(Bytes::from_static(&[9u8; 100]));
+            lb.a.conn_mut(ca)
+                .unwrap()
+                .send(Bytes::from_static(&[9u8; 100]));
             lb.run_until(|lb| lb.a.conn(ca).unwrap().acked_bytes() == 100, 1000);
             lb.now - sent_at
         };
@@ -598,7 +609,9 @@ mod tests {
             },
         );
         let ca = lb.a.connect(Time::ZERO, TcpConfig::default(), 80);
-        lb.a.conn_mut(ca).unwrap().send(Bytes::from(vec![9u8; 100_000]));
+        lb.a.conn_mut(ca)
+            .unwrap()
+            .send(Bytes::from(vec![9u8; 100_000]));
         // Run a while WITHOUT the server app reading: the sender must
         // stall near the 8 kB window, not blast the whole 100 kB.
         for _ in 0..400 {

@@ -45,7 +45,11 @@ fn main() {
                 "  {:<22} app response time {:>6.2} s{}",
                 transport.label(),
                 secs,
-                if r.completed { "" } else { "  (did not finish)" }
+                if r.completed {
+                    ""
+                } else {
+                    "  (did not finish)"
+                }
             );
             if best.is_none() || secs < best.unwrap().1 {
                 best = Some((transport.label(), secs));

@@ -27,7 +27,11 @@ fn main() {
 
     let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], 1);
     let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), 2);
-    let mut sim = Sim::new(client, server, &wifi, &lte, 42);
+    let mut sim = Sim::builder(client, server)
+        .wifi(&wifi)
+        .lte(&lte)
+        .seed(42)
+        .build();
 
     // WiFi primary, LTE backup; WiFi dies (with notification) at t = 5 s.
     sim.schedule(Time::from_secs(5), ScriptEvent::CutIface(WIFI_ADDR));
@@ -51,7 +55,10 @@ fn main() {
     );
     let now = sim.now;
     sim.client.mp.conn_mut(id).close(now);
-    sim.run_until(|sim| sim.client.mp.conn(0).is_closed(), now + Dur::from_secs(10));
+    sim.run_until(
+        |sim| sim.client.mp.conn(0).is_closed(),
+        now + Dur::from_secs(10),
+    );
 
     println!("3 MB download, WiFi primary, LTE backup, WiFi cut at t = 5 s");
     println!("  completed: {done} at t = {}", sim.now);

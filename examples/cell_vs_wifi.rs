@@ -25,8 +25,8 @@ fn main() {
     };
 
     println!(
-        "{:<24} {:>12} {:>12} {:>8} {:>8}  {}",
-        "location", "WiFi down", "LTE down", "WiFi RTT", "LTE RTT", "recommendation"
+        "{:<24} {:>12} {:>12} {:>8} {:>8}  recommendation",
+        "location", "WiFi down", "LTE down", "WiFi RTT", "LTE RTT"
     );
     for profile in clusters.iter().take(8) {
         // One measurement-collection run (Figure 2's flow chart).
@@ -41,7 +41,11 @@ fn main() {
 
         let naive = AlwaysWifi.select(&m, 1_000_000);
         let informed = BestMeasured.select(&m, 1_000_000);
-        let marker = if naive == informed { "" } else { "  <- default is wrong here" };
+        let marker = if naive == informed {
+            ""
+        } else {
+            "  <- default is wrong here"
+        };
         println!(
             "{:<24} {:>12} {:>12} {:>7.0}ms {:>7.0}ms  {:?}{}",
             profile.name,

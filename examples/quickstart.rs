@@ -34,7 +34,10 @@ fn main() {
     let study = run_location_study(0, &wifi, &lte, 1_000_000, false, 42);
 
     println!("\nthroughput by flow size (downlink):");
-    println!("{:<24} {:>10} {:>10} {:>10}", "configuration", "10 KB", "100 KB", "1 MB");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "configuration", "10 KB", "100 KB", "1 MB"
+    );
     for t in StudyTransport::ALL {
         let cell = |size: u64| {
             study

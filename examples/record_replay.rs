@@ -29,8 +29,22 @@ fn main() {
     let wifi = LinkSpec::symmetric(12_000_000, Dur::from_millis(25));
     let lte = LinkSpec::symmetric(7_000_000, Dur::from_millis(55));
 
-    let a = replay(&original, &wifi, &lte, Transport::Tcp(WIFI_ADDR), Dur::from_secs(120), 1);
-    let b = replay(&parsed, &wifi, &lte, Transport::Tcp(WIFI_ADDR), Dur::from_secs(120), 1);
+    let a = replay(
+        &original,
+        &wifi,
+        &lte,
+        Transport::Tcp(WIFI_ADDR),
+        Dur::from_secs(120),
+        1,
+    );
+    let b = replay(
+        &parsed,
+        &wifi,
+        &lte,
+        Transport::Tcp(WIFI_ADDR),
+        Dur::from_secs(120),
+        1,
+    );
     println!(
         "\nreplay original: {:.3} s\nreplay parsed  : {:.3} s",
         a.response_time.as_secs_f64(),

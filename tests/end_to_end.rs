@@ -72,7 +72,10 @@ fn throughput_respects_link_capacity() {
         );
         let tput = r.avg_throughput_bps().expect("complete");
         assert!(tput < cap, "throughput {tput} exceeds link capacity {cap}");
-        assert!(tput > cap * 0.3, "throughput {tput} unreasonably low for {cap}");
+        assert!(
+            tput > cap * 0.3,
+            "throughput {tput} unreasonably low for {cap}"
+        );
     }
 }
 
@@ -89,7 +92,15 @@ fn mptcp_aggregates_comparable_links() {
         Dur::from_secs(120),
         9,
     );
-    let sp = run_tcp_download(&a, &b, WIFI_ADDR, 2_000_000, TcpConfig::default(), Dur::from_secs(120), 9);
+    let sp = run_tcp_download(
+        &a,
+        &b,
+        WIFI_ADDR,
+        2_000_000,
+        TcpConfig::default(),
+        Dur::from_secs(120),
+        9,
+    );
     let mp_t = mp.avg_throughput_bps().unwrap();
     let sp_t = sp.avg_throughput_bps().unwrap();
     assert!(
@@ -204,7 +215,10 @@ fn mptcp_survives_reordering_on_both_paths() {
         Dur::from_secs(120),
         14,
     );
-    assert!(r.is_complete(), "MPTCP must survive reordering on both paths");
+    assert!(
+        r.is_complete(),
+        "MPTCP must survive reordering on both paths"
+    );
 }
 
 #[test]
@@ -213,12 +227,7 @@ fn full_location_study_runs_through_facade() {
     assert_eq!(study.results.len(), 12);
     // Every configuration completed its 400 kB transfer.
     for ((t, d), r) in &study.results {
-        assert!(
-            r.is_complete(),
-            "{} {:?} did not complete",
-            t.label(),
-            d
-        );
+        assert!(r.is_complete(), "{} {:?} did not complete", t.label(), d);
     }
 }
 
@@ -271,7 +280,10 @@ fn mid_run_rate_change_shifts_mptcp_traffic() {
     let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], 3);
     let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), 5);
     let mut sim = Sim::new(client, server, &wifi, &lte_s, 9);
-    sim.schedule(Time::from_secs(1), ScriptEvent::SetDownRate(WIFI_ADDR, 300_000));
+    sim.schedule(
+        Time::from_secs(1),
+        ScriptEvent::SetDownRate(WIFI_ADDR, 300_000),
+    );
     let id = sim.client.open(Time::ZERO, cfg, WIFI_ADDR, SERVER_PORT);
     const BYTES: u64 = 6_000_000;
     let mut sent = false;
@@ -292,8 +304,16 @@ fn mid_run_rate_change_shifts_mptcp_traffic() {
     );
     assert!(done, "transfer survives the degradation");
     let stats = sim.client.mp.conn(id).subflow_stats();
-    let wifi_bytes = stats.iter().find(|s| s.iface == WIFI_ADDR).unwrap().bytes_delivered;
-    let lte_bytes = stats.iter().find(|s| s.iface == LTE_ADDR).unwrap().bytes_delivered;
+    let wifi_bytes = stats
+        .iter()
+        .find(|s| s.iface == WIFI_ADDR)
+        .unwrap()
+        .bytes_delivered;
+    let lte_bytes = stats
+        .iter()
+        .find(|s| s.iface == LTE_ADDR)
+        .unwrap()
+        .bytes_delivered;
     assert!(
         lte_bytes > wifi_bytes * 2,
         "LTE should dominate after WiFi collapses: lte {lte_bytes} vs wifi {wifi_bytes}"
@@ -304,11 +324,25 @@ fn mid_run_rate_change_shifts_mptcp_traffic() {
 fn transfer_seeds_differ_but_shapes_agree() {
     // Different seeds give different packet schedules yet similar
     // throughput (no chaotic sensitivity in a clean scenario).
-    let t1 = run_transfer(&wifi(), &lte(), StudyTransport::TcpWifi, FlowDir::Down, 500_000, 1)
-        .avg_throughput_bps()
-        .unwrap();
-    let t2 = run_transfer(&wifi(), &lte(), StudyTransport::TcpWifi, FlowDir::Down, 500_000, 2)
-        .avg_throughput_bps()
-        .unwrap();
+    let t1 = run_transfer(
+        &wifi(),
+        &lte(),
+        StudyTransport::TcpWifi,
+        FlowDir::Down,
+        500_000,
+        1,
+    )
+    .avg_throughput_bps()
+    .unwrap();
+    let t2 = run_transfer(
+        &wifi(),
+        &lte(),
+        StudyTransport::TcpWifi,
+        FlowDir::Down,
+        500_000,
+        2,
+    )
+    .avg_throughput_bps()
+    .unwrap();
     assert!((t1 - t2).abs() / t1 < 0.2, "seed sensitivity: {t1} vs {t2}");
 }

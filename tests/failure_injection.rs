@@ -16,10 +16,7 @@ fn links() -> (LinkSpec, LinkSpec) {
     )
 }
 
-fn build(
-    cfg: &MptcpConfig,
-    seed: u64,
-) -> Sim<MptcpClientHost, MptcpServerHost> {
+fn build(cfg: &MptcpConfig, seed: u64) -> Sim<MptcpClientHost, MptcpServerHost> {
     let (wifi, lte) = links();
     let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);
     let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), seed ^ 0xAB);
@@ -27,7 +24,11 @@ fn build(
 }
 
 /// Drive a download, returning (completed, delivered bytes).
-fn drive(sim: &mut Sim<MptcpClientHost, MptcpServerHost>, id: usize, deadline: Time) -> (bool, u64) {
+fn drive(
+    sim: &mut Sim<MptcpClientHost, MptcpServerHost>,
+    id: usize,
+    deadline: Time,
+) -> (bool, u64) {
     let mut sent = false;
     let done = sim.run_until(
         |sim| {
@@ -134,7 +135,10 @@ fn notification_failover_preserves_stream_integrity() {
     let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), 29);
     let mut sim = Sim::new(client, server, &wifi, &lte, 31);
     sim.schedule(Time::from_millis(900), ScriptEvent::CutIface(LTE_ADDR));
-    sim.schedule(Time::from_millis(900), ScriptEvent::NotifyIfaceDown(LTE_ADDR));
+    sim.schedule(
+        Time::from_millis(900),
+        ScriptEvent::NotifyIfaceDown(LTE_ADDR),
+    );
     let id = sim.client.open(Time::ZERO, cfg, LTE_ADDR, SERVER_PORT);
     let payload: Vec<u8> = (0..BYTES).map(|i| (i % 253) as u8).collect();
     let expected = payload.clone();

@@ -70,7 +70,15 @@ fn finding4_short_flow_app_wants_the_right_network() {
     };
     let lte = LinkSpec::symmetric(9_000_000, Dur::from_millis(55));
     let deadline = Dur::from_secs(180);
-    let t_wifi = replay(&pattern, &wifi, &lte, Transport::Tcp(WIFI_ADDR), deadline, 5).response_time;
+    let t_wifi = replay(
+        &pattern,
+        &wifi,
+        &lte,
+        Transport::Tcp(WIFI_ADDR),
+        deadline,
+        5,
+    )
+    .response_time;
     let t_lte = replay(&pattern, &wifi, &lte, Transport::Tcp(LTE_ADDR), deadline, 5).response_time;
     assert!(
         t_lte.as_secs_f64() < t_wifi.as_secs_f64() * 0.8,

@@ -13,11 +13,11 @@ use proptest::prelude::*;
 
 fn arb_link() -> impl Strategy<Value = LinkSpec> {
     (
-        500_000u64..30_000_000,  // down bps
-        300_000u64..15_000_000,  // up bps
-        5u64..250,               // rtt ms
-        0.0f64..0.03,            // loss
-        64usize..2048,           // queue KB
+        500_000u64..30_000_000, // down bps
+        300_000u64..15_000_000, // up bps
+        5u64..250,              // rtt ms
+        0.0f64..0.03,           // loss
+        64usize..2048,          // queue KB
     )
         .prop_map(|(down, up, rtt, loss, q)| LinkSpec {
             down: mpwifi::sim::ServiceSpec::Rate(down),

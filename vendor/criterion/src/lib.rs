@@ -1,0 +1,246 @@
+//! Offline shim for the `criterion` crate: a small timing harness with
+//! the same call surface (`Criterion`, benchmark groups, `iter`,
+//! `iter_batched`, `Throughput`) but a much simpler measurement model —
+//! warm up, run a fixed wall-clock budget, report the median per-iteration
+//! time (and derived throughput) on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How batched inputs are sized. Accepted for API compatibility; the
+/// shim always materializes one input per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(800),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            c: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            min_samples: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples (accepted for compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare units processed per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.c.measurement_time,
+            min_samples: self.c.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id, self.throughput);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; records timing samples.
+pub struct Bencher {
+    budget: Duration,
+    min_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        black_box(routine());
+        let start = Instant::now();
+        while self.samples.len() < self.min_samples || start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= self.min_samples && start.elapsed() >= self.budget {
+                break;
+            }
+            if self.samples.len() >= 100_000 {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let start = Instant::now();
+        while self.samples.len() < self.min_samples || start.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= self.min_samples && start.elapsed() >= self.budget {
+                break;
+            }
+            if self.samples.len() >= 100_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("  {id:40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let ns = median.as_nanos() as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) if ns > 0.0 => {
+                format!("  {:8.1} MiB/s", b as f64 / (ns / 1e9) / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(e)) if ns > 0.0 => {
+                format!("  {:8.0} elem/s", e as f64 / (ns / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {id:40} median {:>12} ({} samples){rate}",
+            format_ns(ns),
+            self.samples.len()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group runner, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("memcpy", |b| {
+            b.iter_batched(
+                || vec![0u8; 1024],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,132 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+/// Vectors of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Ordered sets of values from `element`, with a target size drawn from
+/// `size` (the result may be smaller if duplicates are drawn, but never
+/// smaller than one when the range excludes zero and the element domain
+/// is non-trivial).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng).max(self.size.lo).max(1);
+        let mut out = BTreeSet::new();
+        // Bounded attempts keep generation total even for tiny domains.
+        for _ in 0..target * 8 {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.new_value(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::for_case("vecs", 0);
+        let s = vec(0u8..255, 3..7);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_exact_len_from_usize() {
+        let mut rng = TestRng::for_case("vec_exact", 0);
+        let s = vec(0u32..10, 5);
+        assert_eq!(s.new_value(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn btree_set_nonempty_and_bounded() {
+        let mut rng = TestRng::for_case("sets", 0);
+        let s = btree_set(0u64..1_000_000, 1..50);
+        for _ in 0..100 {
+            let set = s.new_value(&mut rng);
+            assert!(!set.is_empty() && set.len() < 50);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline shim for the `proptest` crate: a mini property-testing
+//! runner covering the surface this workspace uses.
+//!
+//! * `proptest! { ... }` with `arg in strategy`, plain `arg: Type`
+//!   parameters, and an optional `#![proptest_config(..)]` header;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * strategies: integer/float ranges (exclusive and inclusive),
+//!   `any::<T>()`, tuples up to arity 10, `prop_map`,
+//!   `collection::vec`, `collection::btree_set`, `option::of`.
+//!
+//! Unlike the real crate there is no shrinking and case generation is
+//! seeded deterministically from the test's module path, so failures
+//! reproduce exactly across runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+/// The glob import used by test modules.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Each parameter is either `name in strategy`
+/// or `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: munch `fn` items one at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_fn! { ($cfg) $(#[$meta])* fn $name; []; [$($params)*]; $body }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: normalize parameters into `(name, strategy)` pairs, then
+/// emit the test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fn {
+    // All parameters consumed: emit the runner.
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$(($arg:ident, $strat:expr))*]; []; $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __strat = ($($strat,)*);
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                #[allow(unused_variables)]
+                let ($($arg,)*) = $crate::strategy::Strategy::new_value(&__strat, &mut __rng);
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    ::core::panic!(
+                        "proptest {} failed at case {}: {}",
+                        stringify!($name),
+                        __case,
+                        __e
+                    );
+                }
+            }
+        }
+    };
+    // `name in strategy, rest...`
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [$arg:ident in $strat:expr, $($rest:tt)*]; $body:block) => {
+        $crate::__proptest_fn! { ($cfg) $(#[$meta])* fn $name; [$($acc)* ($arg, $strat)]; [$($rest)*]; $body }
+    };
+    // `name in strategy` (last parameter)
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [$arg:ident in $strat:expr]; $body:block) => {
+        $crate::__proptest_fn! { ($cfg) $(#[$meta])* fn $name; [$($acc)* ($arg, $strat)]; []; $body }
+    };
+    // `name: Type, rest...`
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [$arg:ident : $ty:ty, $($rest:tt)*]; $body:block) => {
+        $crate::__proptest_fn! { ($cfg) $(#[$meta])* fn $name; [$($acc)* ($arg, $crate::arbitrary::any::<$ty>())]; [$($rest)*]; $body }
+    };
+    // `name: Type` (last parameter)
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [$arg:ident : $ty:ty]; $body:block) => {
+        $crate::__proptest_fn! { ($cfg) $(#[$meta])* fn $name; [$($acc)* ($arg, $crate::arbitrary::any::<$ty>())]; []; $body }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}

@@ -1,0 +1,42 @@
+//! The `option::of` strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `Some` values from `inner` about 90% of the time, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(10) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let mut rng = TestRng::for_case("opts", 0);
+        let s = of(0u32..100);
+        let nones = (0..1000)
+            .filter(|_| s.new_value(&mut rng).is_none())
+            .count();
+        assert!(nones > 20 && nones < 300, "nones = {nones}");
+    }
+}

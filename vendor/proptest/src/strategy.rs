@@ -1,0 +1,158 @@
+//! The [`Strategy`] trait and the built-in value generators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of a given type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $ty)
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for () {
+    type Value = ();
+
+    fn new_value(&self, _rng: &mut TestRng) {}
+}
+
+macro_rules! impl_tuple_strategies {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategies!(A);
+impl_tuple_strategies!(A, B);
+impl_tuple_strategies!(A, B, C);
+impl_tuple_strategies!(A, B, C, D);
+impl_tuple_strategies!(A, B, C, D, E);
+impl_tuple_strategies!(A, B, C, D, E, F);
+impl_tuple_strategies!(A, B, C, D, E, F, G);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H, I, J);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (5u64..10).new_value(&mut rng);
+            assert!((5..10).contains(&v));
+            let w = (0usize..=3).new_value(&mut rng);
+            assert!(w <= 3);
+            let f = (1.5f64..2.5).new_value(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_case("map", 0);
+        let s = (1u32..5).prop_map(|x| x * 100);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!(v >= 100 && v < 500 && v % 100 == 0);
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::for_case("tuples", 0);
+        let (a, b, c) = (0u8..10, 0u16..20, 0.0f64..1.0).new_value(&mut rng);
+        assert!(a < 10 && b < 20 && (0.0..1.0).contains(&c));
+    }
+}

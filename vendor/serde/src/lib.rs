@@ -1,0 +1,15 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! forward compatibility but never serializes through serde (all report
+//! and JSON output is hand-rendered), so the derives here expand to
+//! nothing and the traits are empty markers.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives. They accept (and ignore)
+//! `#[serde(...)]` attributes so existing annotations keep compiling.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: the workspace never serializes through serde.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: the workspace never deserializes through serde.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
