@@ -21,7 +21,7 @@ fn bench_segment_codec(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(wire.len() as u64));
     g.bench_function("encode_1400B", |b| b.iter(|| seg.encode()));
     g.bench_function("decode_1400B", |b| {
-        b.iter(|| Segment::decode(wire.clone()).unwrap())
+        b.iter(|| Segment::decode(&wire).unwrap())
     });
     g.finish();
 }

@@ -378,7 +378,7 @@ mod tests {
                 }
             });
             for (to_srv, iface, seg) in due {
-                let decoded = Segment::decode(seg.encode()).expect("codec round trip");
+                let decoded = Segment::decode(&seg.encode()).expect("codec round trip");
                 // A segment delivered over a now-dead interface is lost.
                 if !self.iface_up(iface) {
                     continue;

@@ -136,8 +136,10 @@ impl MpOption {
         b.freeze()
     }
 
-    /// Decode from the data portion of a kind-30 TCP option.
-    pub fn decode(mut data: Bytes) -> Option<MpOption> {
+    /// Decode from the data portion of a kind-30 TCP option. Borrows the
+    /// bytes — a `&Bytes` coerces directly, so callers holding a raw
+    /// option no longer clone or re-slice it.
+    pub fn decode(mut data: &[u8]) -> Option<MpOption> {
         if data.is_empty() {
             return None;
         }
@@ -230,7 +232,7 @@ impl MpOption {
 /// All MPTCP options carried by a segment, in order.
 pub fn mp_options(seg: &Segment) -> Vec<MpOption> {
     seg.raw_options(OPT_KIND_MPTCP)
-        .filter_map(|d| MpOption::decode(d.clone()))
+        .filter_map(|d| MpOption::decode(d))
         .collect()
 }
 
@@ -259,7 +261,7 @@ mod tests {
         let opt = MpOption::MpCapable {
             key: 0xDEAD_BEEF_0BAD_F00D,
         };
-        assert_eq!(MpOption::decode(opt.encode()), Some(opt));
+        assert_eq!(MpOption::decode(&opt.encode()), Some(opt));
     }
 
     #[test]
@@ -270,7 +272,7 @@ mod tests {
                 addr_id: 2,
                 backup,
             };
-            assert_eq!(MpOption::decode(opt.encode()), Some(opt));
+            assert_eq!(MpOption::decode(&opt.encode()), Some(opt));
         }
     }
 
@@ -306,7 +308,7 @@ mod tests {
             },
         ];
         for opt in shapes {
-            assert_eq!(MpOption::decode(opt.encode()), Some(opt));
+            assert_eq!(MpOption::decode(&opt.encode()), Some(opt));
         }
     }
 
@@ -318,19 +320,19 @@ mod tests {
             MpOption::MpPrio { backup: false },
             MpOption::MpFastclose,
         ] {
-            assert_eq!(MpOption::decode(opt.encode()), Some(opt));
+            assert_eq!(MpOption::decode(&opt.encode()), Some(opt));
         }
     }
 
     #[test]
     fn decode_garbage_is_none() {
-        assert_eq!(MpOption::decode(Bytes::new()), None);
-        assert_eq!(MpOption::decode(Bytes::from_static(&[0xFF])), None);
+        assert_eq!(MpOption::decode(&Bytes::new()), None);
+        assert_eq!(MpOption::decode(&Bytes::from_static(&[0xFF])), None);
         // Truncated MP_CAPABLE.
-        assert_eq!(MpOption::decode(Bytes::from_static(&[0x0, 1, 2])), None);
+        assert_eq!(MpOption::decode(&Bytes::from_static(&[0x0, 1, 2])), None);
         // Truncated DSS mapping.
         assert_eq!(
-            MpOption::decode(Bytes::from_static(&[0x2, 0x01, 0, 0, 0, 0, 0, 0, 0, 1, 9])),
+            MpOption::decode(&Bytes::from_static(&[0x2, 0x01, 0, 0, 0, 0, 0, 0, 0, 1, 9])),
             None
         );
     }
@@ -352,7 +354,7 @@ mod tests {
             dss.to_tcp_option(),
         ];
         let wire = seg.encode();
-        let back = Segment::decode(wire).unwrap();
+        let back = Segment::decode(&wire).unwrap();
         let opts = mp_options(&back);
         assert_eq!(opts, vec![dss]);
     }
@@ -387,7 +389,7 @@ mod tests {
             .to_tcp_option(),
         ];
         let wire = seg.encode();
-        assert!(Segment::decode(wire).is_some());
+        assert!(Segment::decode(&wire).is_some());
     }
 
     proptest! {
@@ -395,7 +397,7 @@ mod tests {
         fn prop_decode_never_panics_on_garbage(
             data in proptest::collection::vec(any::<u8>(), 0..64),
         ) {
-            let _ = MpOption::decode(Bytes::from(data));
+            let _ = MpOption::decode(&Bytes::from(data));
         }
 
         #[test]
@@ -407,7 +409,7 @@ mod tests {
                 fin,
                 fin_dsn: if fin { fin_dsn } else { 0 },
             };
-            prop_assert_eq!(MpOption::decode(opt.encode()), Some(opt));
+            prop_assert_eq!(MpOption::decode(&opt.encode()), Some(opt));
         }
     }
 }

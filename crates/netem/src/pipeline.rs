@@ -89,8 +89,20 @@ impl Pipeline {
 
     /// Advance internal frame movement up to `now` and collect frames that
     /// exit the egress. Must be called with non-decreasing `now`.
+    ///
+    /// Allocates a fresh `Vec` per call; the simulation driver uses
+    /// [`Self::poll_into`] with a scratch buffer reused across steps.
     pub fn poll(&mut self, now: Time) -> Vec<Frame> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::poll`], but appending exiting frames to a caller-provided
+    /// buffer. The caller owns `out` and its clearing policy (the driver
+    /// drains it after delivery, so one buffer serves every step); this
+    /// method only appends.
+    pub fn poll_into(&mut self, now: Time, out: &mut Vec<Frame>) {
         // Keep moving frames until no stage can emit at `now`. A frame
         // exiting stage i at time t enters stage i+1 at the same t.
         loop {
@@ -115,7 +127,6 @@ impl Pipeline {
                 break;
             }
         }
-        out
     }
 
     /// Aggregate counters. Stage drop counts are read live, so the

@@ -114,7 +114,7 @@ mod tests {
         let order = drain(&mut s);
         assert_eq!(order.len(), 100, "nothing lost");
         assert_ne!(order, (0..100).collect::<Vec<_>>(), "order scrambled");
-        let mut sorted = order.clone();
+        let mut sorted = order;
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "same set");
     }

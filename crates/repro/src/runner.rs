@@ -166,6 +166,8 @@ pub fn metrics_json(outcomes: &[RunOutcome]) -> String {
             "  {{\"id\": \"{}\", \"seed\": {}, \"wall_ms\": {:.3}, \
              \"events_popped\": {}, \"frames_forwarded\": {}, \
              \"bytes_delivered\": {}, \"tcp_retransmits\": {}, \
+             \"segments_encoded\": {}, \"enc_buffers_reused\": {}, \
+             \"enc_buffers_allocated\": {}, \"scratch_high_water\": {}, \
              \"claims_hold\": {}}}{}\n",
             o.id,
             o.seed,
@@ -174,6 +176,10 @@ pub fn metrics_json(outcomes: &[RunOutcome]) -> String {
             o.metrics.frames_forwarded,
             o.metrics.bytes_delivered,
             o.metrics.tcp_retransmits,
+            o.metrics.segments_encoded,
+            o.metrics.enc_buffers_reused,
+            o.metrics.enc_buffers_allocated,
+            o.metrics.scratch_high_water,
             o.report.all_hold(),
             if i + 1 < outcomes.len() { "," } else { "" }
         ));
@@ -228,12 +234,17 @@ mod tests {
         assert_eq!(outcomes[1].id, "table2");
         for o in &outcomes {
             assert_eq!(o.report.metrics, Some(o.metrics));
-            assert!(
-                o.metrics.events_popped > 0 || o.metrics.frames_forwarded > 0,
-                "{}: a packet-level experiment should tick some counter",
-                o.id
-            );
         }
+        let fig9 = &outcomes[0].metrics;
+        assert!(
+            fig9.events_popped > 0 && fig9.frames_forwarded > 0,
+            "fig9 is packet-level and should tick the simulator counters"
+        );
+        assert_eq!(
+            outcomes[1].metrics,
+            RunMetrics::default(),
+            "table2 is analytic (no simulation): all counters stay zero"
+        );
     }
 
     #[test]

@@ -132,8 +132,22 @@ impl PathPair {
     }
 
     /// Poll both directions; returns `(uplink exits, downlink exits)`.
+    ///
+    /// Allocates two fresh `Vec`s per call; the simulation driver uses
+    /// [`Self::poll_into`] with scratch buffers reused across steps.
     pub fn poll(&mut self, now: Time) -> (Vec<Frame>, Vec<Frame>) {
-        (self.up.poll(now), self.down.poll(now))
+        let mut up_out = Vec::new();
+        let mut down_out = Vec::new();
+        self.poll_into(now, &mut up_out, &mut down_out);
+        (up_out, down_out)
+    }
+
+    /// Poll both directions, appending uplink exits to `up_out` and
+    /// downlink exits to `down_out`. The caller owns the buffers and
+    /// their clearing policy.
+    pub fn poll_into(&mut self, now: Time, up_out: &mut Vec<Frame>, down_out: &mut Vec<Frame>) {
+        self.up.poll_into(now, up_out);
+        self.down.poll_into(now, down_out);
     }
 }
 

@@ -9,10 +9,17 @@
 //! 2. **Cancellation**: every push returns an [`EventId`] that can later be
 //!    cancelled; cancelled entries are skipped lazily on pop, which keeps
 //!    cancel O(1).
+//!
+//! Liveness is tracked in a dense window rather than a hash set: sequence
+//! numbers are issued monotonically, so a `VecDeque<bool>` indexed by
+//! `seq - base` (where `base` is advanced past the dead prefix) answers
+//! "is this event still pending?" in O(1) without hashing on the
+//! push/pop hot path, and makes cancelling an already-fired id a
+//! detectable no-op instead of a bookkeeping leak.
 
 use crate::time::Time;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Handle identifying a scheduled event, usable to cancel it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -55,7 +62,16 @@ impl<T> Ord for Entry<T> {
 #[derive(Debug)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
-    cancelled: HashSet<u64>,
+    /// Liveness window: `live[seq - base]` is true iff the event with
+    /// that sequence number is still pending (pushed, not yet fired or
+    /// cancelled). The dead prefix is trimmed eagerly, advancing `base`,
+    /// so the window stays as small as the spread of outstanding seqs.
+    live: VecDeque<bool>,
+    /// Sequence number of `live[0]`; everything below has fired or been
+    /// cancelled.
+    base: u64,
+    /// Number of `true` entries in `live` — the queue's live length.
+    live_count: usize,
     next_seq: u64,
 }
 
@@ -70,7 +86,9 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            live: VecDeque::new(),
+            base: 0,
+            live_count: 0,
             next_seq: 0,
         }
     }
@@ -80,16 +98,36 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, seq, payload }));
+        self.live.push_back(true);
+        self.live_count += 1;
         EventId(seq)
     }
 
+    /// True iff `seq` identifies a pending (pushed, not fired, not
+    /// cancelled) event.
+    fn is_live(&self, seq: u64) -> bool {
+        seq >= self.base && self.live[(seq - self.base) as usize]
+    }
+
+    /// Mark `seq` dead and trim the dead prefix of the window.
+    fn kill(&mut self, seq: u64) {
+        self.live[(seq - self.base) as usize] = false;
+        self.live_count -= 1;
+        while self.live.front() == Some(&false) {
+            self.live.pop_front();
+            self.base += 1;
+        }
+    }
+
     /// Cancel a previously scheduled event. Returns `true` if the event had
-    /// not yet fired or been cancelled. Idempotent.
+    /// not yet fired or been cancelled. Idempotent, including for ids that
+    /// have already fired.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        if id.0 >= self.next_seq || !self.is_live(id.0) {
             return false;
         }
-        self.cancelled.insert(id.0)
+        self.kill(id.0);
+        true
     }
 
     /// The firing time of the earliest live event, if any.
@@ -102,6 +140,7 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<(Time, T)> {
         self.skip_cancelled();
         self.heap.pop().map(|Reverse(e)| {
+            self.kill(e.seq);
             crate::metrics::record_event_pop();
             (e.at, e.payload)
         })
@@ -117,21 +156,21 @@ impl<T> EventQueue<T> {
 
     /// Number of live (non-cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live_count
     }
 
     /// True iff no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live_count == 0
     }
 
+    /// Drop heap entries whose seq was cancelled (dead but still heaped).
     fn skip_cancelled(&mut self) {
         while let Some(Reverse(e)) = self.heap.peek() {
-            if self.cancelled.remove(&e.seq) {
-                self.heap.pop();
-            } else {
+            if self.is_live(e.seq) {
                 break;
             }
+            self.heap.pop();
         }
     }
 }
@@ -181,6 +220,43 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_rejected_and_len_stays_correct() {
+        // Regression: cancelling an already-fired id used to insert into
+        // the cancelled set with no matching heap entry, underflowing
+        // `len()` (heap.len() - cancelled.len()).
+        let mut q = EventQueue::new();
+        let id_a = q.push(Time::from_millis(1), "a");
+        let id_b = q.push(Time::from_millis(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(id_a), "already-fired id cannot be cancelled");
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(!q.cancel(id_b), "fired ids stay dead");
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_then_pop_then_recancel_sequence() {
+        // Interleave cancels and pops so the liveness window's base
+        // watermark advances past both fired and cancelled seqs.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..6).map(|i| q.push(Time::from_millis(i), i)).collect();
+        assert!(q.cancel(ids[0]));
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(!q.cancel(ids[0]), "cancel is idempotent across base trim");
+        assert!(!q.cancel(ids[1]), "fired id rejected after base trim");
+        assert!(q.cancel(ids[3]));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert!(q.is_empty());
     }
 
     #[test]

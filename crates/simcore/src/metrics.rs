@@ -19,6 +19,10 @@ thread_local! {
     static FRAMES_FORWARDED: Cell<u64> = const { Cell::new(0) };
     static BYTES_DELIVERED: Cell<u64> = const { Cell::new(0) };
     static TCP_RETRANSMITS: Cell<u64> = const { Cell::new(0) };
+    static SEGMENTS_ENCODED: Cell<u64> = const { Cell::new(0) };
+    static ENC_BUFFERS_REUSED: Cell<u64> = const { Cell::new(0) };
+    static ENC_BUFFERS_ALLOCATED: Cell<u64> = const { Cell::new(0) };
+    static SCRATCH_HIGH_WATER: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of this thread's instrumentation counters.
@@ -33,16 +37,33 @@ pub struct RunMetrics {
     pub bytes_delivered: u64,
     /// TCP segments retransmitted (timeout or fast retransmit).
     pub tcp_retransmits: u64,
+    /// TCP segments encoded to wire form (pooled encoder hits + misses).
+    pub segments_encoded: u64,
+    /// Segment encodes served by recycling a pooled buffer (no heap
+    /// allocation). In steady state this tracks `segments_encoded`.
+    pub enc_buffers_reused: u64,
+    /// Segment encodes that had to grow the pool with a fresh buffer
+    /// (warm-up, or every outstanding buffer still referenced).
+    pub enc_buffers_allocated: u64,
+    /// High-water mark of frames held in any single polling scratch
+    /// buffer — the largest burst a reused `Vec<Frame>` absorbed.
+    pub scratch_high_water: u64,
 }
 
 impl RunMetrics {
     /// Counter-wise difference (`self` minus an earlier `baseline`).
+    /// `scratch_high_water` is a peak, not a sum, so the later snapshot's
+    /// value is reported as-is.
     pub fn since(&self, baseline: &RunMetrics) -> RunMetrics {
         RunMetrics {
             events_popped: self.events_popped - baseline.events_popped,
             frames_forwarded: self.frames_forwarded - baseline.frames_forwarded,
             bytes_delivered: self.bytes_delivered - baseline.bytes_delivered,
             tcp_retransmits: self.tcp_retransmits - baseline.tcp_retransmits,
+            segments_encoded: self.segments_encoded - baseline.segments_encoded,
+            enc_buffers_reused: self.enc_buffers_reused - baseline.enc_buffers_reused,
+            enc_buffers_allocated: self.enc_buffers_allocated - baseline.enc_buffers_allocated,
+            scratch_high_water: self.scratch_high_water,
         }
     }
 }
@@ -71,6 +92,24 @@ pub fn record_tcp_retransmit() {
     TCP_RETRANSMITS.with(|c| c.set(c.get() + 1));
 }
 
+/// Record one segment encoded through a pooled encoder; `reused` says
+/// whether the encode recycled an existing buffer or grew the pool.
+#[inline]
+pub fn record_segment_encoded(reused: bool) {
+    SEGMENTS_ENCODED.with(|c| c.set(c.get() + 1));
+    if reused {
+        ENC_BUFFERS_REUSED.with(|c| c.set(c.get() + 1));
+    } else {
+        ENC_BUFFERS_ALLOCATED.with(|c| c.set(c.get() + 1));
+    }
+}
+
+/// Record the fill level of a polling scratch buffer; keeps the maximum.
+#[inline]
+pub fn record_scratch_high_water(n: u64) {
+    SCRATCH_HIGH_WATER.with(|c| c.set(c.get().max(n)));
+}
+
 /// Read this thread's counters.
 pub fn snapshot() -> RunMetrics {
     RunMetrics {
@@ -78,6 +117,10 @@ pub fn snapshot() -> RunMetrics {
         frames_forwarded: FRAMES_FORWARDED.with(Cell::get),
         bytes_delivered: BYTES_DELIVERED.with(Cell::get),
         tcp_retransmits: TCP_RETRANSMITS.with(Cell::get),
+        segments_encoded: SEGMENTS_ENCODED.with(Cell::get),
+        enc_buffers_reused: ENC_BUFFERS_REUSED.with(Cell::get),
+        enc_buffers_allocated: ENC_BUFFERS_ALLOCATED.with(Cell::get),
+        scratch_high_water: SCRATCH_HIGH_WATER.with(Cell::get),
     }
 }
 
@@ -87,6 +130,10 @@ pub fn reset() {
     FRAMES_FORWARDED.with(|c| c.set(0));
     BYTES_DELIVERED.with(|c| c.set(0));
     TCP_RETRANSMITS.with(|c| c.set(0));
+    SEGMENTS_ENCODED.with(|c| c.set(0));
+    ENC_BUFFERS_REUSED.with(|c| c.set(0));
+    ENC_BUFFERS_ALLOCATED.with(|c| c.set(0));
+    SCRATCH_HIGH_WATER.with(|c| c.set(0));
 }
 
 #[cfg(test)]
@@ -117,6 +164,33 @@ mod tests {
         let base = snapshot();
         record_frames_forwarded(7);
         assert_eq!(snapshot().since(&base).frames_forwarded, 7);
+    }
+
+    #[test]
+    fn encode_counters_split_reuse_and_allocation() {
+        reset();
+        record_segment_encoded(false);
+        record_segment_encoded(true);
+        record_segment_encoded(true);
+        let s = snapshot();
+        assert_eq!(s.segments_encoded, 3);
+        assert_eq!(s.enc_buffers_allocated, 1);
+        assert_eq!(s.enc_buffers_reused, 2);
+        assert_eq!(
+            s.enc_buffers_reused + s.enc_buffers_allocated,
+            s.segments_encoded
+        );
+    }
+
+    #[test]
+    fn scratch_high_water_keeps_peak() {
+        reset();
+        record_scratch_high_water(3);
+        record_scratch_high_water(11);
+        record_scratch_high_water(7);
+        assert_eq!(snapshot().scratch_high_water, 11);
+        let base = RunMetrics::default();
+        assert_eq!(snapshot().since(&base).scratch_high_water, 11);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod buffer;
 pub mod cc;
 pub mod conn;
+pub mod pool;
 pub mod rtt;
 pub mod segment;
 pub mod seq;
@@ -34,6 +35,7 @@ pub mod stack;
 pub use buffer::{RecvBuffer, SendBuffer};
 pub use cc::{CcKind, CongestionControl, CubicCc, RenoCc};
 pub use conn::{ConnStats, TcpConfig, TcpConnection, TcpState};
+pub use pool::SegmentBufPool;
 pub use rtt::RttEstimator;
 pub use segment::{Flags, Segment, TcpOption};
 pub use stack::{SocketId, TcpStack};

@@ -8,7 +8,7 @@
 //! study needs: MSS, window scale, timestamps, and a pass-through *raw*
 //! option used by `mpwifi-mptcp` for kind-30 (MPTCP) options.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 use std::fmt;
 
 /// Fixed TCP header length (no options), bytes.
@@ -232,7 +232,21 @@ impl Segment {
 
     /// Encode to wire bytes (simulated IP overhead is prepended as zero
     /// padding so frame sizes charge realistic per-packet overhead).
+    ///
+    /// Allocates a fresh buffer per call; hot paths should prefer
+    /// [`crate::SegmentBufPool::encode`], which recycles buffers through
+    /// [`Self::encode_into`].
     pub fn encode(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Encode by appending to `buf`, in a single pass (option lengths are
+    /// summed once, then every byte is written exactly once; the checksum
+    /// is patched in place at the end). The caller owns the buffer and its
+    /// clearing policy — this method only appends from the current length.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         let opt_len: usize = self.options.iter().map(|o| o.encoded_len()).sum();
         let padded_opt_len = opt_len.div_ceil(4) * 4;
         assert!(
@@ -240,12 +254,14 @@ impl Segment {
             "TCP options exceed 40 bytes ({padded_opt_len})"
         );
         let data_offset_words = (HEADER_LEN + padded_opt_len) / 4;
+        let wire_len = IP_OVERHEAD + HEADER_LEN + padded_opt_len + self.payload.len();
 
-        let mut buf = BytesMut::with_capacity(self.wire_len());
+        let base = buf.len();
+        buf.reserve(wire_len);
         // Simulated IP header: zeroes except a 16-bit total length so
         // decode can sanity-check framing.
         buf.put_bytes(0, IP_OVERHEAD - 2);
-        buf.put_u16(self.wire_len() as u16);
+        buf.put_u16(wire_len as u16);
 
         buf.put_u16(self.src_port);
         buf.put_u16(self.dst_port);
@@ -302,15 +318,18 @@ impl Segment {
         buf.put_slice(&self.payload);
 
         // Ones'-complement checksum over the TCP portion.
-        let csum = internet_checksum(&buf[IP_OVERHEAD..]);
+        let csum = internet_checksum(&buf[base + IP_OVERHEAD..]);
         buf[checksum_pos] = (csum >> 8) as u8;
         buf[checksum_pos + 1] = (csum & 0xff) as u8;
-        buf.freeze()
     }
 
     /// Decode from wire bytes. Returns `None` on malformed input or
     /// checksum mismatch (the segment is treated as lost).
-    pub fn decode(mut wire: Bytes) -> Option<Segment> {
+    ///
+    /// Borrows the wire image: header fields and fixed-layout options are
+    /// parsed in place, and the payload (and any raw-option data) comes
+    /// back as zero-copy slices sharing `wire`'s allocation.
+    pub fn decode(wire: &Bytes) -> Option<Segment> {
         if wire.len() < IP_OVERHEAD + HEADER_LEN {
             return None;
         }
@@ -321,8 +340,7 @@ impl Segment {
         if internet_checksum(&wire[IP_OVERHEAD..]) != 0 {
             return None;
         }
-        wire.advance(IP_OVERHEAD);
-        let mut hdr = wire.clone();
+        let mut hdr = &wire[IP_OVERHEAD..];
         let src_port = hdr.get_u16();
         let dst_port = hdr.get_u16();
         let seq = hdr.get_u32();
@@ -334,30 +352,35 @@ impl Segment {
         let _urgent = hdr.get_u16();
 
         let header_total = data_offset_words * 4;
-        if header_total < HEADER_LEN || header_total > wire.len() {
+        if header_total < HEADER_LEN || header_total > wire.len() - IP_OVERHEAD {
             return None;
         }
         let mut options = Vec::new();
-        let mut opt_bytes = wire.slice(HEADER_LEN..header_total);
-        while opt_bytes.has_remaining() {
-            let kind = opt_bytes.get_u8();
+        // Absolute offsets into `wire`, so raw-option data can be sliced
+        // zero-copy off the original buffer.
+        let mut off = IP_OVERHEAD + HEADER_LEN;
+        let opt_end = IP_OVERHEAD + header_total;
+        while off < opt_end {
+            let kind = wire[off];
+            off += 1;
             match kind {
                 0 => break,    // end of options
                 1 => continue, // NOP
                 _ => {
-                    if !opt_bytes.has_remaining() {
+                    if off >= opt_end {
                         return None;
                     }
-                    let len = opt_bytes.get_u8() as usize;
-                    if len < 2 || len - 2 > opt_bytes.remaining() {
+                    let len = wire[off] as usize;
+                    off += 1;
+                    if len < 2 || off + (len - 2) > opt_end {
                         return None;
                     }
-                    let data = opt_bytes.split_to(len - 2);
-                    options.push(parse_option(kind, data)?);
+                    options.push(parse_option(kind, wire, off, len - 2)?);
+                    off += len - 2;
                 }
             }
         }
-        let payload = wire.slice(header_total..);
+        let payload = wire.slice(IP_OVERHEAD + header_total..);
         Some(Segment {
             src_port,
             dst_port,
@@ -371,38 +394,42 @@ impl Segment {
     }
 }
 
-fn parse_option(kind: u8, mut data: Bytes) -> Option<TcpOption> {
+/// Parse one option whose data occupies `wire[start..start + len]`.
+/// Fixed-layout options are read in place; raw (pass-through) options get
+/// a zero-copy slice of `wire`.
+fn parse_option(kind: u8, wire: &Bytes, start: usize, len: usize) -> Option<TcpOption> {
+    let mut data = &wire[start..start + len];
     Some(match kind {
         2 => {
-            if data.len() != 2 {
+            if len != 2 {
                 return None;
             }
             TcpOption::Mss(data.get_u16())
         }
         3 => {
-            if data.len() != 1 {
+            if len != 1 {
                 return None;
             }
             TcpOption::WindowScale(data.get_u8())
         }
         4 => {
-            if !data.is_empty() {
+            if len != 0 {
                 return None;
             }
             TcpOption::SackPermitted
         }
         5 => {
-            if !data.len().is_multiple_of(8) {
+            if !len.is_multiple_of(8) {
                 return None;
             }
-            let mut ranges = Vec::with_capacity(data.len() / 8);
+            let mut ranges = Vec::with_capacity(len / 8);
             while data.has_remaining() {
                 ranges.push((data.get_u32(), data.get_u32()));
             }
             TcpOption::Sack(ranges)
         }
         8 => {
-            if data.len() != 8 {
+            if len != 8 {
                 return None;
             }
             TcpOption::Timestamp {
@@ -410,7 +437,10 @@ fn parse_option(kind: u8, mut data: Bytes) -> Option<TcpOption> {
                 ecr: data.get_u32(),
             }
         }
-        k => TcpOption::Raw { kind: k, data },
+        k => TcpOption::Raw {
+            kind: k,
+            data: wire.slice(start..start + len),
+        },
     })
 }
 
@@ -463,7 +493,7 @@ mod tests {
     fn encode_decode_round_trip() {
         let seg = sample_segment();
         let wire = seg.encode();
-        let back = Segment::decode(wire).expect("decode");
+        let back = Segment::decode(&wire).expect("decode");
         assert_eq!(back, seg);
     }
 
@@ -475,7 +505,7 @@ mod tests {
             TcpOption::WindowScale(8),
             TcpOption::SackPermitted,
         ];
-        let back = Segment::decode(seg.encode()).unwrap();
+        let back = Segment::decode(&seg.encode()).unwrap();
         assert_eq!(back.options, seg.options);
         assert!(back.flags.syn && !back.flags.ack);
     }
@@ -487,7 +517,7 @@ mod tests {
             let mut corrupt = wire.to_vec();
             corrupt[i] ^= 0xFF;
             assert!(
-                Segment::decode(Bytes::from(corrupt)).is_none(),
+                Segment::decode(&Bytes::from(corrupt)).is_none(),
                 "corruption at byte {i} went undetected"
             );
         }
@@ -497,7 +527,7 @@ mod tests {
     fn truncated_input_rejected() {
         let wire = sample_segment().encode();
         for cut in 0..wire.len() {
-            assert!(Segment::decode(wire.slice(..cut)).is_none());
+            assert!(Segment::decode(&wire.slice(..cut)).is_none());
         }
     }
 
@@ -552,7 +582,7 @@ mod tests {
             TcpOption::Timestamp { val: 5, ecr: 6 },
             TcpOption::Sack(vec![(200, 300), (500, 700)]),
         ];
-        let back = Segment::decode(seg.encode()).unwrap();
+        let back = Segment::decode(&seg.encode()).unwrap();
         assert_eq!(back.options, seg.options);
     }
 
@@ -585,7 +615,7 @@ mod tests {
                 flags: Flags { syn, fin, ack: ackf, rst: false, psh: false },
                 window, options, payload: Bytes::from(payload),
             };
-            let back = Segment::decode(seg.encode());
+            let back = Segment::decode(&seg.encode());
             prop_assert_eq!(back, Some(seg));
         }
 
@@ -595,7 +625,7 @@ mod tests {
         ) {
             // Arbitrary bytes must never panic the decoder — at worst
             // they are rejected as None.
-            let _ = Segment::decode(Bytes::from(data));
+            let _ = Segment::decode(&Bytes::from(data));
         }
 
         #[test]
@@ -611,7 +641,7 @@ mod tests {
             let bit = bit % ((wire.len() - IP_OVERHEAD) * 8);
             let mut corrupt = wire.clone();
             corrupt[IP_OVERHEAD + bit / 8] ^= 1 << (bit % 8);
-            prop_assert!(Segment::decode(Bytes::from(corrupt)).is_none());
+            prop_assert!(Segment::decode(&Bytes::from(corrupt)).is_none());
         }
     }
 }

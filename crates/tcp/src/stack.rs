@@ -250,7 +250,7 @@ mod tests {
             for (_, to_b, seg) in due {
                 // Encode/decode round trip on every delivery: the codec is
                 // always on the path, like a real wire.
-                let decoded = Segment::decode(seg.encode()).expect("codec round trip");
+                let decoded = Segment::decode(&seg.encode()).expect("codec round trip");
                 if to_b {
                     self.b.on_segment(self.now, &decoded);
                 } else {

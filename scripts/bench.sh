@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Benchmark baseline pipeline: run the criterion benches and collect
+# per-benchmark medians into a committed JSON baseline.
+#
+# Usage: scripts/bench.sh [OUT.json]
+#
+# The vendored criterion shim appends one JSON object per benchmark
+# ({"id", "median_ns", "samples"}) to the file named by
+# MPWIFI_BENCH_JSON; this script wraps those lines into a JSON array.
+# Numbers are medians on whatever machine ran the script — compare
+# ratios against the committed baseline, not absolute values.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== cargo bench (simulator, hot_path, runner)"
+MPWIFI_BENCH_JSON="$RAW" cargo bench -p mpwifi-bench --bench simulator --bench hot_path --bench runner
+
+COUNT="$(wc -l <"$RAW")"
+if [ "$COUNT" -lt 5 ]; then
+    echo "error: expected at least 5 benchmark records, got $COUNT" >&2
+    exit 1
+fi
+
+{
+    echo "["
+    sed '$!s/$/,/; s/^/  /' "$RAW"
+    echo "]"
+} >"$OUT"
+
+echo "wrote $OUT ($COUNT benchmarks)"

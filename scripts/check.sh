@@ -1,8 +1,23 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tier-1 build + tests.
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--bench-smoke]
+#   --bench-smoke   also build the criterion benches and run each for a
+#                   single iteration (cargo bench -- --test), proving
+#                   the benchmarks still compile and run without paying
+#                   for a full measurement.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench-smoke) BENCH_SMOKE=1 ;;
+        *)
+            echo "usage: scripts/check.sh [--bench-smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -15,5 +30,10 @@ cargo build --release
 
 echo "== tier-1: cargo test -q"
 cargo test -q
+
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+    echo "== bench smoke: one iteration per benchmark"
+    cargo bench -p mpwifi-bench -- --test
+fi
 
 echo "All checks passed."

@@ -14,9 +14,13 @@ use std::sync::Arc;
 
 /// A reference-counted view into an immutable byte buffer. Cloning and
 /// slicing are O(1) and share the underlying allocation.
+///
+/// Backed by `Arc<Vec<u8>>` so constructing from a `Vec` (and
+/// [`BytesMut::freeze`]) moves the data instead of copying it — only the
+/// shared-ownership control block is allocated.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -41,7 +45,22 @@ impl Bytes {
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Shim extension (not in the real crate's API): view an existing
+    /// shared buffer in place, without moving or copying it. Buffer
+    /// pools use this to recycle encode buffers: the pool keeps one
+    /// strong reference per buffer and a slot is reusable exactly when
+    /// `Arc::strong_count` drops back to 1 (every outstanding view has
+    /// been dropped).
+    pub fn from_shared(data: Arc<Vec<u8>>) -> Bytes {
+        let end = data.len();
+        Bytes {
+            data,
             start: 0,
             end,
         }

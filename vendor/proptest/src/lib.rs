@@ -5,7 +5,7 @@
 //!   parameters, and an optional `#![proptest_config(..)]` header;
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
 //! * strategies: integer/float ranges (exclusive and inclusive),
-//!   `any::<T>()`, tuples up to arity 10, `prop_map`,
+//!   `any::<T>()`, tuples up to arity 16, `prop_map`,
 //!   `collection::vec`, `collection::btree_set`, `option::of`.
 //!
 //! Unlike the real crate there is no shrinking and case generation is

@@ -121,6 +121,12 @@ impl_tuple_strategies!(A, B, C, D, E, F, G);
 impl_tuple_strategies!(A, B, C, D, E, F, G, H);
 impl_tuple_strategies!(A, B, C, D, E, F, G, H, I);
 impl_tuple_strategies!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H, I, J, K, L);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H, I, J, K, L, M);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H, I, J, K, L, M, N);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H, I, J, K, L, M, N, O);
+impl_tuple_strategies!(A, B, C, D, E, F, G, H, I, J, K, L, M, N, O, P);
 
 #[cfg(test)]
 mod tests {
