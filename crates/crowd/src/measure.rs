@@ -65,7 +65,7 @@ pub fn measure_pair(wifi: &LinkSpec, lte: &LinkSpec, mode: RunMode, seed: u64) -
 
 fn measure_fullsim(wifi: &LinkSpec, lte: &LinkSpec, seed: u64) -> RunMeasurement {
     let deadline = Dur::from_secs(180);
-    let cfg = TcpConfig::default;
+    let cfg = TcpConfig::default();
     // The app measures WiFi first, then turns WiFi off and measures
     // cellular (Figure 2); both use the client's respective interface.
     // We point both transfers at the WiFi slot of the testbed and swap
@@ -76,7 +76,7 @@ fn measure_fullsim(wifi: &LinkSpec, lte: &LinkSpec, seed: u64) -> RunMeasurement
         &idle,
         WIFI_ADDR,
         TRANSFER_BYTES,
-        cfg(),
+        cfg.clone(),
         deadline,
         seed,
     );
@@ -85,7 +85,7 @@ fn measure_fullsim(wifi: &LinkSpec, lte: &LinkSpec, seed: u64) -> RunMeasurement
         &idle,
         WIFI_ADDR,
         TRANSFER_BYTES,
-        cfg(),
+        cfg.clone(),
         deadline,
         seed ^ 1,
     );
@@ -94,7 +94,7 @@ fn measure_fullsim(wifi: &LinkSpec, lte: &LinkSpec, seed: u64) -> RunMeasurement
         &idle,
         WIFI_ADDR,
         TRANSFER_BYTES,
-        cfg(),
+        cfg.clone(),
         deadline,
         seed ^ 2,
     );
@@ -103,7 +103,7 @@ fn measure_fullsim(wifi: &LinkSpec, lte: &LinkSpec, seed: u64) -> RunMeasurement
         &idle,
         WIFI_ADDR,
         TRANSFER_BYTES,
-        cfg(),
+        cfg.clone(),
         deadline,
         seed ^ 3,
     );

@@ -19,7 +19,7 @@ use crate::options::{mp_options, token_from_key, DssMap, MpOption};
 use crate::sched::{SchedKind, Scheduler, SubflowView};
 use bytes::Bytes;
 use mpwifi_netem::Addr;
-use mpwifi_simcore::{Dur, Time};
+use mpwifi_simcore::{metrics, Dur, Time};
 use mpwifi_tcp::buffer::{RecvBuffer, SendBuffer};
 use mpwifi_tcp::cc::{CcKind, RenoCc};
 use mpwifi_tcp::conn::{TcpConfig, TcpConnection};
@@ -304,6 +304,11 @@ pub struct MptcpConnection {
     /// Chunks awaiting reinjection because no live subflow existed when
     /// their carrier died (Single-Path mode's break-before-make window).
     pending_reinject: Vec<(u64, u64)>,
+    /// Recovery-time clock: set when a subflow is declared dead,
+    /// cleared (and reported to the run metrics) when connection-level
+    /// delivery or the peer's data-ACK next advances past the recorded
+    /// `(receive cursor, data-ACK)` watermarks.
+    recovery_started: Option<(Time, u64, u64)>,
     /// `abort()` called; reset subflows after the FASTCLOSE leaves.
     aborting: bool,
     aborted: bool,
@@ -392,6 +397,7 @@ impl MptcpConnection {
             subflows_closed: false,
             fin_announce_deadline: None,
             pending_reinject: Vec::new(),
+            recovery_started: None,
             aborting: false,
             aborted: false,
         }
@@ -728,6 +734,10 @@ impl MptcpConnection {
             return;
         }
         self.subflows[idx].dead = true;
+        metrics::record_subflow_declared_dead();
+        if self.recovery_started.is_none() && !self.subflows_closed && !self.aborting {
+            self.recovery_started = Some((now, self.rcv_buf.next_expected(), self.data_ack_in));
+        }
         if let Some(li) = self.subflows[idx].lia_idx {
             self.lia.borrow_mut().mark_dead_by_index(li);
         }
@@ -763,6 +773,7 @@ impl MptcpConnection {
         for (dsn, len) in pending {
             if let Some(target) = self.pick_any_live_subflow() {
                 self.push_chunk_to_subflow(target, dsn, len);
+                metrics::record_reinjection();
             } else {
                 // No live established subflow yet (Single-Path mode's
                 // handshake window): park for later.
@@ -790,6 +801,7 @@ impl MptcpConnection {
             let start = dsn.max(self.data_ack_in);
             let target = self.pick_any_live_subflow().expect("checked above");
             self.push_chunk_to_subflow(target, start, dsn + len - start);
+            metrics::record_reinjection();
         }
     }
 
@@ -879,19 +891,39 @@ impl MptcpConnection {
         // 5. Scheduling.
         self.detect_silent_death(now);
         self.pump_send(now);
+
+        // 6. Recovery bookkeeping.
+        self.check_recovery_progress(now);
+    }
+
+    /// Close out the recovery-time clock once connection-level progress
+    /// resumes after a subflow death.
+    fn check_recovery_progress(&mut self, now: Time) {
+        if let Some((t0, rcv0, ack0)) = self.recovery_started {
+            if self.rcv_buf.next_expected() > rcv0 || self.data_ack_in > ack0 {
+                metrics::record_recovery_time_us((now - t0).as_micros());
+                self.recovery_started = None;
+            }
+        }
     }
 
     fn pump_receive(&mut self, now: Time, sf_idx: usize) {
         let chunks = self.subflows[sf_idx].conn.take_delivered();
-        for chunk in chunks {
+        let mut violated = false;
+        'chunks: for chunk in chunks {
             let mut off = self.subflows[sf_idx].rx_cursor;
             let mut rest = chunk;
             while !rest.is_empty() {
                 let Some(entry) = self.subflows[sf_idx].rx_map_at(off) else {
-                    // Mapping hasn't arrived — cannot happen with our
-                    // sender (mapping rides with first transmission), so
-                    // treat as protocol violation.
-                    panic!("subflow byte at offset {off} has no DSS mapping");
+                    // In-order subflow bytes with no DSS mapping: our
+                    // sender always ships the mapping with the first
+                    // transmission, so this peer is violating the
+                    // protocol. The subflow's stream can no longer be
+                    // translated to DSN space — declare it dead (a
+                    // counted drop; reinjection recovers anything we had
+                    // assigned to it) instead of panicking.
+                    violated = true;
+                    break 'chunks;
                 };
                 let entry = *entry;
                 let within = off - entry.sf_off;
@@ -902,6 +934,9 @@ impl MptcpConnection {
                 off += take as u64;
             }
             self.subflows[sf_idx].rx_cursor = off;
+        }
+        if violated {
+            self.kill_subflow(now, sf_idx);
         }
         // Bounded map bookkeeping.
         if self.subflows[sf_idx].rx_maps.len() > 64 || self.subflows[sf_idx].tx_maps.len() > 64 {
@@ -919,7 +954,6 @@ impl MptcpConnection {
                 }
             }
         }
-        let _ = now;
     }
 
     fn handle_establishment(&mut self, now: Time) {
@@ -947,9 +981,72 @@ impl MptcpConnection {
 
     fn open_secondary(&mut self, now: Time) {
         let spec = self.paths[self.subflows.len().min(self.paths.len() - 1)];
-        let token = token_from_key(self.key_peer.expect("primary established without peer key"));
+        self.open_join(now, spec);
+    }
+
+    /// Would a restored `iface` be worth rejoining right now? True only
+    /// for an established, not-yet-closing client connection that has a
+    /// configured path on `iface` with no live subflow — and, in
+    /// Single-Path mode, only when no subflow at all is alive (the
+    /// backup radio stays asleep while the active path works).
+    pub fn wants_rejoin(&self, iface: Addr) -> bool {
+        if self.role != Role::Client
+            || self.aborting
+            || self.aborted
+            || self.subflows_closed
+            || self.key_peer.is_none()
+            || self.stats_established_at.is_none()
+        {
+            return false;
+        }
+        if !self.paths.iter().any(|p| p.iface == iface) {
+            return false;
+        }
+        if self.subflows.iter().any(|s| s.iface == iface && !s.dead) {
+            return false;
+        }
+        match self.cfg.mode {
+            Mode::SinglePath => !self.subflows.iter().any(|s| !s.dead && !s.conn.is_closed()),
+            Mode::Full | Mode::Backup => true,
+        }
+    }
+
+    /// A downed interface came back: open a fresh MP_JOIN subflow on it
+    /// (with a caller-allocated local port — the old port pair may still
+    /// be routed to the dead subflow on the peer). No-op unless
+    /// [`MptcpConnection::wants_rejoin`] holds.
+    pub fn rejoin_path(&mut self, now: Time, iface: Addr, local_port: u16) {
+        if !self.wants_rejoin(iface) {
+            return;
+        }
+        let base = self
+            .paths
+            .iter()
+            .find(|p| p.iface == iface)
+            .copied()
+            .expect("wants_rejoin verified the path exists");
+        let spec = PathSpec {
+            iface,
+            addr_id: base.addr_id,
+            local_port,
+        };
+        self.open_join(now, spec);
+        self.pump_send(now);
+    }
+
+    fn open_join(&mut self, now: Time, spec: PathSpec) {
+        // Peer never proved MPTCP capability (its MP_CAPABLE may have
+        // been corrupted away): stay single-path rather than panic.
+        let Some(key_peer) = self.key_peer else {
+            return;
+        };
+        let token = token_from_key(key_peer);
         let backup = self.cfg.mode == Mode::Backup;
-        let iss = self.iss_base.wrapping_add(0x4000_0000);
+        // Distinct ISS per join (rejoins open third, fourth, ... subflows
+        // on fresh ports); the first join keeps the historical constant.
+        let iss = self
+            .iss_base
+            .wrapping_add(0x4000_0000u32.wrapping_mul(self.subflows.len() as u32));
         let mut conn = self.make_subflow_conn(spec.local_port, self.remote_port, iss, true);
         conn.set_handshake_options(vec![MpOption::MpJoin {
             token,

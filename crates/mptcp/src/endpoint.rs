@@ -149,6 +149,24 @@ impl ClientEndpoint {
             conn.notify_iface_down(now, iface);
         }
     }
+
+    /// Local notification that a downed interface came back: every
+    /// connection that lost its subflow on `iface` rejoins it with a
+    /// fresh MP_JOIN on a newly allocated ephemeral port (the old port
+    /// pair may still route to the dead subflow on the server).
+    pub fn notify_iface_up(&mut self, now: Time, iface: Addr) {
+        for conn in &mut self.conns {
+            if conn.wants_rejoin(iface) {
+                assert!(
+                    self.next_port < u16::MAX,
+                    "client endpoint exhausted its ephemeral port range"
+                );
+                let port = self.next_port;
+                self.next_port += 1;
+                conn.rejoin_path(now, iface, port);
+            }
+        }
+    }
 }
 
 /// Single-homed MPTCP server endpoint.

@@ -13,7 +13,11 @@
 //! * [`LossStage`] — Bernoulli packet loss;
 //! * [`Pipeline`] — a one-direction chain of stages with an up/down gate
 //!   (the gate models physically unplugging an interface mid-flow, as in
-//!   the paper's Figure 15g/h).
+//!   the paper's Figure 15g/h);
+//! * [`faults`] — deterministic fault injection: [`FaultPlan`]
+//!   timelines (blackouts, burst loss, delay spikes, rate crushes,
+//!   corruption) plus the episode-gated [`GilbertElliottStage`] and
+//!   [`CorruptStage`].
 //!
 //! Stages are *polled*, not callback-driven: each stage reports the next
 //! instant at which a frame can exit ([`Stage::next_ready`]) and the
@@ -21,12 +25,16 @@
 //! components. This keeps the whole simulator single-threaded, allocation-
 //! light and deterministic.
 
+pub mod faults;
 pub mod frame;
 pub mod pipeline;
 pub mod reorder;
 pub mod stage;
 pub mod trace;
 
+pub use faults::{
+    CorruptStage, FaultEvent, FaultKind, FaultPlan, GilbertElliott, GilbertElliottStage,
+};
 pub use frame::{Addr, Frame};
 pub use pipeline::{Pipeline, PipelineStats};
 pub use reorder::ReorderStage;

@@ -4,8 +4,9 @@
 //! and exposes a single `next_ready`/`poll` interface to the simulation
 //! driver. It also carries the interface up/down gate used to emulate
 //! physically unplugging a tethered phone mid-flow (paper Figure 15g/h):
-//! while the gate is down, every pushed frame is silently dropped and
-//! frames already inside the pipeline are discarded on exit.
+//! cutting the gate immediately discards every frame queued inside the
+//! pipeline (counted as `dropped_down`), and every frame pushed while
+//! the gate is down is silently dropped.
 
 use crate::frame::Frame;
 use crate::stage::Stage;
@@ -67,8 +68,16 @@ impl Pipeline {
     }
 
     /// Raise or cut the link. Cutting models a physical unplug: silent
-    /// black-holing with no notification to either endpoint.
+    /// black-holing with no notification to either endpoint. Frames
+    /// queued inside the pipeline at cut time are discarded immediately
+    /// and counted in `dropped_down` — a real NIC flushes its rings
+    /// when the carrier drops; nothing is replayed on restore.
     pub fn set_up(&mut self, up: bool) {
+        if !up && self.up {
+            for s in &mut self.stages {
+                self.stats.dropped_down += s.drop_all();
+            }
+        }
         self.up = up;
     }
 
@@ -220,18 +229,45 @@ mod tests {
     }
 
     #[test]
-    fn frames_in_flight_when_link_cut_are_dropped_at_egress() {
+    fn frames_in_flight_when_link_cut_are_dropped_immediately() {
         let mut p = rate_delay_pipeline(12_000_000, 10);
         p.push(Time::ZERO, frame(1, 1500));
         p.set_up(false);
+        // Cut semantics: the queued frame is flushed at cut time, so
+        // the pipeline is empty before any poll happens.
+        assert_eq!(p.backlog(), 0);
+        assert_eq!(p.stats().dropped_down, 1);
         let out = p.poll(Time::from_secs(1));
         assert!(out.is_empty());
-        assert_eq!(p.stats().dropped_down, 1);
         // Re-raising the link lets later frames through.
         p.set_up(true);
         p.push(Time::from_secs(1), frame(2, 1500));
         let out = p.poll(Time::from_secs(2));
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cut_flushes_every_stage_and_restores_clean() {
+        // Frames spread across the queue and the delay stage: two
+        // pushed back-to-back (second still in the queue when the
+        // first reaches the delay stage), then the link is cut.
+        let mut p = rate_delay_pipeline(12_000_000, 10);
+        p.push(Time::ZERO, frame(1, 1500)); // leaves queue at 1 ms
+        p.push(Time::ZERO, frame(2, 1500)); // leaves queue at 2 ms
+        assert!(p.poll(Time::from_micros(1_500)).is_empty());
+        assert_eq!(p.backlog(), 2, "one in delay, one still queued");
+        p.set_up(false);
+        assert_eq!(p.backlog(), 0, "down flushes queued frames");
+        let s = p.stats();
+        assert_eq!(s.dropped_down, 2);
+        assert_eq!(s.pushed, s.delivered + s.dropped_in_stages + s.dropped_down);
+        // Nothing from before the cut ever re-emerges after restore.
+        p.set_up(true);
+        assert!(p.poll(Time::from_secs(5)).is_empty());
+        p.push(Time::from_secs(5), frame(3, 1500));
+        let out = p.poll(Time::from_secs(6));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 3);
     }
 
     #[test]

@@ -66,6 +66,12 @@ impl Stage for ReorderStage {
         Some((t, frame))
     }
 
+    fn drop_all(&mut self) -> u64 {
+        let n = self.held.len() as u64;
+        self.held.clear();
+        n
+    }
+
     fn backlog(&self) -> usize {
         self.held.len()
     }

@@ -35,6 +35,15 @@ pub trait Stage: std::fmt::Debug {
     /// no-op). Lets scenarios change a link's rate mid-run.
     fn replace_service(&mut self, _now: Time, _service: Service) {}
 
+    /// Change the propagation delay, if this stage has one (default:
+    /// no-op). Lets fault plans inject delay spikes mid-run.
+    fn set_delay(&mut self, _delay: Dur) {}
+
+    /// Discard every frame currently held, returning how many were
+    /// dropped. Used when an interface goes down: a real NIC's queues
+    /// are flushed, not replayed on restore.
+    fn drop_all(&mut self) -> u64;
+
     /// Frames currently held by this stage.
     fn backlog(&self) -> usize;
 }
@@ -246,6 +255,16 @@ impl Stage for LinkQueue {
         self.dropped
     }
 
+    fn drop_all(&mut self) -> u64 {
+        let n = self.queue.len() as u64;
+        self.queue.clear();
+        self.queued_bytes = 0;
+        self.head_exit = None;
+        self.head_started = None;
+        self.head_remaining = 1.0;
+        n
+    }
+
     fn backlog(&self) -> usize {
         self.queue.len()
     }
@@ -301,6 +320,16 @@ impl Stage for DelayStage {
         }
     }
 
+    fn set_delay(&mut self, delay: Dur) {
+        DelayStage::set_delay(self, delay);
+    }
+
+    fn drop_all(&mut self) -> u64 {
+        let n = self.in_flight.len() as u64;
+        self.in_flight.clear();
+        n
+    }
+
     fn backlog(&self) -> usize {
         self.in_flight.len()
     }
@@ -351,6 +380,12 @@ impl Stage for LossStage {
 
     fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn drop_all(&mut self) -> u64 {
+        let n = self.passthrough.len() as u64;
+        self.passthrough.clear();
+        n
     }
 
     fn backlog(&self) -> usize {

@@ -3,6 +3,7 @@
 pub mod app_figs;
 pub mod crowd_figs;
 pub mod extensions;
+pub mod fault_figs;
 pub mod flow_figs;
 pub mod mode_figs;
 pub mod table2;

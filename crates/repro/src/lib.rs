@@ -24,7 +24,7 @@ pub const ALL_EXPERIMENTS: [&str; 20] = registry::collect_ids::<20>(false);
 /// Extension experiments (beyond the paper's figures): the studies the
 /// paper's conclusion calls for, plus design ablations. Derived from
 /// [`REGISTRY`].
-pub const EXTENSION_EXPERIMENTS: [&str; 5] = registry::collect_ids::<5>(true);
+pub const EXTENSION_EXPERIMENTS: [&str; 8] = registry::collect_ids::<8>(true);
 
 /// Run one experiment by id, with `seed` passed to it verbatim.
 ///
@@ -71,6 +71,19 @@ mod tests {
     fn fig16_claims_hold() {
         let r = run_experiment("fig16", Scale::Quick, 42).unwrap();
         assert!(r.all_hold(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn fault_family_claims_hold() {
+        // The PR's acceptance sweep: silent/notified blackouts, restores
+        // with rejoin, and noise episodes, all at Quick scale. Every
+        // claim (completion, stream integrity, recovery accounting)
+        // must hold.
+        for id in ["fault-sweep", "fault-restore", "fault-noise"] {
+            let r = run_experiment(id, Scale::Quick, 42).unwrap();
+            assert!(r.all_hold(), "{}", r.render_text());
+            assert!(!r.blocks.is_empty(), "{id} must emit its sweep table");
+        }
     }
 
     #[test]

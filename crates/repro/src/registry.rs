@@ -87,7 +87,7 @@ fn run_ext_stability(_: Scale, seed: u64) -> Report {
 }
 
 /// Every experiment, in paper order, extensions last.
-pub const REGISTRY: [ExperimentSpec; 25] = [
+pub const REGISTRY: [ExperimentSpec; 28] = [
     ExperimentSpec {
         id: "table1",
         title: "Geographic coverage of the crowd-sourced dataset",
@@ -262,6 +262,27 @@ pub const REGISTRY: [ExperimentSpec; 25] = [
         section: "ext",
         extension: true,
         run: run_ext_stability,
+    },
+    ExperimentSpec {
+        id: "fault-sweep",
+        title: "Failover (Fig 15e-h) swept over blackout onset",
+        section: "ext",
+        extension: true,
+        run: ex::fault_figs::fault_sweep,
+    },
+    ExperimentSpec {
+        id: "fault-restore",
+        title: "Blackout-duration sweep with restore and subflow rejoin",
+        section: "ext",
+        extension: true,
+        run: ex::fault_figs::fault_restore,
+    },
+    ExperimentSpec {
+        id: "fault-noise",
+        title: "Burst-loss and corruption episodes on single-path TCP",
+        section: "ext",
+        extension: true,
+        run: ex::fault_figs::fault_noise,
     },
 ];
 

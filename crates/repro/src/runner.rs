@@ -168,6 +168,9 @@ pub fn metrics_json(outcomes: &[RunOutcome]) -> String {
              \"bytes_delivered\": {}, \"tcp_retransmits\": {}, \
              \"segments_encoded\": {}, \"enc_buffers_reused\": {}, \
              \"enc_buffers_allocated\": {}, \"scratch_high_water\": {}, \
+             \"faults_injected\": {}, \"segments_corrupted_dropped\": {}, \
+             \"subflows_declared_dead\": {}, \"reinjections\": {}, \
+             \"recovery_time_us\": {}, \
              \"claims_hold\": {}}}{}\n",
             o.id,
             o.seed,
@@ -180,6 +183,11 @@ pub fn metrics_json(outcomes: &[RunOutcome]) -> String {
             o.metrics.enc_buffers_reused,
             o.metrics.enc_buffers_allocated,
             o.metrics.scratch_high_water,
+            o.metrics.faults_injected,
+            o.metrics.segments_corrupted_dropped,
+            o.metrics.subflows_declared_dead,
+            o.metrics.reinjections,
+            o.metrics.recovery_time_us,
             o.report.all_hold(),
             if i + 1 < outcomes.len() { "," } else { "" }
         ));
@@ -255,6 +263,11 @@ mod tests {
         assert!(json.starts_with("[\n"));
         assert!(json.contains("\"id\": \"fig9\""));
         assert!(json.contains("\"events_popped\""));
+        assert!(json.contains("\"faults_injected\""));
+        assert!(json.contains("\"segments_corrupted_dropped\""));
+        assert!(json.contains("\"subflows_declared_dead\""));
+        assert!(json.contains("\"reinjections\""));
+        assert!(json.contains("\"recovery_time_us\""));
         assert!(json.trim_end().ends_with(']'));
     }
 }

@@ -39,6 +39,36 @@ fn parallel_run_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn fault_sweeps_are_deterministic_across_jobs_and_repeats() {
+    // Fault-injected runs add scheduled blackouts, episode-gated RNG
+    // streams, and recovery-time accounting — all of which must remain
+    // a pure function of the seed. The fingerprint includes the full
+    // metric counters (faults_injected, segments_corrupted_dropped,
+    // subflows_declared_dead, reinjections, recovery_time_us), so any
+    // sharding- or repeat-dependence in the fault machinery fails here.
+    let specs: Vec<_> = REGISTRY
+        .iter()
+        .filter(|s| s.id.starts_with("fault-"))
+        .collect();
+    assert_eq!(specs.len(), 3, "expected the three fault-* experiments");
+    for seed in [42u64, 7] {
+        let serial = runner::run_specs_with(&specs, Scale::Quick, seed, 1, SeedPolicy::Campaign);
+        let parallel = runner::run_specs_with(&specs, Scale::Quick, seed, 8, SeedPolicy::Campaign);
+        let repeat = runner::run_specs_with(&specs, Scale::Quick, seed, 1, SeedPolicy::Campaign);
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "seed {seed}: fault sweeps diverged between --jobs 1 and --jobs 8"
+        );
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&repeat),
+            "seed {seed}: fault sweeps diverged between repeated runs"
+        );
+    }
+}
+
+#[test]
 fn derived_seed_policy_is_also_sharding_independent() {
     // A smaller slice suffices here: the property under test is the
     // runner's order-independence, already exercised end-to-end above;

@@ -16,7 +16,7 @@
 use mpwifi_repro::{registry, runner, Scale, SeedPolicy};
 
 const GOLDEN_PATH: &str = "tests/golden/pr2_codec_reports.txt";
-const IDS: [&str; 3] = ["fig9", "fig10", "table2"];
+const IDS: [&str; 4] = ["fig9", "fig10", "table2", "fig15"];
 
 fn render_slice() -> String {
     let specs: Vec<_> = IDS.iter().map(|id| registry::find(id).unwrap()).collect();

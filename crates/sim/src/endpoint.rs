@@ -32,6 +32,11 @@ pub trait Endpoint {
 
     /// Local notification that an interface went down (iproute-style).
     fn notify_iface_down(&mut self, _now: Time, _iface: Addr) {}
+
+    /// Local notification that a previously-downed interface came back
+    /// (iproute-style restore). Multipath endpoints use this to rejoin
+    /// the restored path; single-path hosts ignore it.
+    fn notify_iface_up(&mut self, _now: Time, _iface: Addr) {}
 }
 
 /// Single-path TCP client: a `TcpStack` bound to one interface.
@@ -123,12 +128,13 @@ impl Endpoint for TcpServerHost {
         self.stack
             .take_tx(now)
             .into_iter()
-            .map(|seg| {
-                let dst = peer_addr
-                    .get(&(seg.src_port, seg.dst_port))
-                    .copied()
-                    .expect("reply for unknown peer");
-                (local, dst, seg)
+            .filter_map(|seg| {
+                // A reply whose peer interface was never learned (the
+                // connection's only inbound segment was corrupted away,
+                // say) has nowhere to go: drop it rather than panic.
+                // The connection's own retransmit timer recovers.
+                let dst = peer_addr.get(&(seg.src_port, seg.dst_port)).copied()?;
+                Some((local, dst, seg))
             })
             .collect()
     }
@@ -193,6 +199,10 @@ impl Endpoint for MptcpClientHost {
 
     fn notify_iface_down(&mut self, now: Time, iface: Addr) {
         self.mp.notify_iface_down(now, iface);
+    }
+
+    fn notify_iface_up(&mut self, now: Time, iface: Addr) {
+        self.mp.notify_iface_up(now, iface);
     }
 }
 

@@ -6,7 +6,8 @@
 //! realizes a spec as two `mpwifi-netem` pipelines.
 
 use mpwifi_netem::{
-    DelayStage, DeliveryTrace, Frame, LinkQueue, LossStage, Pipeline, ReorderStage, Stage,
+    CorruptStage, DelayStage, DeliveryTrace, FaultKind, FaultPlan, Frame, GilbertElliottStage,
+    LinkQueue, LossStage, Pipeline, ReorderStage, Stage,
 };
 use mpwifi_simcore::{DetRng, Dur, Time};
 use serde::{Deserialize, Serialize};
@@ -79,7 +80,13 @@ impl LinkSpec {
         }
     }
 
-    fn build_direction(&self, service: &ServiceSpec, label: String, rng: &mut DetRng) -> Pipeline {
+    fn build_direction(
+        &self,
+        service: &ServiceSpec,
+        label: String,
+        rng: &mut DetRng,
+        faults: Option<&FaultPlan>,
+    ) -> Pipeline {
         let queue: Box<dyn Stage> = match service {
             ServiceSpec::Rate(bps) => Box::new(LinkQueue::fixed_rate(*bps, self.queue_bytes)),
             ServiceSpec::Trace(t) => Box::new(LinkQueue::trace_driven(t.clone(), self.queue_bytes)),
@@ -94,6 +101,34 @@ impl LinkSpec {
                 self.reorder_extra.max(Dur::from_micros(1)),
                 rng.derive(0x0DD5),
             )));
+        }
+        // Episode-gated fault stages ride at the tail of the chain: one
+        // stage per scheduled burst-loss / corruption event, each with
+        // its own derived RNG stream so adding or removing one event
+        // never perturbs another. When no plan is attached this loop
+        // runs zero times and draws nothing — a fault-free build is
+        // bit-identical to the pre-fault construction.
+        if let Some(plan) = faults {
+            for (i, ev) in plan.events.iter().enumerate() {
+                let idx = i as u64;
+                match ev.kind {
+                    FaultKind::BurstLoss { duration, ge } => {
+                        stages.push(Box::new(GilbertElliottStage::new(
+                            vec![(ev.at, ev.at + duration)],
+                            ge,
+                            rng.derive(0xFA17_0000 + idx),
+                        )));
+                    }
+                    FaultKind::Corruption { duration, prob } => {
+                        stages.push(Box::new(CorruptStage::new(
+                            vec![(ev.at, ev.at + duration)],
+                            prob,
+                            rng.derive(0xC044_0000 + idx),
+                        )));
+                    }
+                    _ => {}
+                }
+            }
         }
         Pipeline::new(label, stages)
     }
@@ -111,9 +146,21 @@ pub struct PathPair {
 impl PathPair {
     /// Build pipelines from a spec. `name` prefixes the pipeline labels.
     pub fn build(spec: &LinkSpec, name: &str, rng: &mut DetRng) -> PathPair {
+        PathPair::build_with_faults(spec, name, rng, None)
+    }
+
+    /// Build pipelines from a spec, appending the episode-gated stages
+    /// (burst loss, corruption) demanded by `faults`. `None` is exactly
+    /// [`PathPair::build`]: same stages, same RNG derivations.
+    pub fn build_with_faults(
+        spec: &LinkSpec,
+        name: &str,
+        rng: &mut DetRng,
+        faults: Option<&FaultPlan>,
+    ) -> PathPair {
         PathPair {
-            up: spec.build_direction(&spec.up, format!("{name}-up"), rng),
-            down: spec.build_direction(&spec.down, format!("{name}-down"), rng),
+            up: spec.build_direction(&spec.up, format!("{name}-up"), rng, faults),
+            down: spec.build_direction(&spec.down, format!("{name}-down"), rng, faults),
         }
     }
 

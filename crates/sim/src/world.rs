@@ -5,8 +5,8 @@ use crate::endpoint::Endpoint;
 use crate::link::{LinkSpec, PathPair};
 use crate::log::{PacketDir, PacketLog};
 use crate::{LTE_ADDR, WIFI_ADDR};
-use mpwifi_netem::{Addr, Frame};
-use mpwifi_simcore::{metrics, DetRng, Time};
+use mpwifi_netem::{Addr, FaultKind, FaultPlan, Frame};
+use mpwifi_simcore::{metrics, DetRng, Dur, Time};
 use mpwifi_tcp::segment::Segment;
 use mpwifi_tcp::SegmentBufPool;
 
@@ -31,6 +31,16 @@ pub enum ScriptEvent {
     SetDownRate(Addr, u64),
     /// Change an interface's uplink rate mid-run.
     SetUpRate(Addr, u64),
+    /// Tell the client a previously-downed interface is back (the
+    /// restore half of `multipath off`/airplane-mode toggles).
+    NotifyIfaceUp(Addr),
+    /// Change an interface's one-way propagation delay mid-run (both
+    /// directions). Compiled from [`FaultKind::DelaySpike`].
+    SetOneWayDelay(Addr, Dur),
+    /// Count one injected fault in the run metrics. The fault-plan
+    /// compiler schedules one at every fault onset so RunMetrics'
+    /// `faults_injected` reflects the plan regardless of fault kind.
+    FaultMark,
 }
 
 /// The testbed: client ⇄ {WiFi link, LTE link} ⇄ server.
@@ -89,6 +99,8 @@ pub struct SimBuilder<'a, C: Endpoint, S: Endpoint> {
     lte: Option<&'a LinkSpec>,
     seed: u64,
     script: Vec<(Time, ScriptEvent)>,
+    wifi_faults: FaultPlan,
+    lte_faults: FaultPlan,
 }
 
 impl<'a, C: Endpoint, S: Endpoint> SimBuilder<'a, C, S> {
@@ -116,13 +128,49 @@ impl<'a, C: Endpoint, S: Endpoint> SimBuilder<'a, C, S> {
         self
     }
 
+    /// Attach a deterministic fault timeline to one interface. May be
+    /// called once per interface (or repeatedly — plans merge). The plan
+    /// is compiled at [`SimBuilder::build`] time: blackouts, delay
+    /// spikes and rate crushes become scripted link events; burst-loss
+    /// and corruption episodes become episode-gated pipeline stages with
+    /// RNG streams derived from the run seed. An empty plan changes
+    /// nothing — runs without faults are bit-identical to builds that
+    /// never called this.
+    pub fn with_faults(mut self, iface: Addr, plan: FaultPlan) -> Self {
+        let slot = if iface == WIFI_ADDR {
+            &mut self.wifi_faults
+        } else if iface == LTE_ADDR {
+            &mut self.lte_faults
+        } else {
+            panic!("with_faults: unknown interface {iface}");
+        };
+        slot.events.extend(plan.events);
+        self
+    }
+
     /// Construct the [`Sim`]. Panics if either link spec is missing.
     pub fn build(self) -> Sim<C, S> {
         let wifi_spec = self.wifi.expect("SimBuilder: wifi link spec not set");
         let lte_spec = self.lte.expect("SimBuilder: lte link spec not set");
-        let mut sim = Sim::new(self.client, self.server, wifi_spec, lte_spec, self.seed);
+        let wifi_faults = (!self.wifi_faults.is_empty()).then_some(&self.wifi_faults);
+        let lte_faults = (!self.lte_faults.is_empty()).then_some(&self.lte_faults);
+        let mut sim = Sim::with_fault_stages(
+            self.client,
+            self.server,
+            wifi_spec,
+            lte_spec,
+            self.seed,
+            wifi_faults,
+            lte_faults,
+        );
         for (at, ev) in self.script {
             sim.schedule(at, ev);
+        }
+        if let Some(plan) = wifi_faults {
+            sim.schedule_fault_plan(WIFI_ADDR, wifi_spec, plan);
+        }
+        if let Some(plan) = lte_faults {
+            sim.schedule_fault_plan(LTE_ADDR, lte_spec, plan);
         }
         sim
     }
@@ -138,6 +186,8 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
             lte: None,
             seed: 0,
             script: Vec::new(),
+            wifi_faults: FaultPlan::new(),
+            lte_faults: FaultPlan::new(),
         }
     }
 
@@ -150,13 +200,27 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
         lte_spec: &LinkSpec,
         seed: u64,
     ) -> Sim<C, S> {
+        Sim::with_fault_stages(client, server, wifi_spec, lte_spec, seed, None, None)
+    }
+
+    /// Full constructor: [`Sim::new`] plus the per-interface fault
+    /// stages. With both plans `None` this is exactly `Sim::new`.
+    fn with_fault_stages(
+        client: C,
+        server: S,
+        wifi_spec: &LinkSpec,
+        lte_spec: &LinkSpec,
+        seed: u64,
+        wifi_faults: Option<&FaultPlan>,
+        lte_faults: Option<&FaultPlan>,
+    ) -> Sim<C, S> {
         let mut rng = DetRng::seed_from_u64(seed);
         Sim {
             now: Time::ZERO,
             client,
             server,
-            wifi: PathPair::build(wifi_spec, "wifi", &mut rng.derive(1)),
-            lte: PathPair::build(lte_spec, "lte", &mut rng.derive(2)),
+            wifi: PathPair::build_with_faults(wifi_spec, "wifi", &mut rng.derive(1), wifi_faults),
+            lte: PathPair::build_with_faults(lte_spec, "lte", &mut rng.derive(2), lte_faults),
             wifi_log: PacketLog::new(),
             lte_log: PacketLog::new(),
             frame_seq: 0,
@@ -174,6 +238,52 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
     pub fn schedule(&mut self, at: Time, ev: ScriptEvent) {
         let pos = self.script.partition_point(|&(t, _)| t <= at);
         self.script.insert(pos, (at, ev));
+    }
+
+    /// Compile a fault plan's blackout / delay-spike / rate-crush events
+    /// into scripted link events (burst loss and corruption were already
+    /// realized as pipeline stages at build time), plus one
+    /// [`ScriptEvent::FaultMark`] per fault onset for the metrics.
+    ///
+    /// Rate crushes scale the spec's *average* rate; on a trace-driven
+    /// link this replaces the trace with a fixed-rate service for the
+    /// rest of the run (crushed, then restored to the trace's average) —
+    /// an accepted approximation, since every fault-sweep scenario uses
+    /// fixed-rate links.
+    fn schedule_fault_plan(&mut self, iface: Addr, spec: &LinkSpec, plan: &FaultPlan) {
+        for ev in &plan.events {
+            self.schedule(ev.at, ScriptEvent::FaultMark);
+            match ev.kind {
+                FaultKind::Blackout { duration, notify } => {
+                    self.schedule(ev.at, ScriptEvent::CutIface(iface));
+                    if notify {
+                        self.schedule(ev.at, ScriptEvent::NotifyIfaceDown(iface));
+                    }
+                    if let Some(d) = duration {
+                        self.schedule(ev.at + d, ScriptEvent::RestoreIface(iface));
+                        if notify {
+                            self.schedule(ev.at + d, ScriptEvent::NotifyIfaceUp(iface));
+                        }
+                    }
+                }
+                FaultKind::BurstLoss { .. } | FaultKind::Corruption { .. } => {}
+                FaultKind::DelaySpike { duration, extra } => {
+                    let base = spec.rtt / 2;
+                    self.schedule(ev.at, ScriptEvent::SetOneWayDelay(iface, base + extra));
+                    self.schedule(ev.at + duration, ScriptEvent::SetOneWayDelay(iface, base));
+                }
+                FaultKind::RateCrush { duration, factor } => {
+                    let up = spec.up.average_bps();
+                    let down = spec.down.average_bps();
+                    let crush = |bps: f64| ((bps * factor) as u64).max(1);
+                    self.schedule(ev.at, ScriptEvent::SetUpRate(iface, crush(up)));
+                    self.schedule(ev.at, ScriptEvent::SetDownRate(iface, crush(down)));
+                    let end = ev.at + duration;
+                    self.schedule(end, ScriptEvent::SetUpRate(iface, up as u64));
+                    self.schedule(end, ScriptEvent::SetDownRate(iface, down as u64));
+                }
+            }
+        }
     }
 
     fn pair_mut(&mut self, iface: Addr) -> &mut PathPair {
@@ -240,6 +350,16 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
                         .stage_mut(0)
                         .replace_service(now, mpwifi_netem::Service::FixedRate { bps });
                 }
+                ScriptEvent::NotifyIfaceUp(iface) => {
+                    let now = self.now;
+                    self.client.notify_iface_up(now, iface);
+                }
+                ScriptEvent::SetOneWayDelay(iface, delay) => {
+                    let pair = self.pair_mut(iface);
+                    pair.up.stage_mut(1).set_delay(delay);
+                    pair.down.stage_mut(1).set_delay(delay);
+                }
+                ScriptEvent::FaultMark => metrics::record_fault_injected(),
             }
         }
     }
@@ -358,6 +478,11 @@ fn deliver_frames<E: Endpoint>(
         if let Some(seg) = Segment::decode(&frame.payload) {
             metrics::record_bytes_delivered(seg.payload.len() as u64);
             host.on_segment(now, &seg, frame.src, frame.dst);
+        } else {
+            // Undecodable wire image (corruption fault, or garbage from
+            // a future peer implementation): a counted drop, never a
+            // panic. The sender's retransmit machinery recovers.
+            metrics::record_segment_corrupted_dropped();
         }
     }
 }
@@ -566,6 +691,384 @@ mod tests {
             m.scratch_high_water >= 1,
             "scratch buffers saw at least one frame"
         );
+    }
+
+    #[test]
+    fn fault_free_builder_with_empty_plan_matches_sim_new() {
+        let run_plain = || {
+            let (wifi, lte) = specs();
+            let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+            let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+            Sim::new(client, server, &wifi, &lte, 42)
+        };
+        let run_built = || {
+            let (wifi, lte) = specs();
+            let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+            let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+            Sim::builder(client, server)
+                .wifi(&wifi)
+                .lte(&lte)
+                .seed(42)
+                .with_faults(WIFI_ADDR, FaultPlan::new())
+                .build()
+        };
+        let drive = |mut sim: Sim<TcpClientHost, TcpServerHost>| {
+            let id = sim
+                .client
+                .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+            let mut sent = false;
+            sim.run_until(
+                |sim| {
+                    if !sent {
+                        for sid in sim.server.stack.take_accepted() {
+                            let c = sim.server.stack.conn_mut(sid).unwrap();
+                            c.send(Bytes::from(vec![9u8; 150_000]));
+                            c.close(Time::ZERO);
+                            sent = true;
+                        }
+                    }
+                    sim.client
+                        .stack
+                        .conn(id)
+                        .is_some_and(|c| c.delivered_bytes() == 150_000)
+                },
+                Time::from_secs(30),
+            );
+            (
+                sim.now,
+                sim.wifi_log.len(),
+                sim.wifi_log.bytes(PacketDir::Rx),
+            )
+        };
+        assert_eq!(
+            drive(run_plain()),
+            drive(run_built()),
+            "an empty fault plan must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn corruption_fault_is_survivable_and_counted() {
+        metrics::reset();
+        let (wifi, lte) = specs();
+        let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+        let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+        let mut sim = Sim::builder(client, server)
+            .wifi(&wifi)
+            .lte(&lte)
+            .seed(42)
+            .with_faults(
+                WIFI_ADDR,
+                FaultPlan::new().corruption(Time::ZERO, Dur::from_secs(60), 0.05),
+            )
+            .build();
+        let id = sim
+            .client
+            .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+        let data: Vec<u8> = (0..300_000).map(|i| (i % 251) as u8).collect();
+        let mut sent = false;
+        let ok = sim.run_until(
+            |sim| {
+                if !sent {
+                    for sid in sim.server.stack.take_accepted() {
+                        let c = sim.server.stack.conn_mut(sid).unwrap();
+                        c.send(Bytes::from(data.clone()));
+                        c.close(Time::ZERO);
+                        sent = true;
+                    }
+                }
+                sim.client
+                    .stack
+                    .conn(id)
+                    .is_some_and(|c| c.delivered_bytes() == 300_000)
+            },
+            Time::from_secs(60),
+        );
+        assert!(
+            ok,
+            "retransmissions must carry the transfer through corruption"
+        );
+        let got: Vec<u8> = sim
+            .client
+            .stack
+            .conn_mut(id)
+            .unwrap()
+            .take_delivered()
+            .concat();
+        assert_eq!(got, data, "no corrupted byte may reach the stream");
+        let m = metrics::snapshot();
+        assert_eq!(m.faults_injected, 1, "one corruption episode");
+        assert!(
+            m.segments_corrupted_dropped > 0,
+            "flipped wire images must be rejected and counted"
+        );
+    }
+
+    #[test]
+    fn delay_spike_fault_stretches_the_handshake_then_restores() {
+        let handshake_at = |spike: bool| {
+            let (wifi, lte) = specs();
+            let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+            let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+            let mut b = Sim::builder(client, server).wifi(&wifi).lte(&lte).seed(42);
+            if spike {
+                b = b.with_faults(
+                    WIFI_ADDR,
+                    FaultPlan::new().delay_spike(
+                        Time::ZERO,
+                        Dur::from_secs(1),
+                        Dur::from_millis(100),
+                    ),
+                );
+            }
+            let mut sim = b.build();
+            let id = sim
+                .client
+                .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+            sim.run_until(
+                |sim| {
+                    sim.client
+                        .stack
+                        .conn(id)
+                        .is_some_and(|c| c.stats().established_at.is_some())
+                },
+                Time::from_secs(5),
+            );
+            sim.client
+                .stack
+                .conn(id)
+                .unwrap()
+                .stats()
+                .established_at
+                .expect("handshake completed")
+        };
+        let plain = handshake_at(false);
+        let spiked = handshake_at(true);
+        // WiFi one-way is 10 ms; the spike raises it to 110 ms, so the
+        // SYN / SYN-ACK exchange costs at least ~220 ms instead of ~40.
+        assert!(plain < Time::from_millis(100), "baseline handshake {plain}");
+        assert!(
+            spiked >= Time::from_millis(200),
+            "spiked handshake {spiked} should reflect the extra delay"
+        );
+    }
+
+    #[test]
+    fn rate_crush_fault_throttles_then_restores() {
+        let (wifi, lte) = specs();
+        let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+        let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+        let mut sim = Sim::builder(client, server)
+            .wifi(&wifi)
+            .lte(&lte)
+            .seed(42)
+            .with_faults(
+                WIFI_ADDR,
+                FaultPlan::new().rate_crush(Time::from_millis(50), Dur::from_secs(4), 0.01),
+            )
+            .build();
+        let id = sim
+            .client
+            .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+        {
+            let conn = sim.client.stack.conn_mut(id).unwrap();
+            conn.send(Bytes::from(vec![5u8; 200_000]));
+        }
+        let server_total = |sim: &mut Sim<TcpClientHost, TcpServerHost>| {
+            let mut total = 0;
+            for sid in sim.server.stack.socket_ids() {
+                if let Some(c) = sim.server.stack.conn_mut(sid) {
+                    let _ = c.take_delivered();
+                    total += c.delivered_bytes();
+                }
+            }
+            total
+        };
+        // 200 kB at 1% of 20 Mbit/s (200 kbit/s) is ~8 s: the upload must
+        // NOT finish while the crush window is open...
+        let done_early = sim.run_until(|sim| server_total(sim) >= 200_000, Time::from_secs(4));
+        assert!(!done_early, "crush had no effect");
+        // ...but completes quickly once the original rate is restored.
+        let done = sim.run_until(|sim| server_total(sim) >= 200_000, Time::from_secs(10));
+        assert!(done, "rate must be restored after the crush window");
+    }
+
+    #[test]
+    fn silent_lte_blackout_recovers_onto_wifi_backup() {
+        // The PR's acceptance scenario (Figure 15h analogue): LTE-primary
+        // download with WiFi backup, silent LTE blackout at t = 300 ms,
+        // RTO-count activation. The 1 MB download must complete with the
+        // stream intact, and the fault counters must tell the story.
+        use crate::endpoint::{MptcpClientHost, MptcpServerHost};
+        use crate::LTE_ADDR;
+        use mpwifi_mptcp::{BackupActivation, Mode, MptcpConfig};
+        metrics::reset();
+        let wifi = LinkSpec::symmetric(2_000_000, Dur::from_millis(30));
+        let lte = LinkSpec::asymmetric(1_000_000, 1_600_000, Dur::from_millis(60));
+        let cfg = MptcpConfig {
+            mode: Mode::Backup,
+            backup_activation: BackupActivation::OnRtoCount(2),
+            ..MptcpConfig::default()
+        };
+        let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], 3);
+        let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), 5);
+        let mut sim = Sim::builder(client, server)
+            .wifi(&wifi)
+            .lte(&lte)
+            .seed(42)
+            .with_faults(
+                LTE_ADDR,
+                FaultPlan::new().blackout_forever(Time::from_millis(300)),
+            )
+            .build();
+        let c = sim.client.open(Time::ZERO, cfg, LTE_ADDR, SERVER_PORT);
+        let data: Vec<u8> = (0..1_000_000).map(|i| (i % 239) as u8).collect();
+        let mut sent = false;
+        let ok = sim.run_until(
+            |sim| {
+                if !sent {
+                    for sid in sim.server.mp.take_accepted() {
+                        sim.server.mp.conn_mut(sid).send(Bytes::from(data.clone()));
+                        sim.server.mp.conn_mut(sid).close(Time::ZERO);
+                        sent = true;
+                    }
+                }
+                sim.client.mp.conn(c).delivered_bytes() == 1_000_000
+            },
+            Time::from_secs(120),
+        );
+        assert!(ok, "download must complete over the WiFi backup");
+        let got: Vec<u8> = sim.client.mp.conn_mut(c).take_delivered().concat();
+        assert_eq!(got, data, "stream must be intact across the failover");
+        let m = metrics::snapshot();
+        assert_eq!(m.faults_injected, 1);
+        assert!(
+            m.subflows_declared_dead >= 1,
+            "the server must declare the LTE subflow dead from RTOs"
+        );
+        assert!(m.reinjections >= 1, "unacked data must be reinjected");
+        assert!(
+            m.recovery_time_us > 0,
+            "the recovery episode must be timed and reported"
+        );
+    }
+
+    #[test]
+    fn notified_blackout_restore_rejoins_the_subflow() {
+        // Figure 15c/d analogue extended with restore: WiFi-primary
+        // download, notified WiFi blackout for 2 s mid-transfer. The
+        // client must fail over to LTE, then REJOIN WiFi (a third
+        // subflow, on a fresh port) once the interface comes back.
+        use crate::endpoint::{MptcpClientHost, MptcpServerHost};
+        use crate::LTE_ADDR;
+        use mpwifi_mptcp::MptcpConfig;
+        let wifi = LinkSpec::symmetric(2_000_000, Dur::from_millis(30));
+        let lte = LinkSpec::asymmetric(1_000_000, 1_600_000, Dur::from_millis(60));
+        let cfg = MptcpConfig::default(); // Full mode, notify activation
+        let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], 3);
+        let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), 5);
+        let mut sim = Sim::builder(client, server)
+            .wifi(&wifi)
+            .lte(&lte)
+            .seed(42)
+            .with_faults(
+                WIFI_ADDR,
+                FaultPlan::new().notified_blackout(Time::from_millis(300), Dur::from_secs(2)),
+            )
+            .build();
+        let c = sim.client.open(Time::ZERO, cfg, WIFI_ADDR, SERVER_PORT);
+        let data: Vec<u8> = (0..3_000_000).map(|i| (i % 241) as u8).collect();
+        let mut sent = false;
+        let ok = sim.run_until(
+            |sim| {
+                if !sent {
+                    for sid in sim.server.mp.take_accepted() {
+                        sim.server.mp.conn_mut(sid).send(Bytes::from(data.clone()));
+                        sim.server.mp.conn_mut(sid).close(Time::ZERO);
+                        sent = true;
+                    }
+                }
+                sim.client.mp.conn(c).delivered_bytes() == 3_000_000
+            },
+            Time::from_secs(120),
+        );
+        assert!(ok, "transfer survives the blackout window");
+        let got: Vec<u8> = sim.client.mp.conn_mut(c).take_delivered().concat();
+        assert_eq!(got, data, "stream intact across failover and rejoin");
+        let stats = sim.client.mp.conn(c).subflow_stats();
+        assert_eq!(
+            stats.len(),
+            3,
+            "restore must trigger a rejoin subflow: {stats:?}"
+        );
+        assert_eq!(stats[2].iface, WIFI_ADDR);
+        assert!(
+            stats[2].established_at.is_some(),
+            "the rejoined subflow must complete its MP_JOIN handshake"
+        );
+        assert!(
+            stats[2].established_at.unwrap() > Time::from_millis(2300),
+            "the rejoin happens only after the restore"
+        );
+    }
+
+    #[test]
+    fn fault_scenarios_are_deterministic() {
+        let run = || {
+            metrics::reset();
+            let (wifi, lte) = specs();
+            let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, 1);
+            let server = TcpServerHost::new(SERVER_ADDR, SERVER_PORT, TcpConfig::default(), 2);
+            let mut sim = Sim::builder(client, server)
+                .wifi(&wifi)
+                .lte(&lte)
+                .seed(7)
+                .with_faults(
+                    WIFI_ADDR,
+                    FaultPlan::new()
+                        .burst_loss(
+                            Time::from_millis(200),
+                            Dur::from_millis(400),
+                            mpwifi_netem::GilbertElliott::default(),
+                        )
+                        .corruption(Time::from_millis(800), Dur::from_millis(400), 0.2)
+                        .delay_spike(
+                            Time::from_millis(1400),
+                            Dur::from_millis(300),
+                            Dur::from_millis(50),
+                        )
+                        .rate_crush(Time::from_millis(1800), Dur::from_millis(500), 0.1),
+                )
+                .build();
+            let id = sim
+                .client
+                .connect(Time::ZERO, TcpConfig::default(), SERVER_PORT);
+            let mut sent = false;
+            sim.run_until(
+                |sim| {
+                    if !sent {
+                        for sid in sim.server.stack.take_accepted() {
+                            let c = sim.server.stack.conn_mut(sid).unwrap();
+                            c.send(Bytes::from(vec![4u8; 400_000]));
+                            c.close(Time::ZERO);
+                            sent = true;
+                        }
+                    }
+                    sim.client
+                        .stack
+                        .conn(id)
+                        .is_some_and(|c| c.delivered_bytes() == 400_000)
+                },
+                Time::from_secs(60),
+            );
+            (
+                sim.now,
+                sim.wifi_log.len(),
+                sim.wifi_log.bytes(PacketDir::Rx),
+                format!("{:?}", metrics::snapshot()),
+            )
+        };
+        assert_eq!(run(), run(), "fault runs are a pure function of the seed");
     }
 
     #[test]

@@ -23,6 +23,11 @@ thread_local! {
     static ENC_BUFFERS_REUSED: Cell<u64> = const { Cell::new(0) };
     static ENC_BUFFERS_ALLOCATED: Cell<u64> = const { Cell::new(0) };
     static SCRATCH_HIGH_WATER: Cell<u64> = const { Cell::new(0) };
+    static FAULTS_INJECTED: Cell<u64> = const { Cell::new(0) };
+    static SEGMENTS_CORRUPTED_DROPPED: Cell<u64> = const { Cell::new(0) };
+    static SUBFLOWS_DECLARED_DEAD: Cell<u64> = const { Cell::new(0) };
+    static REINJECTIONS: Cell<u64> = const { Cell::new(0) };
+    static RECOVERY_TIME_US: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of this thread's instrumentation counters.
@@ -48,6 +53,23 @@ pub struct RunMetrics {
     /// High-water mark of frames held in any single polling scratch
     /// buffer — the largest burst a reused `Vec<Frame>` absorbed.
     pub scratch_high_water: u64,
+    /// Fault events fired from a `FaultPlan` timeline (blackouts,
+    /// restores, loss/corruption episode starts, delay spikes, rate
+    /// crushes). Zero whenever no plan is attached.
+    pub faults_injected: u64,
+    /// Wire images that arrived undecodable (failed checksum or
+    /// malformed header) and were dropped without reaching a stack.
+    pub segments_corrupted_dropped: u64,
+    /// MPTCP subflows declared dead (silent RTO-count detection or an
+    /// explicit interface-down notification).
+    pub subflows_declared_dead: u64,
+    /// Connection-level data chunks reinjected from a dead subflow onto
+    /// a survivor.
+    pub reinjections: u64,
+    /// Microseconds spent recovering from subflow death: from the
+    /// moment a subflow is declared dead until connection-level data
+    /// delivery next advances. Summed over recovery episodes.
+    pub recovery_time_us: u64,
 }
 
 impl RunMetrics {
@@ -64,6 +86,12 @@ impl RunMetrics {
             enc_buffers_reused: self.enc_buffers_reused - baseline.enc_buffers_reused,
             enc_buffers_allocated: self.enc_buffers_allocated - baseline.enc_buffers_allocated,
             scratch_high_water: self.scratch_high_water,
+            faults_injected: self.faults_injected - baseline.faults_injected,
+            segments_corrupted_dropped: self.segments_corrupted_dropped
+                - baseline.segments_corrupted_dropped,
+            subflows_declared_dead: self.subflows_declared_dead - baseline.subflows_declared_dead,
+            reinjections: self.reinjections - baseline.reinjections,
+            recovery_time_us: self.recovery_time_us - baseline.recovery_time_us,
         }
     }
 }
@@ -110,6 +138,37 @@ pub fn record_scratch_high_water(n: u64) {
     SCRATCH_HIGH_WATER.with(|c| c.set(c.get().max(n)));
 }
 
+/// Record one fault event fired from a fault plan.
+#[inline]
+pub fn record_fault_injected() {
+    FAULTS_INJECTED.with(|c| c.set(c.get() + 1));
+}
+
+/// Record one undecodable wire image dropped before reaching a stack.
+#[inline]
+pub fn record_segment_corrupted_dropped() {
+    SEGMENTS_CORRUPTED_DROPPED.with(|c| c.set(c.get() + 1));
+}
+
+/// Record one MPTCP subflow declared dead.
+#[inline]
+pub fn record_subflow_declared_dead() {
+    SUBFLOWS_DECLARED_DEAD.with(|c| c.set(c.get() + 1));
+}
+
+/// Record one connection-level chunk reinjected onto a surviving
+/// subflow.
+#[inline]
+pub fn record_reinjection() {
+    REINJECTIONS.with(|c| c.set(c.get() + 1));
+}
+
+/// Record `us` microseconds of subflow-death recovery time.
+#[inline]
+pub fn record_recovery_time_us(us: u64) {
+    RECOVERY_TIME_US.with(|c| c.set(c.get() + us));
+}
+
 /// Read this thread's counters.
 pub fn snapshot() -> RunMetrics {
     RunMetrics {
@@ -121,6 +180,11 @@ pub fn snapshot() -> RunMetrics {
         enc_buffers_reused: ENC_BUFFERS_REUSED.with(Cell::get),
         enc_buffers_allocated: ENC_BUFFERS_ALLOCATED.with(Cell::get),
         scratch_high_water: SCRATCH_HIGH_WATER.with(Cell::get),
+        faults_injected: FAULTS_INJECTED.with(Cell::get),
+        segments_corrupted_dropped: SEGMENTS_CORRUPTED_DROPPED.with(Cell::get),
+        subflows_declared_dead: SUBFLOWS_DECLARED_DEAD.with(Cell::get),
+        reinjections: REINJECTIONS.with(Cell::get),
+        recovery_time_us: RECOVERY_TIME_US.with(Cell::get),
     }
 }
 
@@ -134,6 +198,11 @@ pub fn reset() {
     ENC_BUFFERS_REUSED.with(|c| c.set(0));
     ENC_BUFFERS_ALLOCATED.with(|c| c.set(0));
     SCRATCH_HIGH_WATER.with(|c| c.set(0));
+    FAULTS_INJECTED.with(|c| c.set(0));
+    SEGMENTS_CORRUPTED_DROPPED.with(|c| c.set(0));
+    SUBFLOWS_DECLARED_DEAD.with(|c| c.set(0));
+    REINJECTIONS.with(|c| c.set(0));
+    RECOVERY_TIME_US.with(|c| c.set(0));
 }
 
 #[cfg(test)]
@@ -191,6 +260,32 @@ mod tests {
         assert_eq!(snapshot().scratch_high_water, 11);
         let base = RunMetrics::default();
         assert_eq!(snapshot().since(&base).scratch_high_water, 11);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_diff() {
+        reset();
+        record_fault_injected();
+        record_fault_injected();
+        record_segment_corrupted_dropped();
+        record_subflow_declared_dead();
+        record_reinjection();
+        record_recovery_time_us(1_500);
+        record_recovery_time_us(500);
+        let base = snapshot();
+        assert_eq!(base.faults_injected, 2);
+        assert_eq!(base.segments_corrupted_dropped, 1);
+        assert_eq!(base.subflows_declared_dead, 1);
+        assert_eq!(base.reinjections, 1);
+        assert_eq!(base.recovery_time_us, 2_000);
+        record_fault_injected();
+        record_recovery_time_us(100);
+        let d = snapshot().since(&base);
+        assert_eq!(d.faults_injected, 1);
+        assert_eq!(d.recovery_time_us, 100);
+        assert_eq!(d.reinjections, 0);
+        reset();
+        assert_eq!(snapshot(), RunMetrics::default());
     }
 
     #[test]

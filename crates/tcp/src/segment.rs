@@ -323,8 +323,16 @@ impl Segment {
         buf[checksum_pos + 1] = (csum & 0xff) as u8;
     }
 
-    /// Decode from wire bytes. Returns `None` on malformed input or
-    /// checksum mismatch (the segment is treated as lost).
+    /// Decode from wire bytes. Returns `None` on malformed, non-canonical,
+    /// or checksum-mismatched input (the segment is treated as lost).
+    ///
+    /// Decoding is *strict*: every accepted wire image is exactly what
+    /// [`Self::encode`] would produce for the returned segment
+    /// (round-trip-or-reject). Inputs this encoder cannot emit — nonzero
+    /// IP padding, reserved header bits, an urgent pointer, EOL options,
+    /// interior NOPs, a non-canonical checksum representative — are
+    /// rejected rather than normalized, so a forwarded or logged segment
+    /// can never silently differ from its wire image.
     ///
     /// Borrows the wire image: header fields and fixed-layout options are
     /// parsed in place, and the payload (and any raw-option data) comes
@@ -333,11 +341,21 @@ impl Segment {
         if wire.len() < IP_OVERHEAD + HEADER_LEN {
             return None;
         }
+        // The simulated IP header is all zeros apart from total length.
+        if wire[..IP_OVERHEAD - 2].iter().any(|&b| b != 0) {
+            return None;
+        }
         let total_len = u16::from_be_bytes([wire[IP_OVERHEAD - 2], wire[IP_OVERHEAD - 1]]) as usize;
         if total_len != wire.len() {
             return None;
         }
-        if internet_checksum(&wire[IP_OVERHEAD..]) != 0 {
+        // Strict checksum: the stored field must equal the one canonical
+        // value the encoder writes. (Plain sums-to-zero validation would
+        // also accept the other ones'-complement representative of the
+        // same value, which re-encodes to different bytes.)
+        let tcp = &wire[IP_OVERHEAD..];
+        let stored = u16::from_be_bytes([tcp[16], tcp[17]]);
+        if stored != expected_checksum(tcp) {
             return None;
         }
         let mut hdr = &wire[IP_OVERHEAD..];
@@ -345,11 +363,21 @@ impl Segment {
         let dst_port = hdr.get_u16();
         let seq = hdr.get_u32();
         let ack = hdr.get_u32();
-        let data_offset_words = (hdr.get_u8() >> 4) as usize;
-        let flags = Flags::from_bits(hdr.get_u8());
+        let offset_byte = hdr.get_u8();
+        let data_offset_words = (offset_byte >> 4) as usize;
+        if offset_byte & 0x0F != 0 {
+            return None; // reserved bits
+        }
+        let flag_bits = hdr.get_u8();
+        if flag_bits & 0xE0 != 0 {
+            return None; // URG/ECE/CWR: never emitted by this stack
+        }
+        let flags = Flags::from_bits(flag_bits);
         let window = hdr.get_u16();
         let _checksum = hdr.get_u16();
-        let _urgent = hdr.get_u16();
+        if hdr.get_u16() != 0 {
+            return None; // urgent pointer unsupported
+        }
 
         let header_total = data_offset_words * 4;
         if header_total < HEADER_LEN || header_total > wire.len() - IP_OVERHEAD {
@@ -364,8 +392,18 @@ impl Segment {
             let kind = wire[off];
             off += 1;
             match kind {
-                0 => break,    // end of options
-                1 => continue, // NOP
+                // EOL: the canonical encoder never emits kind 0.
+                0 => return None,
+                1 => {
+                    // NOPs appear only as the encoder's trailing pad to
+                    // the 4-byte boundary: fewer than four of them, with
+                    // nothing after.
+                    let pad = opt_end - (off - 1);
+                    if pad >= 4 || wire[off..opt_end].iter().any(|&b| b != 1) {
+                        return None;
+                    }
+                    off = opt_end;
+                }
                 _ => {
                     if off >= opt_end {
                         return None;
@@ -442,6 +480,26 @@ fn parse_option(kind: u8, wire: &Bytes, start: usize, len: usize) -> Option<TcpO
             data: wire.slice(start..start + len),
         },
     })
+}
+
+/// Checksum of a TCP portion with its checksum field (word 8, bytes
+/// 16–17) read as zero — i.e. the exact value a canonical encoder would
+/// have written there. `tcp` must be at least [`HEADER_LEN`] bytes.
+fn expected_checksum(tcp: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = tcp.chunks_exact(2);
+    for (i, c) in (&mut chunks).enumerate() {
+        if i != 8 {
+            sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
 }
 
 /// Standard internet ones'-complement checksum. Returns the value that
@@ -624,8 +682,70 @@ mod tests {
             data in proptest::collection::vec(any::<u8>(), 0..200),
         ) {
             // Arbitrary bytes must never panic the decoder — at worst
-            // they are rejected as None.
-            let _ = Segment::decode(&Bytes::from(data));
+            // they are rejected as None. And whatever IS accepted must
+            // re-encode to the identical wire image.
+            if let Some(seg) = Segment::decode(&Bytes::from(data.clone())) {
+                prop_assert_eq!(seg.encode().to_vec(), data);
+            }
+        }
+
+        #[test]
+        fn prop_mutated_wire_round_trips_or_rejects(
+            mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..8),
+            fix_up in any::<bool>(),
+        ) {
+            // Start from a canonical wire image, poke random bytes into
+            // it, and (half the time) repair the framing length and
+            // checksum so decoding proceeds past the outer gates into
+            // the header/option validators. Whatever survives decoding
+            // must re-encode byte-for-byte — a decoder that quietly
+            // normalizes reserved bits, urgent pointers, or option
+            // padding fails here.
+            let mut wire = sample_segment().encode().to_vec();
+            for (pos, val) in mutations {
+                let p = pos % wire.len();
+                wire[p] = val;
+            }
+            if fix_up {
+                let len = wire.len() as u16;
+                wire[IP_OVERHEAD - 2..IP_OVERHEAD].copy_from_slice(&len.to_be_bytes());
+                let c = expected_checksum(&wire[IP_OVERHEAD..]);
+                wire[IP_OVERHEAD + 16..IP_OVERHEAD + 18].copy_from_slice(&c.to_be_bytes());
+            }
+            if let Some(seg) = Segment::decode(&Bytes::from(wire.clone())) {
+                prop_assert_eq!(seg.encode().to_vec(), wire);
+            }
+        }
+
+        #[test]
+        fn prop_truncated_options_round_trip_or_reject(
+            cut in 0usize..64,
+            offset_nibble in 5u8..=15,
+        ) {
+            // Truncate a wire image somewhere inside its options area,
+            // then repair total length and checksum (so only the option
+            // parser stands between garbage and acceptance) and claim an
+            // arbitrary plausible data offset. Mid-option truncation
+            // must reject, never panic, never mis-parse.
+            let mut seg = Segment::control(1, 2, 100, 0, Flags::SYN);
+            seg.options = vec![
+                TcpOption::Mss(1400),
+                TcpOption::WindowScale(8),
+                TcpOption::SackPermitted,
+                TcpOption::Timestamp { val: 7, ecr: 8 },
+                TcpOption::Raw { kind: 30, data: Bytes::from_static(&[0xAA; 11]) },
+            ];
+            let full = seg.encode().to_vec();
+            let keep = IP_OVERHEAD + HEADER_LEN + cut % (full.len() - IP_OVERHEAD - HEADER_LEN + 1);
+            let mut wire = full[..keep].to_vec();
+            wire[IP_OVERHEAD + 12] = offset_nibble << 4;
+            let len = wire.len() as u16;
+            wire[IP_OVERHEAD - 2..IP_OVERHEAD].copy_from_slice(&len.to_be_bytes());
+            let c = expected_checksum(&wire[IP_OVERHEAD..]);
+            wire[IP_OVERHEAD + 16..IP_OVERHEAD + 18].copy_from_slice(&c.to_be_bytes());
+            if let Some(back) = Segment::decode(&Bytes::from(wire.clone())) {
+                prop_assert_eq!(back.encode().to_vec(), wire);
+            }
         }
 
         #[test]

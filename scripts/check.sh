@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tier-1 build + tests.
-# Usage: scripts/check.sh [--bench-smoke]
+# Usage: scripts/check.sh [--bench-smoke] [--faults]
 #   --bench-smoke   also build the criterion benches and run each for a
 #                   single iteration (cargo bench -- --test), proving
 #                   the benchmarks still compile and run without paying
 #                   for a full measurement.
+#   --faults        also run the fault-injection smoke: the three
+#                   fault-* experiments at quick scale (reduced
+#                   onset/duration grids) plus the fault-sweep
+#                   determinism spec, proving blackout/burst/corruption
+#                   plans still complete, recover, and reproduce.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+FAULT_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
+        --faults) FAULT_SMOKE=1 ;;
         *)
-            echo "usage: scripts/check.sh [--bench-smoke]" >&2
+            echo "usage: scripts/check.sh [--bench-smoke] [--faults]" >&2
             exit 2
             ;;
     esac
@@ -22,8 +29,15 @@ done
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy (deny warnings)"
-cargo clippy --all-targets -- -D warnings
+# The extra -D lint pins the `TcpConfig::default`-without-parens bug
+# class (a fn item bound as a value and then compared instead of
+# called): fn-pointer comparisons are never meaningful in this
+# codebase. (The clippy `let_underscore` group would be the stronger
+# gate but conflicts with the repo's `let _ = writeln!(..)` idiom for
+# infallible String writes.)
+echo "== cargo clippy (deny warnings + fn-pointer comparison gate)"
+cargo clippy --all-targets -- -D warnings \
+    -D unpredictable_function_pointer_comparisons
 
 echo "== tier-1: cargo build --release"
 cargo build --release
@@ -34,6 +48,13 @@ cargo test -q
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     echo "== bench smoke: one iteration per benchmark"
     cargo bench -p mpwifi-bench -- --test
+fi
+
+if [ "$FAULT_SMOKE" -eq 1 ]; then
+    echo "== fault smoke: fault-* experiments at quick scale"
+    cargo run --release -p mpwifi-repro -- fault-sweep fault-restore fault-noise --seed 42 >/dev/null
+    echo "== fault smoke: determinism across shards"
+    cargo test --release -p mpwifi-repro --test determinism -q fault_sweeps_are_deterministic
 fi
 
 echo "All checks passed."
