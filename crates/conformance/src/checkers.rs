@@ -1,0 +1,694 @@
+//! Invariant oracles: in-sim observers that witness every transmitted
+//! segment and every completed step.
+//!
+//! Both checkers share a [`ViolationLog`] with the harness (the sim owns
+//! the observer; the harness keeps a handle to read verdicts afterward).
+//! Checks are designed to be *sound* against the driver's step
+//! structure: segments are generated during frame delivery and timer
+//! processing but witnessed at drain time, so any watermark a check
+//! compares against is taken from the *previous* step's settled state —
+//! a fresh ACK arriving in the same step can never turn legitimate
+//! output into a false positive.
+
+use mpwifi_mptcp::options::{mp_options, MpOption};
+use mpwifi_netem::Addr;
+use mpwifi_sim::{
+    Endpoint, MptcpClientHost, MptcpServerHost, Sim, SimObserver, TcpClientHost, TcpServerHost,
+    TxHost,
+};
+use mpwifi_simcore::Time;
+use mpwifi_tcp::segment::Segment;
+use mpwifi_tcp::stack::SocketId;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Deterministic payload byte at stream offset `off` for a pattern
+/// `salt`. Modulus 251 (prime, coprime to every power of two) makes any
+/// offset shift detectable: `pattern_byte(s, off + k) !=
+/// pattern_byte(s, off)` unless `k` is a multiple of 251.
+pub fn pattern_byte(salt: u64, off: u64) -> u8 {
+    (((off % 251) * 131 + salt) % 251) as u8
+}
+
+/// The first `len` bytes of pattern `salt` (workload payloads).
+pub fn pattern_bytes(salt: u64, len: u64) -> Vec<u8> {
+    (0..len).map(|off| pattern_byte(salt, off)).collect()
+}
+
+/// One invariant violation: when, which invariant, and the evidence.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Simulated time of the observation.
+    pub at: Time,
+    /// Stable invariant identifier (`tcp-rtx-acked`, `mptcp-dsn-gap`,
+    /// `netem-conservation`, ...). Shrinking keys on this.
+    pub category: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Cap on stored violations; beyond it only the total is counted. A
+/// genuinely broken run can violate on every segment — storing a bounded
+/// prefix keeps campaigns cheap while `total` preserves the magnitude.
+const LOG_CAP: usize = 40;
+
+#[derive(Debug, Default)]
+struct LogInner {
+    stored: Vec<Violation>,
+    total: u64,
+}
+
+/// Shared violation sink: the harness holds one handle, the observer a
+/// clone. Single-threaded by construction (one sim per case).
+#[derive(Debug, Clone, Default)]
+pub struct ViolationLog {
+    inner: Rc<RefCell<LogInner>>,
+}
+
+impl ViolationLog {
+    /// An empty log.
+    pub fn new() -> ViolationLog {
+        ViolationLog::default()
+    }
+
+    /// Record one violation.
+    pub fn report(&self, at: Time, category: &'static str, detail: String) {
+        let mut inner = self.inner.borrow_mut();
+        inner.total += 1;
+        if inner.stored.len() < LOG_CAP {
+            inner.stored.push(Violation {
+                at,
+                category,
+                detail,
+            });
+        }
+    }
+
+    /// Total violations recorded (including those beyond the cap).
+    pub fn total(&self) -> u64 {
+        self.inner.borrow().total
+    }
+
+    /// True when no violation has been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Copy of the stored violations, in record order.
+    pub fn snapshot(&self) -> Vec<Violation> {
+        self.inner.borrow().stored.clone()
+    }
+}
+
+/// Netem conservation: every frame ever offered to a pipeline is
+/// accounted for — delivered, dropped by a stage, dropped while the
+/// link was down (including the carrier-drop flush), or still inside.
+fn check_link_conservation<C: Endpoint, S: Endpoint>(log: &ViolationLog, sim: &Sim<C, S>) {
+    let pipes = [
+        ("wifi-up", &sim.wifi.up),
+        ("wifi-down", &sim.wifi.down),
+        ("lte-up", &sim.lte.up),
+        ("lte-down", &sim.lte.down),
+    ];
+    for (name, p) in pipes {
+        let s = p.stats();
+        let settled = s.delivered + s.dropped_in_stages + s.dropped_down + p.backlog() as u64;
+        if s.pushed != settled {
+            log.report(
+                sim.now,
+                "netem-conservation",
+                format!(
+                    "{name}: pushed {} != delivered {} + stage drops {} + down drops {} + backlog {}",
+                    s.pushed,
+                    s.delivered,
+                    s.dropped_in_stages,
+                    s.dropped_down,
+                    p.backlog()
+                ),
+            );
+        }
+    }
+}
+
+/// Verify a payload slice against a pattern starting at `off`; report at
+/// most one violation per call.
+fn check_payload_pattern(
+    log: &ViolationLog,
+    now: Time,
+    category: &'static str,
+    salt: u64,
+    off: u64,
+    payload: &[u8],
+    context: &str,
+) {
+    for (i, &b) in payload.iter().enumerate() {
+        let want = pattern_byte(salt, off + i as u64);
+        if b != want {
+            log.report(
+                now,
+                category,
+                format!(
+                    "{context}: byte at stream offset {} is {b:#04x}, pattern says {want:#04x}",
+                    off + i as u64
+                ),
+            );
+            return;
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TcpWatermarks {
+    acked: u64,
+    sent: u64,
+    delivered: u64,
+}
+
+/// Sequence-space and conservation oracle for single-path TCP runs.
+///
+/// Per transmitted payload segment: the carried range must lie within
+/// the bytes the sender has marked sent, must not be entirely inside the
+/// previous step's cumulative ACK (retransmits carry at least one
+/// then-unacked byte), and — when the direction carries a seeded
+/// workload — every byte must match the pattern at its stream offset.
+/// Per step: clock monotonicity, netem conservation, `snd_una <=
+/// snd_nxt`, and monotone acked/sent/delivered watermarks, plus the
+/// cross-host bound that no receiver delivers bytes its peer never
+/// queued.
+#[derive(Debug)]
+pub struct TcpConformance {
+    log: ViolationLog,
+    /// Pattern salt of client-to-server payload (uploads), if seeded.
+    up_salt: Option<u64>,
+    /// Pattern salt of server-to-client payload (downloads), if seeded.
+    down_salt: Option<u64>,
+    prev_now: Time,
+    /// Previous step's settled counters, keyed by (is_client, socket).
+    prev: HashMap<(bool, SocketId), TcpWatermarks>,
+}
+
+impl TcpConformance {
+    /// Create a checker feeding `log`. Salts enable payload-pattern
+    /// verification for the matching direction.
+    pub fn new(log: ViolationLog, up_salt: Option<u64>, down_salt: Option<u64>) -> TcpConformance {
+        TcpConformance {
+            log,
+            up_salt,
+            down_salt,
+            prev_now: Time::ZERO,
+            prev: HashMap::new(),
+        }
+    }
+}
+
+impl SimObserver<TcpClientHost, TcpServerHost> for TcpConformance {
+    fn on_transmit(
+        &mut self,
+        now: Time,
+        host: TxHost,
+        _iface: Addr,
+        seg: &Segment,
+        sim: &Sim<TcpClientHost, TcpServerHost>,
+    ) {
+        if seg.payload.is_empty() || seg.flags.syn {
+            return;
+        }
+        let is_client = host == TxHost::Client;
+        let id: SocketId = (seg.src_port, seg.dst_port);
+        let conn = if is_client {
+            sim.client.stack.conn(id)
+        } else {
+            sim.server.stack.conn(id)
+        };
+        let Some(conn) = conn else { return };
+        let off = conn.send_stream_off_of_seq(seg.seq);
+        let len = seg.payload.len() as u64;
+        if off + len > conn.sent_bytes() {
+            self.log.report(
+                now,
+                "tcp-tx-beyond",
+                format!(
+                    "{host:?} {id:?}: transmits [{off}, {}) beyond snd_nxt {}",
+                    off + len,
+                    conn.sent_bytes()
+                ),
+            );
+        }
+        // Compare against the PREVIOUS step's cumulative ACK: any
+        // segment generated this step saw snd_una >= that floor, so a
+        // range entirely below it can only mean a retransmit of
+        // already-acknowledged data.
+        let ack_floor = self.prev.get(&(is_client, id)).map_or(0, |w| w.acked);
+        if off + len <= ack_floor {
+            self.log.report(
+                now,
+                "tcp-rtx-acked",
+                format!(
+                    "{host:?} {id:?}: retransmits [{off}, {}) entirely below the acked floor {ack_floor}",
+                    off + len
+                ),
+            );
+        }
+        let salt = if is_client {
+            self.up_salt
+        } else {
+            self.down_salt
+        };
+        if let Some(salt) = salt {
+            check_payload_pattern(
+                &self.log,
+                now,
+                "tcp-payload",
+                salt,
+                off,
+                &seg.payload,
+                &format!("{host:?} {id:?}"),
+            );
+        }
+    }
+
+    fn after_step(&mut self, sim: &Sim<TcpClientHost, TcpServerHost>) {
+        let now = sim.now;
+        if now < self.prev_now {
+            self.log.report(
+                now,
+                "clock-regress",
+                format!("step ended at {now} after {}", self.prev_now),
+            );
+        }
+        self.prev_now = now;
+        check_link_conservation(&self.log, sim);
+        for (is_client, stack) in [(true, &sim.client.stack), (false, &sim.server.stack)] {
+            for id in stack.socket_ids() {
+                let Some(conn) = stack.conn(id) else { continue };
+                let cur = TcpWatermarks {
+                    acked: conn.acked_bytes(),
+                    sent: conn.sent_bytes(),
+                    delivered: conn.delivered_bytes(),
+                };
+                if cur.acked > cur.sent {
+                    self.log.report(
+                        now,
+                        "tcp-seq-order",
+                        format!("conn {id:?}: snd_una {} > snd_nxt {}", cur.acked, cur.sent),
+                    );
+                }
+                let prev = self.prev.entry((is_client, id)).or_default();
+                if cur.acked < prev.acked || cur.sent < prev.sent || cur.delivered < prev.delivered
+                {
+                    self.log.report(
+                        now,
+                        "tcp-watermark-regress",
+                        format!("conn {id:?}: {prev:?} -> {cur:?}"),
+                    );
+                }
+                *prev = cur;
+            }
+        }
+        // Cross-host: delivered in-order bytes never exceed what the
+        // peer's send stream contains (exactly-once, no invention).
+        for id in sim.client.stack.socket_ids() {
+            let (Some(c), Some(s)) = (
+                sim.client.stack.conn(id),
+                sim.server.stack.conn((id.1, id.0)),
+            ) else {
+                continue;
+            };
+            let server_stream_end = s.sent_bytes() + s.bytes_unsent();
+            if c.delivered_bytes() > server_stream_end {
+                self.log.report(
+                    now,
+                    "tcp-deliver-overrun",
+                    format!(
+                        "client {id:?} delivered {} > server stream end {server_stream_end}",
+                        c.delivered_bytes()
+                    ),
+                );
+            }
+            let client_stream_end = c.sent_bytes() + c.bytes_unsent();
+            if s.delivered_bytes() > client_stream_end {
+                self.log.report(
+                    now,
+                    "tcp-deliver-overrun",
+                    format!(
+                        "server {:?} delivered {} > client stream end {client_stream_end}",
+                        (id.1, id.0),
+                        s.delivered_bytes()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Per-direction DSS bookkeeping (0 = client sends, 1 = server sends).
+#[derive(Debug, Default)]
+struct DirState {
+    /// Highest DSN ever covered by a mapping: first transmissions must
+    /// extend this contiguously.
+    max_dsn_end: u64,
+    /// Highest connection-level data-ACK seen for this direction.
+    max_data_ack: u64,
+    /// `data_acked()` watermark from two steps ago (promoted through
+    /// `ack_floor_next` each step).
+    ack_floor: u64,
+    ack_floor_next: u64,
+    /// `ack_floor` frozen at the first subflow death on this sender's
+    /// side. Reinjections are judged against THIS floor, not the live
+    /// one: a reinjected chunk is filtered against `data_ack` when the
+    /// kill queues it, but it then sits in the target subflow's TCP
+    /// send buffer (it already has subflow sequence numbers and cannot
+    /// be pulled back) and may drain long after the data-ACK passed it.
+    /// Only data acked *before the kill itself* proves the sender's
+    /// reinjection filter is broken.
+    kill_floor: Option<u64>,
+    /// First subflow (port pair) each mapping start was sent on.
+    first_sender: HashMap<u64, (u16, u16)>,
+    /// Mapping starts seen per subflow (port pair).
+    seen_on: HashSet<(u16, u16, u64)>,
+}
+
+/// Data-sequence-level oracle for MPTCP runs.
+///
+/// Per transmitted DSS mapping: the mapped length must equal the carried
+/// payload, the payload must match the seeded pattern *at its claimed
+/// DSN* (the check that catches any mapping that lies about where its
+/// bytes belong), first transmissions must extend the DSN space
+/// contiguously, connection-level data-ACKs must be monotone, subflows
+/// declared dead must not source new mappings, and reinjections must
+/// carry bytes that were still unacknowledged at the subflow death that
+/// triggered them. Per step: clock monotonicity,
+/// netem conservation, monotone delivered/data-ACK watermarks, and the
+/// cross-host bound that delivery never exceeds the peer's queued
+/// stream.
+#[derive(Debug)]
+pub struct MptcpConformance {
+    log: ViolationLog,
+    up_salt: Option<u64>,
+    down_salt: Option<u64>,
+    prev_now: Time,
+    dir: [DirState; 2],
+    /// Subflows dead as of the previous step's end, keyed by
+    /// (is_client, conn index, subflow index). The one-step grace
+    /// matters: a kill and the drain of already-queued output happen
+    /// within the same step, and that drain is legitimate.
+    prev_dead: HashSet<(bool, usize, usize)>,
+    /// Previous (delivered, data_acked) per (is_client, conn index).
+    prev_conn: HashMap<(bool, usize), (u64, u64)>,
+}
+
+impl MptcpConformance {
+    /// Create a checker feeding `log`. Salts enable DSS payload-pattern
+    /// verification for the matching direction.
+    pub fn new(
+        log: ViolationLog,
+        up_salt: Option<u64>,
+        down_salt: Option<u64>,
+    ) -> MptcpConformance {
+        MptcpConformance {
+            log,
+            up_salt,
+            down_salt,
+            prev_now: Time::ZERO,
+            dir: [DirState::default(), DirState::default()],
+            prev_dead: HashSet::new(),
+            prev_conn: HashMap::new(),
+        }
+    }
+
+    /// Locate the (conn index, subflow index) a segment belongs to.
+    fn route(
+        sim: &Sim<MptcpClientHost, MptcpServerHost>,
+        is_client: bool,
+        seg: &Segment,
+    ) -> Option<(usize, usize)> {
+        let n = if is_client {
+            sim.client.mp.len()
+        } else {
+            sim.server.mp.len()
+        };
+        for cid in 0..n {
+            let sf = if is_client {
+                sim.client
+                    .mp
+                    .conn(cid)
+                    .route_ports(seg.src_port, seg.dst_port)
+            } else {
+                sim.server
+                    .mp
+                    .conn(cid)
+                    .route_ports(seg.src_port, seg.dst_port)
+            };
+            if let Some(sf) = sf {
+                return Some((cid, sf));
+            }
+        }
+        None
+    }
+}
+
+impl SimObserver<MptcpClientHost, MptcpServerHost> for MptcpConformance {
+    fn on_transmit(
+        &mut self,
+        now: Time,
+        host: TxHost,
+        _iface: Addr,
+        seg: &Segment,
+        sim: &Sim<MptcpClientHost, MptcpServerHost>,
+    ) {
+        let is_client = host == TxHost::Client;
+        let d = if is_client { 0 } else { 1 };
+        let Some((cid, sf)) = Self::route(sim, is_client, seg) else {
+            return;
+        };
+        for opt in mp_options(seg) {
+            let MpOption::Dss { data_ack, map, .. } = opt else {
+                continue;
+            };
+            // The data-ACK acknowledges the PEER's stream.
+            let ack_dir = 1 - d;
+            if data_ack < self.dir[ack_dir].max_data_ack {
+                self.log.report(
+                    now,
+                    "mptcp-data-ack-regress",
+                    format!(
+                        "{host:?} data_ack {data_ack} < previously announced {}",
+                        self.dir[ack_dir].max_data_ack
+                    ),
+                );
+            }
+            self.dir[ack_dir].max_data_ack = self.dir[ack_dir].max_data_ack.max(data_ack);
+            let Some(m) = map else { continue };
+            let dsn_end = m.dsn + u64::from(m.len);
+            if usize::from(m.len) != seg.payload.len() {
+                self.log.report(
+                    now,
+                    "mptcp-dss-len",
+                    format!(
+                        "{host:?}: mapping length {} != payload length {}",
+                        m.len,
+                        seg.payload.len()
+                    ),
+                );
+            }
+            let salt = if is_client {
+                self.up_salt
+            } else {
+                self.down_salt
+            };
+            if let Some(salt) = salt {
+                check_payload_pattern(
+                    &self.log,
+                    now,
+                    "mptcp-dss-payload",
+                    salt,
+                    m.dsn,
+                    &seg.payload,
+                    &format!("{host:?} subflow {sf} DSS mapping"),
+                );
+            }
+            let st = &mut self.dir[d];
+            if m.dsn > st.max_dsn_end {
+                self.log.report(
+                    now,
+                    "mptcp-dsn-gap",
+                    format!(
+                        "{host:?}: first transmission at DSN {} leaves a gap after {}",
+                        m.dsn, st.max_dsn_end
+                    ),
+                );
+            }
+            st.max_dsn_end = st.max_dsn_end.max(dsn_end);
+            let ports = (seg.src_port, seg.dst_port);
+            let new_on_subflow = st.seen_on.insert((ports.0, ports.1, m.dsn));
+            if new_on_subflow && self.prev_dead.contains(&(is_client, cid, sf)) {
+                self.log.report(
+                    now,
+                    "mptcp-dead-send",
+                    format!(
+                        "{host:?} subflow {sf} (declared dead) sources new mapping at DSN {}",
+                        m.dsn
+                    ),
+                );
+            }
+            match st.first_sender.get(&m.dsn) {
+                None => {
+                    st.first_sender.insert(m.dsn, ports);
+                }
+                Some(&first) if first != ports => {
+                    // A reinjection: the same connection-level bytes on a
+                    // different subflow. It must carry at least one byte
+                    // that was unacknowledged when the subflow death that
+                    // triggered reinjection happened (a `None` floor means
+                    // the kill and this drain share a step — trivially
+                    // legal).
+                    if let Some(kf) = st.kill_floor {
+                        if dsn_end <= kf {
+                            self.log.report(
+                                now,
+                                "mptcp-reinject-acked",
+                                format!(
+                                    "{host:?}: reinjects [{}, {dsn_end}) entirely below the \
+                                     data-ACK floor {kf} recorded at subflow death",
+                                    m.dsn
+                                ),
+                            );
+                        }
+                    }
+                }
+                Some(_) => {} // subflow-level retransmit: always legal
+            }
+        }
+    }
+
+    fn after_step(&mut self, sim: &Sim<MptcpClientHost, MptcpServerHost>) {
+        let now = sim.now;
+        if now < self.prev_now {
+            self.log.report(
+                now,
+                "clock-regress",
+                format!("step ended at {now} after {}", self.prev_now),
+            );
+        }
+        self.prev_now = now;
+        check_link_conservation(&self.log, sim);
+        for (is_client, n) in [(true, sim.client.mp.len()), (false, sim.server.mp.len())] {
+            for cid in 0..n {
+                let conn = if is_client {
+                    sim.client.mp.conn(cid)
+                } else {
+                    sim.server.mp.conn(cid)
+                };
+                let cur = (conn.delivered_bytes(), conn.data_acked());
+                let prev = self.prev_conn.entry((is_client, cid)).or_default();
+                if cur.0 < prev.0 || cur.1 < prev.1 {
+                    self.log.report(
+                        now,
+                        "mptcp-watermark-regress",
+                        format!(
+                            "{} conn {cid}: (delivered, data_acked) {prev:?} -> {cur:?}",
+                            if is_client { "client" } else { "server" }
+                        ),
+                    );
+                }
+                *prev = cur;
+            }
+        }
+        // Cross-host delivery bounds (connections pair up in accept
+        // order; conformance scenarios open exactly one).
+        for cid in 0..sim.client.mp.len().min(sim.server.mp.len()) {
+            let c = sim.client.mp.conn(cid);
+            let s = sim.server.mp.conn(cid);
+            if c.delivered_bytes() > s.bytes_queued() {
+                self.log.report(
+                    now,
+                    "mptcp-deliver-overrun",
+                    format!(
+                        "client conn {cid} delivered {} > server queued {}",
+                        c.delivered_bytes(),
+                        s.bytes_queued()
+                    ),
+                );
+            }
+            if s.delivered_bytes() > c.bytes_queued() {
+                self.log.report(
+                    now,
+                    "mptcp-deliver-overrun",
+                    format!(
+                        "server conn {cid} delivered {} > client queued {}",
+                        s.delivered_bytes(),
+                        c.bytes_queued()
+                    ),
+                );
+            }
+        }
+        // Detect fresh subflow deaths and freeze each direction's
+        // reinjection floor at its FIRST death (see
+        // `DirState::kill_floor`); the frozen value is the
+        // pre-promotion (two-steps-lagged) floor, a safe lower bound on
+        // the `data_ack` the sender's reinjection filter ran against.
+        let mut cur_dead = HashSet::new();
+        for (is_client, n) in [(true, sim.client.mp.len()), (false, sim.server.mp.len())] {
+            for cid in 0..n {
+                let stats = if is_client {
+                    sim.client.mp.conn(cid).subflow_stats()
+                } else {
+                    sim.server.mp.conn(cid).subflow_stats()
+                };
+                for (sf, st) in stats.iter().enumerate() {
+                    if st.dead {
+                        cur_dead.insert((is_client, cid, sf));
+                    }
+                }
+            }
+        }
+        for &(is_client, _, _) in cur_dead.difference(&self.prev_dead) {
+            let d = usize::from(!is_client);
+            if self.dir[d].kill_floor.is_none() {
+                self.dir[d].kill_floor = Some(self.dir[d].ack_floor);
+            }
+        }
+        // Promote the data-ACK floors (two-step delay) and refresh the
+        // dead-subflow snapshot for the next step's checks.
+        if sim.client.mp.len() > 0 {
+            self.dir[0].ack_floor = self.dir[0].ack_floor_next;
+            self.dir[0].ack_floor_next = sim.client.mp.conn(0).data_acked();
+        }
+        if sim.server.mp.len() > 0 {
+            self.dir[1].ack_floor = self.dir[1].ack_floor_next;
+            self.dir[1].ack_floor_next = sim.server.mp.conn(0).data_acked();
+        }
+        self.prev_dead = cur_dead;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_detects_offset_shifts() {
+        let salt = 17;
+        for shift in [1u64, 100, 1400, 250, 252] {
+            assert_ne!(
+                pattern_byte(salt, 5000),
+                pattern_byte(salt, 5000 + shift),
+                "shift {shift} must change the byte"
+            );
+        }
+        // The only undetectable shift period is 251 itself.
+        assert_eq!(pattern_byte(salt, 5000), pattern_byte(salt, 5000 + 251));
+    }
+
+    #[test]
+    fn log_caps_storage_but_counts_all() {
+        let log = ViolationLog::new();
+        for i in 0..100 {
+            log.report(Time::from_millis(i), "x", String::new());
+        }
+        assert_eq!(log.total(), 100);
+        assert_eq!(log.snapshot().len(), LOG_CAP);
+        assert!(!log.is_clean());
+    }
+}

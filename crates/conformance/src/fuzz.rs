@@ -1,0 +1,214 @@
+//! Campaign driver and shrinker.
+//!
+//! [`run_campaign`] fans N generated cases across worker threads with
+//! the same work-stealing shape as the experiment runner: results land
+//! in case-index order and the campaign fingerprint is identical for
+//! any `--jobs`, so determinism can be asserted across parallelism
+//! levels. [`shrink`] greedily reduces a violating spec to a minimal
+//! reproducer and [`repro_snippet`] renders it as a paste-ready test.
+
+use crate::scenario::{generate, run_scenario, CaseReport, ScenarioSpec};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64 step — the standard seed-stream expander. Used to derive
+/// independent per-case seeds from one root seed.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The seed for case `index` of a campaign rooted at `root_seed`.
+/// A pure function of both, so a single case can be re-run (or pasted
+/// into a test) without replaying the campaign.
+pub fn case_seed(root_seed: u64, index: usize) -> u64 {
+    splitmix64(root_seed ^ splitmix64(index as u64 ^ 0xC0DE_D00D_FEED_F00D))
+}
+
+/// One fuzz case: the spec that ran and its verdict.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Position in the campaign (0-based).
+    pub index: usize,
+    /// The case seed ([`case_seed`] of the campaign root and index).
+    pub seed: u64,
+    /// The generated scenario.
+    pub spec: ScenarioSpec,
+    /// The verdict.
+    pub report: CaseReport,
+}
+
+fn run_case(root_seed: u64, index: usize) -> CaseResult {
+    let seed = case_seed(root_seed, index);
+    let spec = generate(seed);
+    let report = run_scenario(&spec);
+    CaseResult {
+        index,
+        seed,
+        spec,
+        report,
+    }
+}
+
+/// Run a `cases`-long campaign rooted at `root_seed` on up to `jobs`
+/// worker threads. Results come back in index order and are
+/// byte-identical for every `jobs` value: each case's outcome depends
+/// only on its seed, never on which worker ran it.
+pub fn run_campaign(cases: usize, root_seed: u64, jobs: usize) -> Vec<CaseResult> {
+    if jobs <= 1 || cases <= 1 {
+        return (0..cases).map(|i| run_case(root_seed, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CaseResult>>> = Mutex::new((0..cases).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(cases) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cases {
+                    break;
+                }
+                let result = run_case(root_seed, i);
+                slots.lock().expect("campaign slot lock")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("campaign slot lock")
+        .into_iter()
+        .map(|slot| slot.expect("every case index was claimed by a worker"))
+        .collect()
+}
+
+/// FNV-1a digest of a whole campaign. Identical digests across
+/// `--jobs` values and repeat runs are the determinism contract the
+/// test suite asserts.
+pub fn campaign_fingerprint(results: &[CaseResult]) -> String {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for r in results {
+        let line = format!(
+            "case{} seed={} {}\n",
+            r.index,
+            r.seed,
+            r.report.fingerprint()
+        );
+        for b in line.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Candidate reductions of `spec`, most aggressive first. Each is a
+/// *structurally smaller* scenario (fewer faults, less data, less
+/// noise), so greedy acceptance terminates.
+fn shrink_candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    for i in 0..spec.faults.len() {
+        let mut s = spec.clone();
+        s.faults.remove(i);
+        out.push(s);
+    }
+    if spec.workload.down_bytes > 0 && spec.workload.up_bytes > 0 {
+        let mut s = spec.clone();
+        s.workload.up_bytes = 0;
+        out.push(s);
+        let mut s = spec.clone();
+        s.workload.down_bytes = 0;
+        out.push(s);
+    }
+    if spec.workload.down_bytes > 1_024 || spec.workload.up_bytes > 1_024 {
+        let mut s = spec.clone();
+        if s.workload.down_bytes > 1_024 {
+            s.workload.down_bytes = (s.workload.down_bytes / 2).max(1_024);
+        }
+        if s.workload.up_bytes > 1_024 {
+            s.workload.up_bytes = (s.workload.up_bytes / 2).max(1_024);
+        }
+        out.push(s);
+    }
+    if spec.wifi.loss_ppm > 0 || spec.lte.loss_ppm > 0 {
+        let mut s = spec.clone();
+        s.wifi.loss_ppm = 0;
+        s.lte.loss_ppm = 0;
+        out.push(s);
+    }
+    out
+}
+
+/// Greedily shrink a violating scenario while it keeps producing the
+/// same first violation category. Returns the reduced spec and its
+/// report (the original pair if nothing smaller still violates).
+/// Bounded work: at most 64 candidate evaluations.
+pub fn shrink(spec: &ScenarioSpec) -> (ScenarioSpec, CaseReport) {
+    let mut best_spec = spec.clone();
+    let mut best_report = run_scenario(&best_spec);
+    let Some(target) = best_report.first_category() else {
+        return (best_spec, best_report);
+    };
+    let mut budget = 64usize;
+    'outer: loop {
+        for cand in shrink_candidates(&best_spec) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            let report = run_scenario(&cand);
+            if report.first_category() == Some(target) {
+                best_spec = cand;
+                best_report = report;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best_spec, best_report)
+}
+
+/// Render a shrunk spec as a ready-to-paste `#[test]` that replays it
+/// and asserts the absence of the violation.
+pub fn repro_snippet(spec: &ScenarioSpec) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "#[test]");
+    let _ = writeln!(s, "fn conformance_repro_seed_{}() {{", spec.seed);
+    let _ = writeln!(s, "    let spec = {};", spec.to_rust_literal(1));
+    let _ = writeln!(
+        s,
+        "    let report = mpwifi_conformance::run_scenario(&spec);"
+    );
+    let _ = writeln!(s, "    assert!(");
+    let _ = writeln!(s, "        report.violations.is_empty(),");
+    let _ = writeln!(s, "        \"conformance violations: {{:#?}}\",");
+    let _ = writeln!(s, "        report.violations,");
+    let _ = writeln!(s, "    );");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..32).map(|i| case_seed(42, i)).collect();
+        let b: Vec<u64> = (0..32).map(|i| case_seed(42, i)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "case seeds collide");
+        assert_ne!(case_seed(42, 0), case_seed(43, 0));
+    }
+
+    #[test]
+    fn campaign_results_are_index_ordered() {
+        let results = run_campaign(6, 42, 3);
+        let indices: Vec<usize> = results.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -312,6 +312,13 @@ pub struct MptcpConnection {
     /// `abort()` called; reset subflows after the FASTCLOSE leaves.
     aborting: bool,
     aborted: bool,
+    /// Test-only fault injection: when nonzero, every Nth outgoing DSS
+    /// mapping is re-pointed at the preceding DSN range (a "double-sent
+    /// mapping"). Exists solely so the conformance oracles can prove
+    /// they catch data-level corruption; zero in all real runs.
+    test_dss_double_every: u64,
+    /// Count of data DSS mappings emitted (drives the knob above).
+    dss_maps_emitted: u64,
 }
 
 impl MptcpConnection {
@@ -400,7 +407,21 @@ impl MptcpConnection {
             recovery_started: None,
             aborting: false,
             aborted: false,
+            test_dss_double_every: 0,
+            dss_maps_emitted: 0,
         }
+    }
+
+    /// Test-only fault: re-map every `every`th outgoing DSS mapping onto
+    /// the DSN range *preceding* its true one, emulating a broken
+    /// scheduler that double-sends a mapping. The wire bytes then claim
+    /// to carry data-sequence bytes they do not, which a live
+    /// conformance oracle must flag. `0` disables the fault (the
+    /// default); nothing in the workspace sets it outside checker
+    /// self-tests.
+    #[doc(hidden)]
+    pub fn set_test_dss_double_send(&mut self, every: u64) {
+        self.test_dss_double_every = every;
     }
 
     /// Our connection token (what the peer puts in MP_JOIN).
@@ -799,7 +820,9 @@ impl MptcpConnection {
             // The prefix may have been data-acked (and released from the
             // send buffer) while parked; reinject only the live suffix.
             let start = dsn.max(self.data_ack_in);
-            let target = self.pick_any_live_subflow().expect("checked above");
+            let target = self
+                .pick_any_live_subflow()
+                .expect("invariant: guarded by the pick_any_live_subflow() check above");
             self.push_chunk_to_subflow(target, start, dsn + len - start);
             metrics::record_reinjection();
         }
@@ -821,6 +844,13 @@ impl MptcpConnection {
 
     /// Feed a decoded segment belonging to subflow `sf_idx`.
     pub fn on_segment(&mut self, now: Time, sf_idx: usize, seg: &Segment) {
+        if sf_idx >= self.subflows.len() {
+            // Callers route by port pair, so this cannot happen from the
+            // endpoint demux; a hand-driven harness passing a stale index
+            // gets a counted drop, not a panic.
+            metrics::record_segment_dropped_unroutable();
+            return;
+        }
         // 1. MPTCP option processing.
         for opt in mp_options(seg) {
             match opt {
@@ -1142,7 +1172,14 @@ impl MptcpConnection {
             let Some(pick) = self.scheduler.pick(&views) else {
                 break;
             };
-            let room = views.iter().find(|v| v.idx == pick).unwrap().room;
+            // A scheduler must answer with one of the views it was
+            // offered; the built-ins always do, but `Scheduler` is
+            // replaceable, so an out-of-range pick is a counted rejection
+            // (the send round is skipped) rather than a panic.
+            let Some(room) = views.iter().find(|v| v.idx == pick).map(|v| v.room) else {
+                metrics::record_sched_pick_rejected();
+                break;
+            };
             let len = (self.snd_buf.end() - self.dsn_next).min(mss).min(room);
             if len == 0 {
                 break;
@@ -1336,10 +1373,22 @@ impl MptcpConnection {
             piece.flags.psh = seg.flags.psh && consumed + take == seg.payload.len();
             // FIN (subflow-level) only on the final piece.
             piece.flags.fin = seg.flags.fin && consumed + take == seg.payload.len();
+            let mut dsn = entry.dsn + within;
+            self.dss_maps_emitted += 1;
+            if self.test_dss_double_every != 0
+                && self
+                    .dss_maps_emitted
+                    .is_multiple_of(self.test_dss_double_every)
+            {
+                // Deliberate fault (see `set_test_dss_double_send`):
+                // point the mapping at the range just before its true
+                // one, so the payload claims DSNs it does not carry.
+                dsn = dsn.saturating_sub(take as u64);
+            }
             let dss = MpOption::Dss {
                 data_ack,
                 map: Some(DssMap {
-                    dsn: entry.dsn + within,
+                    dsn,
                     len: take as u16,
                 }),
                 fin: false,

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! repro [--full] [--seed N] [--jobs N] [--markdown FILE] [--metrics FILE] <experiment>... | all | --list
+//! repro conformance [--cases N] [--seed N] [--jobs N]
 //! ```
 //!
 //! Experiments shard across `--jobs N` worker threads. Every
 //! experiment's seed is a pure function of `--seed` and its id
 //! (verbatim by default; mixed per-id under `--derive-seeds`), so
 //! reports are byte-identical for every `--jobs` value.
+//!
+//! `repro conformance` runs the protocol-conformance fuzz campaign
+//! instead of paper experiments: `--cases` seeded scenarios with the
+//! invariant oracles attached. On any violation it greedily shrinks the
+//! first violating case and prints a paste-ready reproducer test.
 
 use mpwifi_repro::{
     registry, runner, runner::SeedPolicy, Scale, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, REGISTRY,
@@ -25,6 +31,7 @@ fn main() {
     let mut csv: Option<String> = None;
     let mut data_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
+    let mut cases = 200usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -46,6 +53,14 @@ fn main() {
                     .unwrap_or_else(|| die("--jobs needs a positive integer"));
             }
             "--derive-seeds" => policy = SeedPolicy::Derived,
+            "--cases" => {
+                i += 1;
+                cases = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--cases needs a positive integer"));
+            }
             "--markdown" => {
                 i += 1;
                 markdown = Some(
@@ -91,13 +106,19 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list"
+                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro conformance [--cases N] [--seed N] [--jobs N]"
                 );
                 return;
             }
             other => targets.push(other.to_string()),
         }
         i += 1;
+    }
+    if targets.iter().any(|t| t == "conformance") {
+        if targets.len() > 1 {
+            die("'conformance' runs alone; drop the other targets");
+        }
+        run_conformance(cases, seed, jobs);
     }
     if targets.is_empty() {
         die("no experiment given; try --list or 'all'");
@@ -193,6 +214,72 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Run the conformance fuzz campaign and exit non-zero on violations.
+fn run_conformance(cases: usize, seed: u64, jobs: usize) -> ! {
+    use mpwifi_conformance as conf;
+    let start = std::time::Instant::now();
+    let results = conf::run_campaign(cases, seed, jobs);
+    let mut violating: Vec<&conf::CaseResult> = Vec::new();
+    let mut completed = 0usize;
+    for r in &results {
+        if r.report.clean() {
+            if r.report.completed {
+                completed += 1;
+            }
+        } else {
+            violating.push(r);
+            println!(
+                "case {:4} seed {:20} VIOLATED  first={} total={}",
+                r.index,
+                r.seed,
+                r.report.first_category().unwrap_or("?"),
+                r.report.violations_total
+            );
+        }
+    }
+    println!(
+        "conformance: {} cases, {} completed clean, {} violating \
+         (seed {seed}, jobs {jobs}, {:.1?})",
+        results.len(),
+        completed,
+        violating.len(),
+        start.elapsed()
+    );
+    println!(
+        "campaign fingerprint: {}",
+        conf::campaign_fingerprint(&results)
+    );
+    if let Some(worst) = violating.first() {
+        println!(
+            "\nshrinking case {} (seed {}, first violation {:?})...",
+            worst.index,
+            worst.seed,
+            worst.report.first_category()
+        );
+        let (small, small_report) = conf::shrink(&worst.spec);
+        println!(
+            "shrunk to: faults={} down={} up={} ({} violations, first {:?})",
+            small.faults.len(),
+            small.workload.down_bytes,
+            small.workload.up_bytes,
+            small_report.violations_total,
+            small_report.first_category()
+        );
+        for v in small_report.violations.iter().take(5) {
+            println!(
+                "  [{:>12}us] {}: {}",
+                v.at.as_micros(),
+                v.category,
+                v.detail
+            );
+        }
+        println!("\nminimal reproducer (paste into crates/conformance/tests/):\n");
+        println!("{}", conf::repro_snippet(&small));
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 fn die(msg: &str) -> ! {

@@ -171,6 +171,8 @@ pub fn metrics_json(outcomes: &[RunOutcome]) -> String {
              \"faults_injected\": {}, \"segments_corrupted_dropped\": {}, \
              \"subflows_declared_dead\": {}, \"reinjections\": {}, \
              \"recovery_time_us\": {}, \
+             \"segments_dropped_unroutable\": {}, \
+             \"sched_picks_rejected\": {}, \
              \"claims_hold\": {}}}{}\n",
             o.id,
             o.seed,
@@ -188,6 +190,8 @@ pub fn metrics_json(outcomes: &[RunOutcome]) -> String {
             o.metrics.subflows_declared_dead,
             o.metrics.reinjections,
             o.metrics.recovery_time_us,
+            o.metrics.segments_dropped_unroutable,
+            o.metrics.sched_picks_rejected,
             o.report.all_hold(),
             if i + 1 < outcomes.len() { "," } else { "" }
         ));

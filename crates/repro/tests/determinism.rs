@@ -69,6 +69,37 @@ fn fault_sweeps_are_deterministic_across_jobs_and_repeats() {
 }
 
 #[test]
+fn conformance_campaign_fingerprint_is_sharding_independent() {
+    // The conformance fuzzer shares the runner's determinism contract:
+    // a campaign's verdicts (and hence its fingerprint) are a pure
+    // function of (cases, root seed), whatever the job count and
+    // however often it is repeated.
+    let serial = mpwifi_conformance::run_campaign(12, 42, 1);
+    let parallel = mpwifi_conformance::run_campaign(12, 42, 8);
+    let repeat = mpwifi_conformance::run_campaign(12, 42, 8);
+    let f = mpwifi_conformance::campaign_fingerprint(&serial);
+    assert_eq!(
+        f,
+        mpwifi_conformance::campaign_fingerprint(&parallel),
+        "conformance campaign diverged between --jobs 1 and --jobs 8"
+    );
+    assert_eq!(
+        f,
+        mpwifi_conformance::campaign_fingerprint(&repeat),
+        "conformance campaign diverged between repeated runs"
+    );
+    for r in &serial {
+        assert!(
+            r.report.clean(),
+            "case {} (seed {}) violated an invariant: {:#?}",
+            r.index,
+            r.seed,
+            r.report.violations
+        );
+    }
+}
+
+#[test]
 fn derived_seed_policy_is_also_sharding_independent() {
     // A smaller slice suffices here: the property under test is the
     // runner's order-independence, already exercised end-to-end above;

@@ -1,0 +1,42 @@
+//! Registry-wide smoke: every experiment in the registry must run at
+//! Quick scale without panicking, and every simulator-backed run must
+//! actually move bytes. This is the cheap tripwire that catches an
+//! experiment wired to a stack that silently stalls.
+
+use mpwifi_repro::{registry::REGISTRY, runner, Scale, SeedPolicy};
+
+#[test]
+fn every_registry_entry_runs_and_sim_backed_entries_deliver() {
+    let specs: Vec<_> = REGISTRY.iter().collect();
+    assert!(
+        specs.len() >= 28,
+        "registry shrank to {} entries; update this floor only on a \
+         deliberate removal",
+        specs.len()
+    );
+    let outcomes = runner::run_specs_with(&specs, Scale::Quick, 42, 8, SeedPolicy::Campaign);
+    assert_eq!(outcomes.len(), specs.len(), "an experiment went missing");
+    let mut sim_backed = 0usize;
+    for o in &outcomes {
+        assert!(
+            !o.report.blocks.is_empty() || !o.report.claims.is_empty(),
+            "{}: produced neither data blocks nor claims",
+            o.id
+        );
+        if o.metrics.frames_forwarded > 0 {
+            sim_backed += 1;
+            assert!(
+                o.metrics.bytes_delivered > 0,
+                "{}: forwarded {} frames but delivered zero payload bytes \
+                 (transport stalled?)",
+                o.id,
+                o.metrics.frames_forwarded
+            );
+        }
+    }
+    assert!(
+        sim_backed >= 10,
+        "only {sim_backed} experiments exercised the simulator; the \
+         registry used to have many more"
+    );
+}

@@ -1,0 +1,58 @@
+//! Observer hook for in-sim conformance checking.
+//!
+//! A [`SimObserver`] is an optional, read-only witness attached to a
+//! [`Sim`]: it sees every segment the endpoints transmit (before link
+//! emulation touches it) and the whole simulator state at the end of
+//! every step. The concrete invariant oracles live in the
+//! `mpwifi-conformance` crate; this crate only defines the hook so the
+//! dependency arrow stays `conformance -> sim`.
+//!
+//! The hook is zero-cost when off: with no observer attached the event
+//! loop pays a single `Option` discriminant test per step and per
+//! transmit batch, touches no RNG, and allocates nothing — runs with and
+//! without an observer are byte-identical (asserted by the conformance
+//! crate's `observer_off_is_byte_identical` test and, transitively, by
+//! the golden-report tests, which never attach one).
+//!
+//! Observers receive only shared references, so they cannot perturb the
+//! simulation; determinism of `(scenario, seed) -> outcome` is preserved
+//! with checkers on or off.
+
+use crate::endpoint::Endpoint;
+use crate::world::Sim;
+use mpwifi_netem::Addr;
+use mpwifi_simcore::Time;
+use mpwifi_tcp::segment::Segment;
+
+/// Which endpoint produced a transmitted segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxHost {
+    /// The multi-homed client.
+    Client,
+    /// The server.
+    Server,
+}
+
+/// A read-only witness of a running [`Sim`].
+///
+/// Both methods default to no-ops so an oracle implements only what it
+/// needs. `on_transmit` fires once per segment leaving an endpoint
+/// (client and server alike), with `iface` naming the client-side
+/// interface whose link will carry the frame. `after_step` fires at the
+/// end of every completed [`Sim::step`], after timers and the trailing
+/// transmit drain.
+pub trait SimObserver<C: Endpoint, S: Endpoint> {
+    /// A segment is leaving `host` toward the link of `iface`.
+    fn on_transmit(
+        &mut self,
+        _now: Time,
+        _host: TxHost,
+        _iface: Addr,
+        _seg: &Segment,
+        _sim: &Sim<C, S>,
+    ) {
+    }
+
+    /// A step just completed; inspect the whole simulator.
+    fn after_step(&mut self, _sim: &Sim<C, S>) {}
+}

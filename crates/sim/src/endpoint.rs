@@ -16,7 +16,12 @@ use mpwifi_tcp::stack::{SocketId, TcpStack};
 use std::collections::HashMap;
 
 /// One host's transport layer, driven by [`crate::Sim`].
-pub trait Endpoint {
+///
+/// The `'static` bound exists for the [`crate::check::SimObserver`]
+/// hook: `Sim` stores the observer as `Box<dyn SimObserver<C, S>>`,
+/// whose well-formedness requires the endpoint types to own their data
+/// (every host here does).
+pub trait Endpoint: 'static {
     /// A decoded segment arrived (`src`/`dst` are interface addresses).
     fn on_segment(&mut self, now: Time, seg: &Segment, src: Addr, dst: Addr);
 

@@ -21,12 +21,14 @@
 //!   sampling, request/response exchanges, pings).
 
 pub mod apps;
+pub mod check;
 pub mod endpoint;
 pub mod link;
 pub mod log;
 pub mod world;
 
 pub use apps::{measure_ping, BulkResult};
+pub use check::{SimObserver, TxHost};
 pub use endpoint::{Endpoint, MptcpClientHost, MptcpServerHost, TcpClientHost, TcpServerHost};
 pub use link::{LinkSpec, PathPair, ServiceSpec};
 pub use log::{PacketDir, PacketEvent, PacketLog};

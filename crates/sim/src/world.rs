@@ -1,6 +1,7 @@
 //! The simulation driver: one multi-homed client, one server, two
 //! emulated access links, scripted failures, deterministic time.
 
+use crate::check::{SimObserver, TxHost};
 use crate::endpoint::Endpoint;
 use crate::link::{LinkSpec, PathPair};
 use crate::log::{PacketDir, PacketLog};
@@ -73,6 +74,9 @@ pub struct Sim<C: Endpoint, S: Endpoint> {
     to_server_lte: Vec<Frame>,
     to_client_wifi: Vec<Frame>,
     to_client_lte: Vec<Frame>,
+    /// Optional conformance witness (see [`crate::check`]). `None` in
+    /// every measurement run; costs one branch per step when absent.
+    observer: Option<Box<dyn SimObserver<C, S>>>,
 }
 
 /// Named-setter builder for [`Sim`], replacing the positional
@@ -230,7 +234,20 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
             to_server_lte: Vec::new(),
             to_client_wifi: Vec::new(),
             to_client_lte: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Attach a conformance observer (replacing any previous one). The
+    /// observer sees every transmitted segment and every completed step
+    /// through shared references only; it cannot perturb the run.
+    pub fn set_observer(&mut self, obs: Box<dyn SimObserver<C, S>>) {
+        self.observer = Some(obs);
+    }
+
+    /// Detach and return the current observer, if any.
+    pub fn clear_observer(&mut self) -> Option<Box<dyn SimObserver<C, S>>> {
+        self.observer.take()
     }
 
     /// Schedule a scripted event. Keeps the script sorted via binary
@@ -304,11 +321,19 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
         }
     }
 
-    /// Push endpoint output into the pipelines.
-    fn drain_tx(&mut self) {
+    /// Push endpoint output into the pipelines. When an observer is
+    /// attached it witnesses each segment before encoding; with
+    /// `obs == None` this is the exact pre-observer code path.
+    fn drain_tx(&mut self, mut obs: Option<&mut (dyn SimObserver<C, S> + 'static)>) {
         let now = self.now;
         // Client: src interface selects the link's uplink.
-        for (src_iface, dst, seg) in self.client.take_tx(now) {
+        let client_tx = self.client.take_tx(now);
+        if let Some(o) = obs.as_deref_mut() {
+            for (src_iface, _dst, seg) in &client_tx {
+                o.on_transmit(now, TxHost::Client, *src_iface, seg, self);
+            }
+        }
+        for (src_iface, dst, seg) in client_tx {
             let bytes = self.pool.encode(&seg);
             let len = bytes.len();
             self.frame_seq += 1;
@@ -317,7 +342,13 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
             self.pair_mut(src_iface).up.push(now, frame);
         }
         // Server: destination (a client interface) selects the downlink.
-        for (src, dst_iface, seg) in self.server.take_tx(now) {
+        let server_tx = self.server.take_tx(now);
+        if let Some(o) = obs {
+            for (_src, dst_iface, seg) in &server_tx {
+                o.on_transmit(now, TxHost::Server, *dst_iface, seg, self);
+            }
+        }
+        for (src, dst_iface, seg) in server_tx {
             let bytes = self.pool.encode(&seg);
             self.frame_seq += 1;
             let frame = Frame::new(self.frame_seq, src, dst_iface, bytes, now);
@@ -381,7 +412,16 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
     /// Advance to the next event. Returns `false` when the simulation has
     /// fully quiesced.
     pub fn step(&mut self) -> bool {
-        self.drain_tx();
+        // The observer is moved out for the duration of the step so it
+        // can borrow `self` immutably while the step mutates the rest.
+        let mut obs = self.observer.take();
+        let more = self.step_with(obs.as_deref_mut());
+        self.observer = obs;
+        more
+    }
+
+    fn step_with(&mut self, mut obs: Option<&mut (dyn SimObserver<C, S> + 'static)>) -> bool {
+        self.drain_tx(obs.as_deref_mut());
         let Some(next) = self.next_event() else {
             return false;
         };
@@ -432,7 +472,10 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
 
         self.client.on_timers(now);
         self.server.on_timers(now);
-        self.drain_tx();
+        self.drain_tx(obs.as_deref_mut());
+        if let Some(o) = obs {
+            o.after_step(self);
+        }
         true
     }
 

@@ -28,6 +28,8 @@ thread_local! {
     static SUBFLOWS_DECLARED_DEAD: Cell<u64> = const { Cell::new(0) };
     static REINJECTIONS: Cell<u64> = const { Cell::new(0) };
     static RECOVERY_TIME_US: Cell<u64> = const { Cell::new(0) };
+    static SEGMENTS_DROPPED_UNROUTABLE: Cell<u64> = const { Cell::new(0) };
+    static SCHED_PICKS_REJECTED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of this thread's instrumentation counters.
@@ -70,6 +72,14 @@ pub struct RunMetrics {
     /// moment a subflow is declared dead until connection-level data
     /// delivery next advances. Summed over recovery episodes.
     pub recovery_time_us: u64,
+    /// Decoded segments that arrived with no routable destination (an
+    /// MPTCP subflow index outside the connection's table, or a port
+    /// pair no socket claims) and were dropped instead of panicking.
+    pub segments_dropped_unroutable: u64,
+    /// MPTCP scheduler decisions rejected because the returned subflow
+    /// index was not among the offered views; the send pass skips the
+    /// round instead of panicking.
+    pub sched_picks_rejected: u64,
 }
 
 impl RunMetrics {
@@ -92,6 +102,9 @@ impl RunMetrics {
             subflows_declared_dead: self.subflows_declared_dead - baseline.subflows_declared_dead,
             reinjections: self.reinjections - baseline.reinjections,
             recovery_time_us: self.recovery_time_us - baseline.recovery_time_us,
+            segments_dropped_unroutable: self.segments_dropped_unroutable
+                - baseline.segments_dropped_unroutable,
+            sched_picks_rejected: self.sched_picks_rejected - baseline.sched_picks_rejected,
         }
     }
 }
@@ -169,6 +182,18 @@ pub fn record_recovery_time_us(us: u64) {
     RECOVERY_TIME_US.with(|c| c.set(c.get() + us));
 }
 
+/// Record one decoded segment dropped for want of a routable owner.
+#[inline]
+pub fn record_segment_dropped_unroutable() {
+    SEGMENTS_DROPPED_UNROUTABLE.with(|c| c.set(c.get() + 1));
+}
+
+/// Record one scheduler pick rejected as out of range.
+#[inline]
+pub fn record_sched_pick_rejected() {
+    SCHED_PICKS_REJECTED.with(|c| c.set(c.get() + 1));
+}
+
 /// Read this thread's counters.
 pub fn snapshot() -> RunMetrics {
     RunMetrics {
@@ -185,6 +210,8 @@ pub fn snapshot() -> RunMetrics {
         subflows_declared_dead: SUBFLOWS_DECLARED_DEAD.with(Cell::get),
         reinjections: REINJECTIONS.with(Cell::get),
         recovery_time_us: RECOVERY_TIME_US.with(Cell::get),
+        segments_dropped_unroutable: SEGMENTS_DROPPED_UNROUTABLE.with(Cell::get),
+        sched_picks_rejected: SCHED_PICKS_REJECTED.with(Cell::get),
     }
 }
 
@@ -203,6 +230,8 @@ pub fn reset() {
     SUBFLOWS_DECLARED_DEAD.with(|c| c.set(0));
     REINJECTIONS.with(|c| c.set(0));
     RECOVERY_TIME_US.with(|c| c.set(0));
+    SEGMENTS_DROPPED_UNROUTABLE.with(|c| c.set(0));
+    SCHED_PICKS_REJECTED.with(|c| c.set(0));
 }
 
 #[cfg(test)]

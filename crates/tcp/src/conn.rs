@@ -358,6 +358,15 @@ impl TcpConnection {
         self.snd_una
     }
 
+    /// Stream bytes transmitted at least once (`snd_nxt`). Together with
+    /// [`TcpConnection::acked_bytes`] this exposes the fundamental
+    /// sequence-space invariant `snd_una <= snd_nxt` to external
+    /// checkers without risking the underflow that computing
+    /// `in_flight()` on a violating connection would hit.
+    pub fn sent_bytes(&self) -> u64 {
+        self.snd_nxt
+    }
+
     /// In-order stream bytes delivered to the application (receiver
     /// progress).
     pub fn delivered_bytes(&self) -> u64 {
@@ -1194,7 +1203,7 @@ impl TcpConnection {
                     .sacked
                     .iter()
                     .find(|&&(a, b)| off >= a && off < b)
-                    .unwrap();
+                    .expect("invariant: is_sacked(off) guarantees a covering SACK range");
                 off = end;
                 continue;
             }

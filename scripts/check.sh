@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tier-1 build + tests.
-# Usage: scripts/check.sh [--bench-smoke] [--faults]
+# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance]
 #   --bench-smoke   also build the criterion benches and run each for a
 #                   single iteration (cargo bench -- --test), proving
 #                   the benchmarks still compile and run without paying
@@ -10,17 +10,24 @@
 #                   onset/duration grids) plus the fault-sweep
 #                   determinism spec, proving blackout/burst/corruption
 #                   plans still complete, recover, and reproduce.
+#   --conformance   also run the protocol-conformance fuzz campaign at a
+#                   fixed seed (25 cases by default; override the count
+#                   with MPWIFI_CONFORMANCE_CASES). Fails on any
+#                   invariant violation and prints the shrunk
+#                   reproducer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 FAULT_SMOKE=0
+CONFORMANCE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
         --faults) FAULT_SMOKE=1 ;;
+        --conformance) CONFORMANCE=1 ;;
         *)
-            echo "usage: scripts/check.sh [--bench-smoke] [--faults]" >&2
+            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance]" >&2
             exit 2
             ;;
     esac
@@ -55,6 +62,12 @@ if [ "$FAULT_SMOKE" -eq 1 ]; then
     cargo run --release -p mpwifi-repro -- fault-sweep fault-restore fault-noise --seed 42 >/dev/null
     echo "== fault smoke: determinism across shards"
     cargo test --release -p mpwifi-repro --test determinism -q fault_sweeps_are_deterministic
+fi
+
+if [ "$CONFORMANCE" -eq 1 ]; then
+    CASES="${MPWIFI_CONFORMANCE_CASES:-25}"
+    echo "== conformance smoke: $CASES fuzz cases, fixed seed"
+    cargo run --release -p mpwifi-repro -- conformance --cases "$CASES" --seed 42 --jobs 4
 fi
 
 echo "All checks passed."
