@@ -169,24 +169,36 @@ pub fn shrink(spec: &ScenarioSpec) -> (ScenarioSpec, CaseReport) {
     (best_spec, best_report)
 }
 
+/// Render a named `#[test]` function around pre-indented body lines —
+/// the shared emitter behind every paste-ready failure reproducer in
+/// the workspace (conformance shrinker output, the supervisor's
+/// quarantine reports). Each body line is indented one level.
+pub fn test_snippet(fn_name: &str, body_lines: &[String]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "#[test]");
+    let _ = writeln!(s, "fn {fn_name}() {{");
+    for line in body_lines {
+        let _ = writeln!(s, "    {line}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
 /// Render a shrunk spec as a ready-to-paste `#[test]` that replays it
 /// and asserts the absence of the violation.
 pub fn repro_snippet(spec: &ScenarioSpec) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "#[test]");
-    let _ = writeln!(s, "fn conformance_repro_seed_{}() {{", spec.seed);
-    let _ = writeln!(s, "    let spec = {};", spec.to_rust_literal(1));
-    let _ = writeln!(
-        s,
-        "    let report = mpwifi_conformance::run_scenario(&spec);"
-    );
-    let _ = writeln!(s, "    assert!(");
-    let _ = writeln!(s, "        report.violations.is_empty(),");
-    let _ = writeln!(s, "        \"conformance violations: {{:#?}}\",");
-    let _ = writeln!(s, "        report.violations,");
-    let _ = writeln!(s, "    );");
-    let _ = writeln!(s, "}}");
-    s
+    test_snippet(
+        &format!("conformance_repro_seed_{}", spec.seed),
+        &[
+            format!("let spec = {};", spec.to_rust_literal(1)),
+            "let report = mpwifi_conformance::run_scenario(&spec);".to_string(),
+            "assert!(".to_string(),
+            "    report.violations.is_empty(),".to_string(),
+            "    \"conformance violations: {:#?}\",".to_string(),
+            "    report.violations,".to_string(),
+            ");".to_string(),
+        ],
+    )
 }
 
 #[cfg(test)]

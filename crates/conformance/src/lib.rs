@@ -37,7 +37,8 @@ pub use checkers::{
     pattern_byte, pattern_bytes, MptcpConformance, TcpConformance, Violation, ViolationLog,
 };
 pub use fuzz::{
-    campaign_fingerprint, case_seed, repro_snippet, run_campaign, shrink, splitmix64, CaseResult,
+    campaign_fingerprint, case_seed, repro_snippet, run_campaign, shrink, splitmix64, test_snippet,
+    CaseResult,
 };
 pub use scenario::{
     generate, run_scenario, CaseReport, CcSpec, FaultEp, IfaceSpec, LinkSpecLite, ModeSpec,

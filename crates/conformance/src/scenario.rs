@@ -763,7 +763,7 @@ fn run_tcp(spec: &ScenarioSpec, iface: IfaceSpec, up_salt: u64, down_salt: u64) 
         },
         deadline,
     );
-    finish(&log, sim.now, completed, &down_oracle, &up_oracle)
+    finish(&log, sim.now, completed.held(), &down_oracle, &up_oracle)
 }
 
 fn run_mptcp(spec: &ScenarioSpec, up_salt: u64, down_salt: u64) -> CaseReport {
@@ -870,7 +870,7 @@ fn run_mptcp(spec: &ScenarioSpec, up_salt: u64, down_salt: u64) -> CaseReport {
         },
         deadline,
     );
-    finish(&log, sim.now, completed, &down_oracle, &up_oracle)
+    finish(&log, sim.now, completed.held(), &down_oracle, &up_oracle)
 }
 
 #[cfg(test)]

@@ -70,6 +70,7 @@ pub fn ext_handover(seed: u64) -> Report {
             },
             Time::from_secs(120),
         );
+        let done = done.held();
         // Close and drain teardown so FIN tails are charged.
         let now = sim.now;
         sim.client.mp.conn_mut(id).close(now);
@@ -295,6 +296,7 @@ pub fn ext_mobility(seed: u64) -> Report {
         },
         Time::from_secs(60),
     );
+    let tcp_done = tcp_done.held();
     let tcp_delivered = sim.client.stack.conn(id).map_or(0, |c| c.delivered_bytes());
 
     // MPTCP: hands over to LTE and finishes.
@@ -326,6 +328,7 @@ pub fn ext_mobility(seed: u64) -> Report {
         },
         Time::from_secs(60),
     );
+    let mp_done = mp_done.held();
     let mp_time = sim.now;
 
     let mut r = Report::new(

@@ -85,7 +85,7 @@ fn run_faulted(
     );
     FaultRun {
         delivered: sim.client.mp.conn(id).delivered_bytes(),
-        done,
+        done: done.held(),
         finish: sim.now,
         subflows: sim.client.mp.conn(id).subflow_stats().len(),
         delta: metrics::snapshot().since(&before),
@@ -356,7 +356,12 @@ pub fn fault_noise(scale: Scale, seed: u64) -> Report {
             deadline,
         );
         let delivered = sim.client.stack.conn(id).map_or(0, |c| c.delivered_bytes());
-        (done, delivered, sim.now, metrics::snapshot().since(&before))
+        (
+            done.held(),
+            delivered,
+            sim.now,
+            metrics::snapshot().since(&before),
+        )
     };
 
     let (clean_done, _, clean_finish, clean_delta) = run_tcp(None);

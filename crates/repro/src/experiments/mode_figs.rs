@@ -80,6 +80,7 @@ fn run_panel(p: &Panel, seed: u64) -> (PacketLog, PacketLog, u64, bool) {
         },
         Time::from_secs(90),
     );
+    let done = done.held();
     // Close our side and drain the teardown, so the FIN exchange on
     // every subflow (including the backup) appears in the logs — the
     // paper's Figure 15 timelines end with FINs, and Figure 16's tail

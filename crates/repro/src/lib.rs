@@ -13,10 +13,17 @@ pub mod experiments;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod supervise;
 
 pub use registry::{ExperimentSpec, REGISTRY};
 pub use report::{Claim, Report, Scale};
-pub use runner::{derive_seed, run_specs, run_specs_with, RunOutcome, SeedPolicy};
+pub use runner::{
+    derive_seed, run_specs, run_specs_supervised, run_specs_with, RunOutcome, SeedPolicy,
+};
+pub use supervise::{
+    planted_find, repro_command, repro_test_snippet, supervise_one, RunStatus, SuperviseConfig,
+    SupervisedRun, PLANTED,
+};
 
 /// All paper experiment ids in paper order, derived from [`REGISTRY`].
 pub const ALL_EXPERIMENTS: [&str; 20] = registry::collect_ids::<20>(false);
@@ -30,9 +37,14 @@ pub const EXTENSION_EXPERIMENTS: [&str; 8] = registry::collect_ids::<8>(true);
 ///
 /// This is the single-run entry point; the parallel runner
 /// ([`run_specs`]) layers per-experiment seed derivation and metric
-/// bracketing on top of the same registry.
+/// bracketing on top of the same registry. The planted failure specs
+/// ([`supervise::PLANTED`]) resolve here too, so quarantine repro
+/// commands and snippets replay through the same door — but they are
+/// not in [`REGISTRY`] and never run as part of a campaign.
 pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> Option<Report> {
-    registry::find(id).map(|spec| (spec.run)(scale, seed))
+    registry::find(id)
+        .or_else(|| supervise::planted_find(id))
+        .map(|spec| (spec.run)(scale, seed))
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--full] [--seed N] [--jobs N] [--markdown FILE] [--metrics FILE] <experiment>... | all | --list
+//! repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all
 //! repro conformance [--cases N] [--seed N] [--jobs N]
 //! ```
 //!
@@ -10,13 +11,21 @@
 //! (verbatim by default; mixed per-id under `--derive-seeds`), so
 //! reports are byte-identical for every `--jobs` value.
 //!
+//! `--supervise` wraps every run in the panic-isolating, watchdog-armed
+//! supervisor: a panicking, livelocked, or runaway experiment is
+//! quarantined (forensics and a paste-ready repro on stderr, JSON
+//! sidecar via `--quarantine FILE`, exit code 3) while the rest of the
+//! campaign completes and the surviving sections render byte-identical
+//! to an unsupervised run.
+//!
 //! `repro conformance` runs the protocol-conformance fuzz campaign
 //! instead of paper experiments: `--cases` seeded scenarios with the
 //! invariant oracles attached. On any violation it greedily shrinks the
 //! first violating case and prints a paste-ready reproducer test.
 
 use mpwifi_repro::{
-    registry, runner, runner::SeedPolicy, Scale, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, REGISTRY,
+    registry, runner, runner::SeedPolicy, supervise, Scale, SuperviseConfig, SupervisedRun,
+    ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, REGISTRY,
 };
 use std::io::Write as _;
 
@@ -32,11 +41,62 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut cases = 200usize;
+    let mut supervised = false;
+    let mut sup_cfg = SuperviseConfig::default();
+    let mut quarantine_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--supervise" => supervised = true,
+            "--retries" => {
+                i += 1;
+                supervised = true;
+                sup_cfg.retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--retries needs an integer"));
+            }
+            "--max-events" => {
+                i += 1;
+                supervised = true;
+                sup_cfg.max_events = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--max-events needs a positive integer")),
+                );
+            }
+            "--max-wall-ms" => {
+                i += 1;
+                supervised = true;
+                sup_cfg.wall_limit_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--max-wall-ms needs a positive integer")),
+                );
+            }
+            "--stall-ttl-s" => {
+                i += 1;
+                supervised = true;
+                let secs: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--stall-ttl-s needs a positive integer"));
+                sup_cfg.stall_ttl_us = Some(secs.saturating_mul(1_000_000));
+            }
+            "--quarantine" => {
+                i += 1;
+                supervised = true;
+                quarantine_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--quarantine needs a path")),
+                );
+            }
             "--seed" => {
                 i += 1;
                 seed = args
@@ -106,7 +166,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro conformance [--cases N] [--seed N] [--jobs N]"
+                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--cases N] [--seed N] [--jobs N]"
                 );
                 return;
             }
@@ -145,11 +205,13 @@ fn main() {
     }
 
     // Resolve targets against the registry up front so a typo fails
-    // before any experiment burns time.
+    // before any experiment burns time. The planted failure specs
+    // resolve too (for supervision smoke tests and quarantine repro
+    // commands) but never ride along with `all`/`extensions`.
     let mut failures = 0usize;
     let mut specs: Vec<&'static registry::ExperimentSpec> = Vec::new();
     for id in &targets {
-        match registry::find(id) {
+        match registry::find(id).or_else(|| supervise::planted_find(id)) {
             Some(spec) => specs.push(spec),
             None => {
                 eprintln!("unknown experiment: {id}");
@@ -158,7 +220,34 @@ fn main() {
         }
     }
 
-    let outcomes = runner::run_specs_with(&specs, scale, seed, jobs, policy);
+    let (outcomes, quarantined) = if supervised {
+        let runs = runner::run_specs_supervised(&specs, scale, seed, jobs, policy, &sup_cfg);
+        let mut outcomes = Vec::new();
+        let mut quarantined = Vec::new();
+        for run in runs {
+            if run.flaky {
+                eprintln!(
+                    "note: {} completed only on retry {} (derived seed {}); flagged flaky",
+                    run.id,
+                    run.attempts - 1,
+                    run.seed
+                );
+            }
+            match run.outcome {
+                Some(_) => outcomes.push(run),
+                None => quarantined.push(run),
+            }
+        }
+        (
+            outcomes.into_iter().filter_map(|run| run.outcome).collect(),
+            quarantined,
+        )
+    } else {
+        (
+            runner::run_specs_with(&specs, scale, seed, jobs, policy),
+            Vec::new(),
+        )
+    };
     for o in &outcomes {
         println!("{}", o.report.render_text());
         println!("({} finished in {:.1?}, seed {})\n", o.id, o.wall, o.seed);
@@ -211,9 +300,120 @@ fn main() {
         ok,
         outcomes.len()
     );
+
+    if !quarantined.is_empty() {
+        for run in &quarantined {
+            eprintln!("{}", quarantine_block(run, seed, scale, policy));
+        }
+        eprintln!(
+            "{} run(s) quarantined ({} healthy section(s) rendered above)",
+            quarantined.len(),
+            outcomes.len()
+        );
+    }
+    if let Some(path) = &quarantine_path {
+        std::fs::write(path, quarantine_json(&quarantined, seed, scale, policy))
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        println!("wrote quarantine report to {path}");
+    }
+
+    if !quarantined.is_empty() {
+        std::process::exit(3);
+    }
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// The stderr block for one quarantined run: status, forensics, and a
+/// paste-ready repro command plus test snippet.
+fn quarantine_block(
+    run: &SupervisedRun,
+    root_seed: u64,
+    scale: Scale,
+    policy: SeedPolicy,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "!!!! {} — QUARANTINED ({}) after {} attempt(s), {:.1?}\n",
+        run.id,
+        run.status.label(),
+        run.attempts,
+        run.wall
+    ));
+    if let Some(forensics) = run.status.forensics() {
+        for line in forensics.trim_end().lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
+    if let Some(m) = &run.partial_metrics {
+        out.push_str(&format!(
+            "  partial work before failure: {} events, {} frames, {} payload bytes\n",
+            m.events_popped, m.frames_forwarded, m.bytes_delivered
+        ));
+    }
+    out.push_str(&format!(
+        "  repro: {}\n",
+        supervise::repro_command(run.id, root_seed, scale, policy == SeedPolicy::Derived)
+    ));
+    out.push_str("  or paste into a test:\n");
+    for line in supervise::repro_test_snippet(run.id, run.seed, scale).lines() {
+        out.push_str(&format!("    {line}\n"));
+    }
+    out
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the quarantine sidecar: one JSON object per quarantined run
+/// with its status, forensics, and repro command. `[]` when the
+/// campaign was healthy, so the file's presence alone never signals
+/// failure — its contents (and exit code 3) do.
+fn quarantine_json(
+    quarantined: &[SupervisedRun],
+    root_seed: u64,
+    scale: Scale,
+    policy: SeedPolicy,
+) -> String {
+    let mut out = String::from("[\n");
+    for (i, run) in quarantined.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"seed\": {}, \"status\": \"{}\", \
+             \"attempts\": {}, \"wall_ms\": {:.3}, \"flaky\": {}, \
+             \"forensics\": \"{}\", \"repro\": \"{}\"}}{}\n",
+            run.id,
+            run.seed,
+            run.status.label(),
+            run.attempts,
+            run.wall.as_secs_f64() * 1e3,
+            run.flaky,
+            json_escape(run.status.forensics().unwrap_or("")),
+            json_escape(&supervise::repro_command(
+                run.id,
+                root_seed,
+                scale,
+                policy == SeedPolicy::Derived
+            )),
+            if i + 1 < quarantined.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// Run the conformance fuzz campaign and exit non-zero on violations.

@@ -19,9 +19,24 @@
 //! of completion order. Only wall time varies run-to-run, and it is
 //! deliberately kept out of [`Report`] rendering — it lives here, in
 //! [`RunOutcome`], for the `--metrics` JSON sidecar.
+//!
+//! The pool is **supervision-aware**: [`run_specs_supervised`] wraps
+//! every run in the panic-isolating supervisor (`crate::supervise`),
+//! and the plain [`run_specs`]/[`run_specs_with`] entry points are the
+//! same pool with panic isolation only — a panicking experiment
+//! degrades into a failed section instead of killing the campaign. The
+//! result mutex recovers from poisoning and a slot no worker filled is
+//! synthesized as a quarantined outcome, never unwrapped.
+
+// The old pool unwrapped its slot mutex and slot options, so one
+// panicking experiment (poisoning the lock, or dying before recording
+// its slot) took the whole campaign down with it. Keep that class of
+// bug out structurally.
+#![deny(clippy::unwrap_used)]
 
 use crate::registry::ExperimentSpec;
 use crate::report::{Report, Scale};
+use crate::supervise::{supervise_one, RunStatus, SuperviseConfig, SupervisedRun};
 use mpwifi_simcore::RunMetrics;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -98,7 +113,7 @@ pub fn derive_seed(root: u64, id: &str) -> u64 {
 }
 
 /// Run one spec with metric bracketing on the current thread.
-fn run_one(spec: &ExperimentSpec, scale: Scale, seed: u64) -> RunOutcome {
+pub(crate) fn run_one(spec: &ExperimentSpec, scale: Scale, seed: u64) -> RunOutcome {
     mpwifi_simcore::metrics::reset();
     let start = std::time::Instant::now();
     let mut report = (spec.run)(scale, seed);
@@ -126,7 +141,11 @@ pub fn run_specs(
     run_specs_with(specs, scale, root_seed, jobs, SeedPolicy::default())
 }
 
-/// [`run_specs`] with an explicit [`SeedPolicy`].
+/// [`run_specs`] with an explicit [`SeedPolicy`]: the supervised pool
+/// with panic isolation only (no budgets, no retries). A panicking
+/// experiment comes back as a section whose single claim fails and
+/// whose method line carries the panic message — the campaign and its
+/// healthy sections are untouched.
 pub fn run_specs_with(
     specs: &[&'static ExperimentSpec],
     scale: Scale,
@@ -134,25 +153,120 @@ pub fn run_specs_with(
     jobs: usize,
     policy: SeedPolicy,
 ) -> Vec<RunOutcome> {
+    run_specs_supervised(
+        specs,
+        scale,
+        root_seed,
+        jobs,
+        policy,
+        &SuperviseConfig::unlimited(),
+    )
+    .into_iter()
+    .zip(specs)
+    .map(|(run, spec)| outcome_or_placeholder(run, spec))
+    .collect()
+}
+
+/// Lock a results mutex, recovering from poisoning. The data under the
+/// lock is per-slot `Option`s written exactly once each, so a poisoned
+/// lock (a worker panicked while holding it) leaves every written slot
+/// intact and every unwritten slot `None` — both states this pool
+/// already handles.
+fn lock_slots<'a, T>(
+    slots: &'a Mutex<Vec<Option<T>>>,
+) -> std::sync::MutexGuard<'a, Vec<Option<T>>> {
+    slots
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The [`SupervisedRun`] synthesized for a slot no worker filled: the
+/// worker died (outside the supervisor's `catch_unwind`, e.g. a
+/// double panic) before recording an outcome.
+fn missing_slot_run(spec: &'static ExperimentSpec, seed: u64) -> SupervisedRun {
+    SupervisedRun {
+        id: spec.id,
+        seed,
+        attempts: 1,
+        flaky: false,
+        status: RunStatus::Panicked {
+            message: "worker thread died before recording an outcome".to_string(),
+        },
+        outcome: None,
+        wall: Duration::ZERO,
+        partial_metrics: None,
+    }
+}
+
+/// Convert a supervised run into a plain [`RunOutcome`] for the
+/// unsupervised entry points: completed runs pass through; quarantined
+/// runs become a placeholder report whose single claim fails.
+fn outcome_or_placeholder(run: SupervisedRun, spec: &'static ExperimentSpec) -> RunOutcome {
+    match run.outcome {
+        Some(outcome) => outcome,
+        None => {
+            let mut report = Report::new(
+                spec.id,
+                spec.title,
+                format!("run quarantined ({})", run.status.label()),
+            );
+            report.claim(
+                "experiment ran to completion",
+                "produces a report",
+                run.status.label(),
+                false,
+            );
+            if let Some(forensics) = run.status.forensics() {
+                report.block(format!("quarantine forensics:\n{}", forensics.trim_end()));
+            }
+            report.metrics = Some(run.partial_metrics.unwrap_or_default());
+            RunOutcome {
+                id: run.id,
+                seed: run.seed,
+                metrics: run.partial_metrics.unwrap_or_default(),
+                wall: run.wall,
+                report,
+            }
+        }
+    }
+}
+
+/// The supervised pool: shard `specs` across `jobs` workers, each run
+/// wrapped in the panic-isolating, watchdog-armed supervisor. Results
+/// come back in input order; for all-Completed campaigns the reports
+/// are byte-identical to the unsupervised pool's for any `jobs` value.
+pub fn run_specs_supervised(
+    specs: &[&'static ExperimentSpec],
+    scale: Scale,
+    root_seed: u64,
+    jobs: usize,
+    policy: SeedPolicy,
+    cfg: &SuperviseConfig,
+) -> Vec<SupervisedRun> {
     let jobs = jobs.clamp(1, specs.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<RunOutcome>>> =
+    let slots: Mutex<Vec<Option<SupervisedRun>>> =
         Mutex::new((0..specs.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
-                let outcome = run_one(spec, scale, policy.seed_for(root_seed, spec.id));
-                slots.lock().unwrap()[i] = Some(outcome);
+                let run = supervise_one(spec, scale, policy.seed_for(root_seed, spec.id), cfg);
+                lock_slots(&slots)[i] = Some(run);
             });
         }
     });
+    let slots = match slots.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
     slots
-        .into_inner()
-        .unwrap()
         .into_iter()
-        .map(|o| o.expect("worker pool completed every slot"))
+        .zip(specs)
+        .map(|(slot, spec)| {
+            slot.unwrap_or_else(|| missing_slot_run(spec, policy.seed_for(root_seed, spec.id)))
+        })
         .collect()
 }
 
@@ -201,9 +315,63 @@ pub fn metrics_json(outcomes: &[RunOutcome]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::registry;
+    use crate::supervise::planted_find;
+
+    #[test]
+    fn planted_panic_degrades_to_failed_section_not_dead_pool() {
+        // Regression: the old pool unwrapped the slot mutex, so a
+        // panicking experiment on any worker poisoned the lock and
+        // killed the campaign. Now the panic is quarantined and the
+        // healthy neighbours' reports are untouched.
+        let specs: Vec<&'static registry::ExperimentSpec> = vec![
+            registry::find("table2").unwrap(),
+            planted_find("planted-panic").unwrap(),
+            registry::find("fig9").unwrap(),
+        ];
+        let outcomes = run_specs_with(&specs, Scale::Quick, 42, 2, SeedPolicy::Campaign);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[1].id, "planted-panic");
+        assert!(!outcomes[1].report.all_hold(), "quarantined run must fail");
+        assert!(outcomes[1].report.method.contains("panicked"));
+        for healthy in [&outcomes[0], &outcomes[2]] {
+            let direct = run_specs(
+                &[specs[if healthy.id == "table2" { 0 } else { 2 }]],
+                Scale::Quick,
+                42,
+                1,
+            );
+            assert_eq!(
+                healthy.report.render_text(),
+                direct[0].report.render_text(),
+                "healthy sections must be byte-identical next to a quarantined one"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_pool_fills_every_slot_for_any_jobs() {
+        let specs: Vec<&'static registry::ExperimentSpec> = vec![
+            registry::find("table2").unwrap(),
+            planted_find("planted-panic").unwrap(),
+        ];
+        for jobs in [1, 2, 4] {
+            let runs = run_specs_supervised(
+                &specs,
+                Scale::Quick,
+                42,
+                jobs,
+                SeedPolicy::Campaign,
+                &SuperviseConfig::unlimited(),
+            );
+            assert_eq!(runs.len(), 2);
+            assert!(matches!(runs[0].status, RunStatus::Completed));
+            assert!(runs[1].status.is_failure());
+        }
+    }
 
     #[test]
     fn derive_seed_is_order_independent() {

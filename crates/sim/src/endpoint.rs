@@ -14,6 +14,7 @@ use mpwifi_tcp::conn::TcpConfig;
 use mpwifi_tcp::segment::Segment;
 use mpwifi_tcp::stack::{SocketId, TcpStack};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// One host's transport layer, driven by [`crate::Sim`].
 ///
@@ -42,6 +43,64 @@ pub trait Endpoint: 'static {
     /// (iproute-style restore). Multipath endpoints use this to rejoin
     /// the restored path; single-path hosts ignore it.
     fn notify_iface_up(&mut self, _now: Time, _iface: Addr) {}
+
+    /// Multi-line transport-health report for stall forensics: one line
+    /// per connection (and per subflow for multipath hosts) naming the
+    /// interface and progress counters. Default: empty (no report).
+    fn health(&self) -> String {
+        String::new()
+    }
+}
+
+/// Render one `TcpStack` as health lines (shared by both TCP hosts).
+fn tcp_stack_health(stack: &TcpStack) -> String {
+    let mut out = String::new();
+    for id in stack.socket_ids() {
+        let Some(conn) = stack.conn(id) else { continue };
+        let _ = writeln!(
+            out,
+            "tcp {}:{} — {}acked {} B, delivered {} B",
+            id.0,
+            id.1,
+            if conn.is_closed() { "closed, " } else { "" },
+            conn.acked_bytes(),
+            conn.delivered_bytes(),
+        );
+    }
+    out
+}
+
+/// Render one MPTCP connection's subflows as health lines (shared by
+/// both MPTCP hosts). This is where a stalled run's forensics name the
+/// dead subflow.
+fn mptcp_conn_health(out: &mut String, id: usize, conn: &mpwifi_mptcp::MptcpConnection) {
+    let _ = writeln!(
+        out,
+        "mptcp conn {id} — {}delivered {} B, {} subflows",
+        if conn.is_closed() { "closed, " } else { "" },
+        conn.delivered_bytes(),
+        conn.subflow_stats().len(),
+    );
+    for s in conn.subflow_stats() {
+        let _ = writeln!(
+            out,
+            "  subflow {} (id {}){}{}: {}, acked {} B, delivered {} B{}",
+            crate::iface_name(s.iface),
+            s.addr_id,
+            if s.is_backup { " [backup]" } else { "" },
+            if s.dead { " [DEAD]" } else { "" },
+            match s.established_at {
+                Some(t) => format!("established at {t}"),
+                None => "never established".to_string(),
+            },
+            s.bytes_acked,
+            s.bytes_delivered,
+            match s.srtt {
+                Some(rtt) => format!(", srtt {rtt}"),
+                None => String::new(),
+            },
+        );
+    }
 }
 
 /// Single-path TCP client: a `TcpStack` bound to one interface.
@@ -90,6 +149,14 @@ impl Endpoint for TcpClientHost {
 
     fn on_timers(&mut self, now: Time) {
         self.stack.on_timers(now);
+    }
+
+    fn health(&self) -> String {
+        format!(
+            "bound to {}\n{}",
+            crate::iface_name(self.iface),
+            tcp_stack_health(&self.stack)
+        )
     }
 }
 
@@ -151,6 +218,10 @@ impl Endpoint for TcpServerHost {
     fn on_timers(&mut self, now: Time) {
         self.stack.on_timers(now);
     }
+
+    fn health(&self) -> String {
+        tcp_stack_health(&self.stack)
+    }
 }
 
 /// MPTCP client host (wraps `mpwifi-mptcp`'s client endpoint).
@@ -209,6 +280,14 @@ impl Endpoint for MptcpClientHost {
     fn notify_iface_up(&mut self, now: Time, iface: Addr) {
         self.mp.notify_iface_up(now, iface);
     }
+
+    fn health(&self) -> String {
+        let mut out = String::new();
+        for id in 0..self.mp.len() {
+            mptcp_conn_health(&mut out, id, self.mp.conn(id));
+        }
+        out
+    }
 }
 
 /// MPTCP server host (wraps `mpwifi-mptcp`'s server endpoint).
@@ -242,6 +321,14 @@ impl Endpoint for MptcpServerHost {
 
     fn on_timers(&mut self, now: Time) {
         self.mp.on_timers(now);
+    }
+
+    fn health(&self) -> String {
+        let mut out = String::new();
+        for id in 0..self.mp.len() {
+            mptcp_conn_health(&mut out, id, self.mp.conn(id));
+        }
+        out
     }
 }
 

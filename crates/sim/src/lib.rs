@@ -32,7 +32,7 @@ pub use check::{SimObserver, TxHost};
 pub use endpoint::{Endpoint, MptcpClientHost, MptcpServerHost, TcpClientHost, TcpServerHost};
 pub use link::{LinkSpec, PathPair, ServiceSpec};
 pub use log::{PacketDir, PacketEvent, PacketLog};
-pub use world::{ScriptEvent, Sim, SimBuilder};
+pub use world::{RunUntil, ScriptEvent, Sim, SimBuilder, StallSnapshot, STALL_CLASSIFY_WINDOW};
 
 use mpwifi_netem::Addr;
 
@@ -44,3 +44,16 @@ pub const LTE_ADDR: Addr = Addr(2);
 pub const SERVER_ADDR: Addr = Addr(10);
 /// The server's listening port for measurement transfers.
 pub const SERVER_PORT: u16 = 443;
+
+/// Human name of a client interface address, for forensic reports.
+pub fn iface_name(addr: Addr) -> &'static str {
+    if addr == WIFI_ADDR {
+        "wifi"
+    } else if addr == LTE_ADDR {
+        "lte"
+    } else if addr == SERVER_ADDR {
+        "server"
+    } else {
+        "unknown"
+    }
+}

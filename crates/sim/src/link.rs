@@ -170,6 +170,12 @@ impl PathPair {
         self.down.set_up(up);
     }
 
+    /// Frames currently queued or in flight across both directions.
+    /// Stall forensics report this as the link's queue depth.
+    pub fn backlog(&self) -> usize {
+        self.up.backlog() + self.down.backlog()
+    }
+
     /// Earliest pending frame exit in either direction.
     pub fn next_ready(&self) -> Option<Time> {
         match (self.up.next_ready(), self.down.next_ready()) {

@@ -49,6 +49,12 @@ impl PacketLog {
         &self.events
     }
 
+    /// Time of the most recent packet in either direction, if any.
+    /// Stall forensics use this to show when an interface went dark.
+    pub fn last_activity(&self) -> Option<Time> {
+        self.events.last().map(|e| e.at)
+    }
+
     /// Number of packets logged.
     pub fn len(&self) -> usize {
         self.events.len()

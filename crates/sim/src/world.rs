@@ -7,9 +7,10 @@ use crate::link::{LinkSpec, PathPair};
 use crate::log::{PacketDir, PacketLog};
 use crate::{LTE_ADDR, WIFI_ADDR};
 use mpwifi_netem::{Addr, FaultKind, FaultPlan, Frame};
-use mpwifi_simcore::{metrics, DetRng, Dur, Time};
+use mpwifi_simcore::{metrics, supervise, DetRng, Dur, Time};
 use mpwifi_tcp::segment::Segment;
 use mpwifi_tcp::SegmentBufPool;
+use std::fmt::Write as _;
 
 /// A scripted mid-run event (the paper's Figure 15 failure injections).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,180 @@ pub enum ScriptEvent {
     /// compiler schedules one at every fault onset so RunMetrics'
     /// `faults_injected` reflects the plan regardless of fault kind.
     FaultMark,
+}
+
+/// Outcome of [`Sim::run_until`]: did the predicate hold, and if not,
+/// was the run still making delivery progress when time ran out?
+///
+/// Replaces the old `bool` return (`true` iff the predicate held);
+/// [`RunUntil::held`] is the drop-in migration for existing callers,
+/// and [`Sim::run_until_bool`] remains as a deprecated shim for one
+/// release.
+#[derive(Debug)]
+pub enum RunUntil {
+    /// The predicate held before the deadline.
+    Done,
+    /// The deadline passed (or every remaining event lies beyond it)
+    /// while the delivery watermark was still advancing within the
+    /// stall window. `progressing` is `false` only for runs that timed
+    /// out before delivering any payload at all — too young for a
+    /// stall verdict, but demonstrably not moving data.
+    Deadline {
+        /// Whether any payload was delivered during the run.
+        progressing: bool,
+    },
+    /// No delivery-watermark advance for at least the stall window (or
+    /// the simulation quiesced with the predicate false): the run is
+    /// stuck, not slow, and `snapshot` records the forensic state at
+    /// classification time.
+    Stalled {
+        /// Forensic capture; boxed to keep the happy-path variant small.
+        snapshot: Box<StallSnapshot>,
+    },
+}
+
+impl RunUntil {
+    /// Did the predicate hold? Exactly the old `bool` return value.
+    pub fn held(&self) -> bool {
+        matches!(self, RunUntil::Done)
+    }
+
+    /// Was the run classified as stalled?
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, RunUntil::Stalled { .. })
+    }
+
+    /// The forensic snapshot, when stalled.
+    pub fn snapshot(&self) -> Option<&StallSnapshot> {
+        match self {
+            RunUntil::Stalled { snapshot } => Some(snapshot),
+            _ => None,
+        }
+    }
+}
+
+/// Default stall window: a run whose delivery watermark has not moved
+/// for this much *simulated* time at its deadline is classified
+/// [`RunUntil::Stalled`] rather than [`RunUntil::Deadline`]. Orders of
+/// magnitude above any healthy RTO backoff gap in the study's
+/// scenarios; override per-sim with [`SimBuilder::stall_after`].
+pub const STALL_CLASSIFY_WINDOW: Dur = Dur::from_secs(5);
+
+/// Forensic state captured when a run is classified as stalled (by
+/// [`Sim::run_until`]) or killed by the supervision watchdog (see
+/// [`mpwifi_simcore::supervise`]). Everything here is a deterministic
+/// function of `(scenario, seed)`, so a snapshot is stable evidence,
+/// not a heisen-log.
+#[derive(Debug, Clone)]
+pub struct StallSnapshot {
+    /// Why the snapshot was taken: `no-progress`, `quiesced`, or a
+    /// watchdog breach label (`event-budget`, `wall-clock`, `stall`).
+    pub reason: String,
+    /// Sim time at capture.
+    pub now: Time,
+    /// Sim time of the last delivery-watermark advance.
+    pub last_advance: Time,
+    /// Cumulative payload bytes this sim delivered to its endpoints.
+    pub delivered_bytes: u64,
+    /// The stall window the classification used.
+    pub stall_window: Dur,
+    /// Scripted events already fired (fault-plan position numerator).
+    pub script_fired: u64,
+    /// Scripted events still pending.
+    pub script_pending: usize,
+    /// Time of the next pending scripted event.
+    pub next_script: Option<Time>,
+    /// WiFi link: frames queued or in flight, and next frame exit.
+    pub wifi_queue: (usize, Option<Time>),
+    /// LTE link: frames queued or in flight, and next frame exit.
+    pub lte_queue: (usize, Option<Time>),
+    /// Next pending client-side timer.
+    pub client_timer: Option<Time>,
+    /// Next pending server-side timer.
+    pub server_timer: Option<Time>,
+    /// Last packet seen on the client's WiFi interface.
+    pub wifi_last_activity: Option<Time>,
+    /// Last packet seen on the client's LTE interface.
+    pub lte_last_activity: Option<Time>,
+    /// Transport-layer health lines from the client endpoint.
+    pub client_state: String,
+    /// Transport-layer health lines from the server endpoint.
+    pub server_state: String,
+}
+
+impl StallSnapshot {
+    fn render_opt(t: Option<Time>) -> String {
+        t.map_or_else(|| "-".to_string(), |t| t.to_string())
+    }
+
+    fn render_iface(&self, out: &mut String, name: &str, last: Option<Time>) {
+        let stale = match last {
+            Some(t) => self.now >= t + self.stall_window,
+            None => self.now >= Time::ZERO + self.stall_window,
+        };
+        let _ = writeln!(
+            out,
+            "iface {name}: last activity {}{}",
+            last.map_or_else(|| "never".to_string(), |t| t.to_string()),
+            if stale {
+                format!(
+                    " (stale for {})",
+                    self.now.saturating_since(last.unwrap_or(Time::ZERO))
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    /// Multi-line forensic rendering: the failure artifact embedded in
+    /// quarantine sidecars and printed for stalled runs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stall[{}]: now {}, last delivery advance {} (idle {}), {} payload bytes delivered",
+            self.reason,
+            self.now,
+            self.last_advance,
+            self.now.saturating_since(self.last_advance),
+            self.delivered_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "event queue: wifi {} frames (next {}), lte {} frames (next {}), \
+             client timer {}, server timer {}",
+            self.wifi_queue.0,
+            Self::render_opt(self.wifi_queue.1),
+            self.lte_queue.0,
+            Self::render_opt(self.lte_queue.1),
+            Self::render_opt(self.client_timer),
+            Self::render_opt(self.server_timer),
+        );
+        let _ = writeln!(
+            out,
+            "fault plan: {} scripted events fired, {} pending (next {})",
+            self.script_fired,
+            self.script_pending,
+            Self::render_opt(self.next_script),
+        );
+        self.render_iface(&mut out, "wifi", self.wifi_last_activity);
+        self.render_iface(&mut out, "lte", self.lte_last_activity);
+        for (host, state) in [
+            ("client", &self.client_state),
+            ("server", &self.server_state),
+        ] {
+            if state.is_empty() {
+                let _ = writeln!(out, "{host}: (no health report)");
+            } else {
+                let _ = writeln!(out, "{host}:");
+                for line in state.lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
+        out
+    }
 }
 
 /// The testbed: client ⇄ {WiFi link, LTE link} ⇄ server.
@@ -77,6 +252,16 @@ pub struct Sim<C: Endpoint, S: Endpoint> {
     /// Optional conformance witness (see [`crate::check`]). `None` in
     /// every measurement run; costs one branch per step when absent.
     observer: Option<Box<dyn SimObserver<C, S>>>,
+    /// Cumulative payload bytes delivered to either endpoint — the
+    /// delivery watermark the stall detector and watchdog observe.
+    delivered_bytes: u64,
+    /// Sim time of the last watermark advance.
+    last_advance: Time,
+    /// Stall window override; `None` uses [`STALL_CLASSIFY_WINDOW`] for
+    /// classification at the deadline and never exits early.
+    stall_ttl: Option<Dur>,
+    /// Scripted events fired so far (fault-plan position for forensics).
+    script_fired: u64,
 }
 
 /// Named-setter builder for [`Sim`], replacing the positional
@@ -105,6 +290,7 @@ pub struct SimBuilder<'a, C: Endpoint, S: Endpoint> {
     script: Vec<(Time, ScriptEvent)>,
     wifi_faults: FaultPlan,
     lte_faults: FaultPlan,
+    stall_ttl: Option<Dur>,
 }
 
 impl<'a, C: Endpoint, S: Endpoint> SimBuilder<'a, C, S> {
@@ -152,6 +338,16 @@ impl<'a, C: Endpoint, S: Endpoint> SimBuilder<'a, C, S> {
         self
     }
 
+    /// Let [`Sim::run_until`] exit early with [`RunUntil::Stalled`] once
+    /// the delivery watermark has been flat for `window` of sim time,
+    /// instead of burning events until the deadline. Also used as the
+    /// classification window at the deadline (default:
+    /// [`STALL_CLASSIFY_WINDOW`]).
+    pub fn stall_after(mut self, window: Dur) -> Self {
+        self.stall_ttl = Some(window);
+        self
+    }
+
     /// Construct the [`Sim`]. Panics if either link spec is missing.
     pub fn build(self) -> Sim<C, S> {
         let wifi_spec = self.wifi.expect("SimBuilder: wifi link spec not set");
@@ -176,6 +372,7 @@ impl<'a, C: Endpoint, S: Endpoint> SimBuilder<'a, C, S> {
         if let Some(plan) = lte_faults {
             sim.schedule_fault_plan(LTE_ADDR, lte_spec, plan);
         }
+        sim.stall_ttl = self.stall_ttl;
         sim
     }
 }
@@ -192,6 +389,7 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
             script: Vec::new(),
             wifi_faults: FaultPlan::new(),
             lte_faults: FaultPlan::new(),
+            stall_ttl: None,
         }
     }
 
@@ -235,6 +433,10 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
             to_client_wifi: Vec::new(),
             to_client_lte: Vec::new(),
             observer: None,
+            delivered_bytes: 0,
+            last_advance: Time::ZERO,
+            stall_ttl: None,
+            script_fired: 0,
         }
     }
 
@@ -358,6 +560,7 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
 
     fn apply_script(&mut self) {
         let due = self.script.partition_point(|&(t, _)| t <= self.now);
+        self.script_fired += due as u64;
         for (_, ev) in self.script.drain(..due).collect::<Vec<_>>() {
             match ev {
                 ScriptEvent::CutIface(iface) => self.pair_mut(iface).set_up(false),
@@ -428,6 +631,13 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
         metrics::record_event_pop();
         debug_assert!(next >= self.now, "time went backwards");
         self.now = self.now.max(next);
+        if let Some(breach) = supervise::tick(self.now.as_micros(), self.delivered_bytes) {
+            let snap = self.forensic_snapshot(breach.label());
+            std::panic::panic_any(supervise::BreachReport {
+                breach,
+                forensics: snap.render(),
+            });
+        }
         self.apply_script();
 
         // Move frames through the links and deliver exits. Only links
@@ -455,20 +665,25 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
         }
         // Same delivery order as the pre-scratch-buffer driver: server
         // exits (wifi, lte), then client exits (wifi, lte).
-        deliver_frames(now, &mut self.to_server_wifi, None, &mut self.server);
-        deliver_frames(now, &mut self.to_server_lte, None, &mut self.server);
-        deliver_frames(
+        let mut delivered = 0u64;
+        delivered += deliver_frames(now, &mut self.to_server_wifi, None, &mut self.server);
+        delivered += deliver_frames(now, &mut self.to_server_lte, None, &mut self.server);
+        delivered += deliver_frames(
             now,
             &mut self.to_client_wifi,
             Some(&mut self.wifi_log),
             &mut self.client,
         );
-        deliver_frames(
+        delivered += deliver_frames(
             now,
             &mut self.to_client_lte,
             Some(&mut self.lte_log),
             &mut self.client,
         );
+        if delivered > 0 {
+            self.delivered_bytes += delivered;
+            self.last_advance = now;
+        }
 
         self.client.on_timers(now);
         self.server.on_timers(now);
@@ -480,21 +695,98 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
     }
 
     /// Run until `pred` holds, the simulation quiesces, or `deadline`
-    /// passes. Returns `true` iff the predicate held. The clock never
-    /// advances past `deadline` (a step whose next event lies beyond it
-    /// is not taken), so callers can treat `deadline` as exact.
-    pub fn run_until<F: FnMut(&mut Self) -> bool>(&mut self, mut pred: F, deadline: Time) -> bool {
+    /// passes. The clock never advances past `deadline` (a step whose
+    /// next event lies beyond it is not taken), so callers can treat
+    /// `deadline` as exact.
+    ///
+    /// When the predicate does not hold the result distinguishes a run
+    /// that timed out *while still delivering payload* —
+    /// [`RunUntil::Deadline`] — from one whose delivery watermark had
+    /// been flat for the stall window ([`SimBuilder::stall_after`], or
+    /// [`STALL_CLASSIFY_WINDOW`] by default) — [`RunUntil::Stalled`],
+    /// with a forensic [`StallSnapshot`]. With an explicit
+    /// `stall_after` window the run also *exits early* at the first
+    /// flat window instead of burning events until the deadline.
+    pub fn run_until<F: FnMut(&mut Self) -> bool>(
+        &mut self,
+        mut pred: F,
+        deadline: Time,
+    ) -> RunUntil {
         loop {
             if pred(self) {
-                return true;
+                return RunUntil::Done;
             }
             if self.now >= deadline || self.next_event().is_none_or(|t| t > deadline) {
-                return false;
+                return self.classify_timeout();
+            }
+            if let Some(window) = self.stall_ttl {
+                if self.delivered_bytes > 0 && self.now >= self.last_advance + window {
+                    return RunUntil::Stalled {
+                        snapshot: Box::new(self.forensic_snapshot("no-progress")),
+                    };
+                }
             }
             if !self.step() {
-                return pred(self);
+                return if pred(self) {
+                    RunUntil::Done
+                } else {
+                    RunUntil::Stalled {
+                        snapshot: Box::new(self.forensic_snapshot("quiesced")),
+                    }
+                };
             }
         }
+    }
+
+    /// Deprecated alias for `run_until(..).held()`, keeping the old
+    /// `bool`-returning signature alive for one release.
+    #[deprecated(note = "use run_until and RunUntil::held")]
+    pub fn run_until_bool<F: FnMut(&mut Self) -> bool>(&mut self, pred: F, deadline: Time) -> bool {
+        self.run_until(pred, deadline).held()
+    }
+
+    /// Classification at the deadline: stalled if the watermark has
+    /// been flat for the stall window, otherwise a plain deadline miss.
+    fn classify_timeout(&mut self) -> RunUntil {
+        let window = self.stall_ttl.unwrap_or(STALL_CLASSIFY_WINDOW);
+        if self.delivered_bytes > 0 && self.now >= self.last_advance + window {
+            RunUntil::Stalled {
+                snapshot: Box::new(self.forensic_snapshot("no-progress")),
+            }
+        } else {
+            RunUntil::Deadline {
+                progressing: self.delivered_bytes > 0,
+            }
+        }
+    }
+
+    /// Capture the forensic state used by stall classification and the
+    /// supervision watchdog. Cheap relative to a breach (strings only),
+    /// and entirely deterministic in `(scenario, seed)`.
+    pub fn forensic_snapshot(&self, reason: &str) -> StallSnapshot {
+        StallSnapshot {
+            reason: reason.to_string(),
+            now: self.now,
+            last_advance: self.last_advance,
+            delivered_bytes: self.delivered_bytes,
+            stall_window: self.stall_ttl.unwrap_or(STALL_CLASSIFY_WINDOW),
+            script_fired: self.script_fired,
+            script_pending: self.script.len(),
+            next_script: self.script.first().map(|&(t, _)| t),
+            wifi_queue: (self.wifi.backlog(), self.wifi.next_ready()),
+            lte_queue: (self.lte.backlog(), self.lte.next_ready()),
+            client_timer: self.client.next_timer(),
+            server_timer: self.server.next_timer(),
+            wifi_last_activity: self.wifi_log.last_activity(),
+            lte_last_activity: self.lte_log.last_activity(),
+            client_state: self.client.health(),
+            server_state: self.server.health(),
+        }
+    }
+
+    /// Cumulative payload bytes delivered to either endpoint.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
     }
 
     /// Run until the simulation quiesces or `deadline` passes.
@@ -513,13 +805,15 @@ fn deliver_frames<E: Endpoint>(
     frames: &mut Vec<Frame>,
     mut log: Option<&mut PacketLog>,
     host: &mut E,
-) {
+) -> u64 {
+    let mut delivered = 0u64;
     for frame in frames.drain(..) {
         if let Some(log) = log.as_deref_mut() {
             log.record(now, PacketDir::Rx, frame.payload.len());
         }
         if let Some(seg) = Segment::decode(&frame.payload) {
             metrics::record_bytes_delivered(seg.payload.len() as u64);
+            delivered += seg.payload.len() as u64;
             host.on_segment(now, &seg, frame.src, frame.dst);
         } else {
             // Undecodable wire image (corruption fault, or garbage from
@@ -528,6 +822,7 @@ fn deliver_frames<E: Endpoint>(
             metrics::record_segment_corrupted_dropped();
         }
     }
+    delivered
 }
 
 #[cfg(test)]
@@ -574,7 +869,7 @@ mod tests {
             },
             Time::from_secs(30),
         );
-        assert!(ok, "download did not complete");
+        assert!(ok.held(), "download did not complete");
         // All traffic used WiFi; LTE stayed silent.
         assert!(sim.wifi_log.len() > 0);
         assert_eq!(sim.lte_log.len(), 0);
@@ -613,7 +908,10 @@ mod tests {
             },
             Time::from_secs(20),
         );
-        assert!(!done, "single-path TCP cannot survive its only link dying");
+        assert!(
+            !done.held(),
+            "single-path TCP cannot survive its only link dying"
+        );
     }
 
     #[test]
@@ -648,7 +946,7 @@ mod tests {
             Time::from_secs(4),
         );
         // 200 kB at 200 kbit/s is ~8 s; it must NOT finish within 4 s.
-        assert!(!done, "throttle had no effect");
+        assert!(!done.held(), "throttle had no effect");
     }
 
     #[test]
@@ -704,7 +1002,7 @@ mod tests {
             },
             Time::from_secs(60),
         );
-        assert!(ok, "4 MB download did not complete");
+        assert!(ok.held(), "4 MB download did not complete");
         let m = mpwifi_simcore::metrics::snapshot();
         assert!(
             m.segments_encoded > 2_800,
@@ -828,7 +1126,7 @@ mod tests {
             Time::from_secs(60),
         );
         assert!(
-            ok,
+            ok.held(),
             "retransmissions must carry the transfer through corruption"
         );
         let got: Vec<u8> = sim
@@ -930,10 +1228,10 @@ mod tests {
         // 200 kB at 1% of 20 Mbit/s (200 kbit/s) is ~8 s: the upload must
         // NOT finish while the crush window is open...
         let done_early = sim.run_until(|sim| server_total(sim) >= 200_000, Time::from_secs(4));
-        assert!(!done_early, "crush had no effect");
+        assert!(!done_early.held(), "crush had no effect");
         // ...but completes quickly once the original rate is restored.
         let done = sim.run_until(|sim| server_total(sim) >= 200_000, Time::from_secs(10));
-        assert!(done, "rate must be restored after the crush window");
+        assert!(done.held(), "rate must be restored after the crush window");
     }
 
     #[test]
@@ -980,7 +1278,7 @@ mod tests {
             },
             Time::from_secs(120),
         );
-        assert!(ok, "download must complete over the WiFi backup");
+        assert!(ok.held(), "download must complete over the WiFi backup");
         let got: Vec<u8> = sim.client.mp.conn_mut(c).take_delivered().concat();
         assert_eq!(got, data, "stream must be intact across the failover");
         let m = metrics::snapshot();
@@ -1035,7 +1333,7 @@ mod tests {
             },
             Time::from_secs(120),
         );
-        assert!(ok, "transfer survives the blackout window");
+        assert!(ok.held(), "transfer survives the blackout window");
         let got: Vec<u8> = sim.client.mp.conn_mut(c).take_delivered().concat();
         assert_eq!(got, data, "stream intact across failover and rejoin");
         let stats = sim.client.mp.conn(c).subflow_stats();
@@ -1149,5 +1447,108 @@ mod tests {
             )
         };
         assert_eq!(run(), run(), "same seed, same scenario, same outcome");
+    }
+
+    /// Build the Figure 15g livelock: WiFi-primary MPTCP download in
+    /// Backup/OnNotify mode with a silent (unnotified) WiFi blackout
+    /// mid-transfer. Nothing ever declares the primary subflow dead, so
+    /// the backup never activates and the transfer freezes forever.
+    fn stalled_backup_sim(
+        stall_after: Option<Dur>,
+    ) -> (
+        Sim<crate::endpoint::MptcpClientHost, crate::endpoint::MptcpServerHost>,
+        usize,
+    ) {
+        use crate::endpoint::{MptcpClientHost, MptcpServerHost};
+        use crate::LTE_ADDR;
+        use mpwifi_mptcp::{BackupActivation, Mode, MptcpConfig};
+        let (wifi, lte) = specs();
+        let cfg = MptcpConfig {
+            mode: Mode::Backup,
+            backup_activation: BackupActivation::OnNotify,
+            ..MptcpConfig::default()
+        };
+        let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], 3);
+        let server = MptcpServerHost::new(SERVER_ADDR, SERVER_PORT, cfg.clone(), 5);
+        let mut b = Sim::builder(client, server)
+            .wifi(&wifi)
+            .lte(&lte)
+            .seed(42)
+            .with_faults(
+                WIFI_ADDR,
+                FaultPlan::new().blackout_forever(Time::from_millis(200)),
+            );
+        if let Some(w) = stall_after {
+            b = b.stall_after(w);
+        }
+        let mut sim = b.build();
+        let c = sim.client.open(Time::ZERO, cfg, WIFI_ADDR, SERVER_PORT);
+        (sim, c)
+    }
+
+    #[test]
+    fn silent_blackout_livelock_classifies_as_stalled_with_forensics() {
+        let (mut sim, c) = stalled_backup_sim(None);
+        let mut sent = false;
+        let result = sim.run_until(
+            |sim| {
+                if !sent {
+                    for sid in sim.server.mp.take_accepted() {
+                        sim.server
+                            .mp
+                            .conn_mut(sid)
+                            .send(Bytes::from(vec![9u8; 2_000_000]));
+                        sim.server.mp.conn_mut(sid).close(Time::ZERO);
+                        sent = true;
+                    }
+                }
+                sim.client.mp.conn(c).delivered_bytes() == 2_000_000
+            },
+            Time::from_secs(30),
+        );
+        let snap = result
+            .snapshot()
+            .expect("a frozen transfer must classify as Stalled, not Deadline");
+        assert!(sim.delivered_bytes() > 0, "the transfer started");
+        // The forensics name the interface that went dark.
+        let rendered = snap.render();
+        assert!(
+            rendered.contains("iface wifi") && rendered.contains("stale"),
+            "forensics must name the dead interface:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("subflow wifi"),
+            "health lines must list the wifi subflow:\n{rendered}"
+        );
+        assert_eq!(snap.script_fired, 2, "fault mark + cut event fired");
+    }
+
+    #[test]
+    fn stall_after_exits_early_instead_of_burning_the_deadline() {
+        let (mut sim, c) = stalled_backup_sim(Some(Dur::from_secs(3)));
+        let mut sent = false;
+        let result = sim.run_until(
+            |sim| {
+                if !sent {
+                    for sid in sim.server.mp.take_accepted() {
+                        sim.server
+                            .mp
+                            .conn_mut(sid)
+                            .send(Bytes::from(vec![9u8; 2_000_000]));
+                        sim.server.mp.conn_mut(sid).close(Time::ZERO);
+                        sent = true;
+                    }
+                }
+                sim.client.mp.conn(c).delivered_bytes() == 2_000_000
+            },
+            Time::from_secs(3600),
+        );
+        assert!(result.is_stalled(), "early stall exit expected");
+        assert!(
+            sim.now < Time::from_secs(60),
+            "stall_after must abandon the run at the first flat window, \
+             not at the one-hour deadline (stopped at {})",
+            sim.now
+        );
     }
 }

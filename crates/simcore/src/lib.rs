@@ -14,10 +14,12 @@ pub mod events;
 pub mod metrics;
 pub mod rng;
 pub mod series;
+pub mod supervise;
 pub mod time;
 
 pub use events::{EventId, EventQueue};
 pub use metrics::RunMetrics;
 pub use rng::{norm_quantile, DetRng};
 pub use series::{RateSeries, TimeSeries};
+pub use supervise::{Breach, BreachReport, WatchdogConfig};
 pub use time::{Dur, Time};

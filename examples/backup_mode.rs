@@ -53,6 +53,7 @@ fn main() {
         },
         Time::from_secs(120),
     );
+    let done = done.held();
     let now = sim.now;
     sim.client.mp.conn_mut(id).close(now);
     sim.run_until(

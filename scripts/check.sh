@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tier-1 build + tests.
-# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance]
+# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise]
 #   --bench-smoke   also build the criterion benches and run each for a
 #                   single iteration (cargo bench -- --test), proving
 #                   the benchmarks still compile and run without paying
@@ -15,19 +15,27 @@
 #                   with MPWIFI_CONFORMANCE_CASES). Fails on any
 #                   invariant violation and prints the shrunk
 #                   reproducer.
+#   --supervise     also run the supervision smoke: a campaign with a
+#                   planted panicking spec and a planted livelocked spec
+#                   must quarantine both (exit 3, sidecar naming them)
+#                   while rendering the healthy sections byte-identical
+#                   to an unsupervised run; a healthy supervised
+#                   campaign must exit 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 FAULT_SMOKE=0
 CONFORMANCE=0
+SUPERVISE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
         --faults) FAULT_SMOKE=1 ;;
         --conformance) CONFORMANCE=1 ;;
+        --supervise) SUPERVISE=1 ;;
         *)
-            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance]" >&2
+            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise]" >&2
             exit 2
             ;;
     esac
@@ -45,6 +53,15 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings + fn-pointer comparison gate)"
 cargo clippy --all-targets -- -D warnings \
     -D unpredictable_function_pointer_comparisons
+
+# The worker pool's result mutex must never be unwrapped: one panicking
+# experiment would poison it and take the whole campaign down (the bug
+# the supervised pool exists to prevent). The deny is scoped inside
+# runner.rs itself (#![deny(clippy::unwrap_used)]), so the clippy run
+# above already hard-errors on any unwrap there; this guards the scoped
+# attribute against accidental removal.
+echo "== runner.rs unwrap gate present"
+grep -q '#!\[deny(clippy::unwrap_used)\]' crates/repro/src/runner.rs
 
 echo "== tier-1: cargo build --release"
 cargo build --release
@@ -68,6 +85,37 @@ if [ "$CONFORMANCE" -eq 1 ]; then
     CASES="${MPWIFI_CONFORMANCE_CASES:-25}"
     echo "== conformance smoke: $CASES fuzz cases, fixed seed"
     cargo run --release -p mpwifi-repro -- conformance --cases "$CASES" --seed 42 --jobs 4
+fi
+
+if [ "$SUPERVISE" -eq 1 ]; then
+    TMP="$(mktemp -d)"
+    trap 'rm -rf "$TMP"' EXIT
+    echo "== supervise smoke: healthy campaign, unsupervised baseline"
+    cargo run --release -p mpwifi-repro -- fig9 table2 --seed 42 \
+        --markdown "$TMP/plain.md" >/dev/null
+    echo "== supervise smoke: planted panic + planted stall are quarantined"
+    rc=0
+    cargo run --release -p mpwifi-repro -- fig9 table2 planted-panic planted-stall \
+        --seed 42 --supervise --quarantine "$TMP/quarantine.json" \
+        --markdown "$TMP/supervised.md" >/dev/null 2>"$TMP/quarantine.err" || rc=$?
+    if [ "$rc" -ne 3 ]; then
+        echo "expected exit 3 from the planted campaign, got $rc" >&2
+        cat "$TMP/quarantine.err" >&2
+        exit 1
+    fi
+    grep -q '"id": "planted-panic", .*"status": "panicked"' "$TMP/quarantine.json"
+    grep -q '"id": "planted-stall", .*"status": "stalled"' "$TMP/quarantine.json"
+    grep -q 'subflow lte' "$TMP/quarantine.json"
+    echo "== supervise smoke: healthy sections byte-identical, campaign continued"
+    cmp "$TMP/plain.md" "$TMP/supervised.md"
+    echo "== supervise smoke: healthy supervised campaign exits 0"
+    cargo run --release -p mpwifi-repro -- fig9 table2 --seed 42 --supervise \
+        --quarantine "$TMP/healthy.json" >/dev/null
+    if grep -q '"id"' "$TMP/healthy.json"; then
+        echo "healthy supervised campaign wrote a non-empty quarantine sidecar:" >&2
+        cat "$TMP/healthy.json" >&2
+        exit 1
+    fi
 fi
 
 echo "All checks passed."

@@ -302,7 +302,7 @@ fn mid_run_rate_change_shifts_mptcp_traffic() {
         },
         Time::from_secs(120),
     );
-    assert!(done, "transfer survives the degradation");
+    assert!(done.held(), "transfer survives the degradation");
     let stats = sim.client.mp.conn(id).subflow_stats();
     let wifi_bytes = stats
         .iter()

@@ -44,7 +44,7 @@ fn drive(
         },
         deadline,
     );
-    (done, sim.client.mp.conn(id).delivered_bytes())
+    (done.held(), sim.client.mp.conn(id).delivered_bytes())
 }
 
 #[test]
@@ -157,7 +157,7 @@ fn notification_failover_preserves_stream_integrity() {
         },
         Time::from_secs(120),
     );
-    assert!(done);
+    assert!(done.held());
     let got: Vec<u8> = sim.client.mp.conn_mut(id).take_delivered().concat();
     assert_eq!(got, expected, "stream corrupted across failover");
 }

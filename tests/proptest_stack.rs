@@ -110,7 +110,7 @@ proptest! {
             },
             Time::from_secs(120),
         );
-        prop_assert!(done);
+        prop_assert!(done.held());
         let got: Vec<u8> = sim.client.mp.conn_mut(id).take_delivered().concat();
         prop_assert_eq!(got, expected);
     }
