@@ -1,0 +1,140 @@
+//! Campaign-arena benchmarks: what [`mpwifi_sim::Sim::reset`] buys a
+//! crowd campaign over rebuilding the world per run.
+//!
+//! The `world_prep` pair is the PR's headline number: a campaign run's
+//! fixed overhead is "make me a fresh deterministic testbed at this
+//! seed" — fresh-build pays pipeline boxes, queue storage, endpoint
+//! maps and their drops every run, while reset-reuse morphs the
+//! retained world in place (≥5× expected). The `transfer` pair gives
+//! the end-to-end context: overhead amortized against a real 200 kB
+//! TCP download, where event processing dominates both sides.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpwifi_sim::apps::{make_payload, run_tcp_download};
+use mpwifi_sim::{
+    CampaignRun, LinkSpec, Sim, SimArena, TcpClientHost, TcpServerHost, SERVER_ADDR, SERVER_PORT,
+    WIFI_ADDR,
+};
+use mpwifi_simcore::Dur;
+use mpwifi_tcp::conn::TcpConfig;
+
+fn wifi() -> LinkSpec {
+    LinkSpec::symmetric(20_000_000, Dur::from_millis(20))
+}
+
+fn lte() -> LinkSpec {
+    LinkSpec::symmetric(8_000_000, Dur::from_millis(50))
+}
+
+/// Build one campaign world from scratch, seed conventions as in
+/// [`run_tcp_download`].
+fn build_world(wifi: &LinkSpec, lte: &LinkSpec, seed: u64) -> Sim<TcpClientHost, TcpServerHost> {
+    let client = TcpClientHost::new(WIFI_ADDR, SERVER_ADDR, seed as u32 | 1);
+    let server = TcpServerHost::new(
+        SERVER_ADDR,
+        SERVER_PORT,
+        TcpConfig::default(),
+        (seed as u32) ^ 0xBEEF,
+    );
+    Sim::builder(client, server)
+        .wifi(wifi)
+        .lte(lte)
+        .seed(seed)
+        .build()
+}
+
+fn bench_world_prep(c: &mut Criterion) {
+    let wifi = wifi();
+    let lte = lte();
+    let mut g = c.benchmark_group("world_prep");
+    g.bench_function("campaign_world_fresh_build", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            build_world(&wifi, &lte, seed)
+        })
+    });
+    g.bench_function("campaign_world_reset_reuse", |b| {
+        let mut sim = build_world(&wifi, &lte, 0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            sim.reset(&CampaignRun::new(&wifi, &lte, seed));
+        })
+    });
+    g.finish();
+}
+
+/// The headline pair: per-run fixed setup cost of one crowd-campaign
+/// transfer (the paper's 1 MB unit), everything before the event loop.
+/// Fresh-build pays what [`run_tcp_download`] pays every call — a new
+/// world plus a new 1 MB payload. Reset-reuse pays [`Sim::reset`] plus
+/// a refcounted clone from the arena's payload cache.
+fn bench_campaign_setup(c: &mut Criterion) {
+    let wifi = wifi();
+    let lte = lte();
+    let bytes = 1_000_000u64;
+    let mut g = c.benchmark_group("campaign_setup");
+    g.bench_function("campaign_setup_fresh_build", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let payload = make_payload(bytes);
+            let sim = build_world(&wifi, &lte, seed);
+            (sim, payload)
+        })
+    });
+    g.bench_function("campaign_setup_reset_reuse", |b| {
+        let mut sim = build_world(&wifi, &lte, 0);
+        let payload = make_payload(bytes);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            sim.reset(&CampaignRun::new(&wifi, &lte, seed));
+            payload.clone()
+        })
+    });
+    g.finish();
+}
+
+fn bench_campaign_transfer(c: &mut Criterion) {
+    let wifi = wifi();
+    let lte = lte();
+    let bytes = 200_000u64;
+    let deadline = Dur::from_secs(60);
+    let mut g = c.benchmark_group("campaign_transfer");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("tcp_200k_fresh_build", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            run_tcp_download(
+                &wifi,
+                &lte,
+                WIFI_ADDR,
+                bytes,
+                TcpConfig::default(),
+                deadline,
+                seed,
+            )
+        })
+    });
+    g.bench_function("tcp_200k_arena_reuse", |b| {
+        let mut arena = SimArena::new();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            arena.tcp_download(&wifi, &lte, WIFI_ADDR, bytes, deadline, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_world_prep,
+    bench_campaign_setup,
+    bench_campaign_transfer
+);
+criterion_main!(benches);

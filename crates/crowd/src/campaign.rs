@@ -1,0 +1,470 @@
+//! Crowd campaigns: 10⁵–10⁶ synthetic users over the Table 1 geography.
+//!
+//! A campaign fans a synthetic user population across the paper's 22
+//! location clusters (weighted by each cluster's Table 1 run count),
+//! measures every user's `(WiFi, LTE)` pair, and accumulates the results
+//! into bounded-memory streaming summaries ([`ShardSummary`]) instead of
+//! holding per-run samples — a million users costs the same memory as
+//! ten.
+//!
+//! Determinism contract: each user's RNG is seeded from
+//! `mix(campaign_seed, user_index)` (an order-free splitmix-style hash),
+//! the user→shard partition is a pure function of the user count and
+//! `shard_users`, and shard summaries are folded in shard-index order.
+//! Together these make campaign output **byte-identical for any worker
+//! count** — the same guarantee the PR 1 sharded runner gives the
+//! figure suite. [`merge_agreement`] checks the sharded-vs-monolithic
+//! equivalence explicitly for supervision smokes.
+
+use crate::measure::{measure_pair, measure_pair_arena, RunMeasurement, RunMode};
+use crate::world::{combined_target_adjustment, paper_clusters};
+use mpwifi_measure::{CdfSketch, Histogram, MeanAcc, Mergeable, SampleBuilder};
+use mpwifi_radio::WirelessWorld;
+use mpwifi_sim::SimArena;
+use mpwifi_simcore::DetRng;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of Table 1 clusters the population is spread over.
+pub const CAMPAIGN_CLUSTERS: usize = 22;
+
+/// Campaign shape: population size, seed, fidelity, parallelism.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Synthetic user count (one measurement run per user).
+    pub users: u64,
+    /// Campaign seed; every user RNG derives from it order-free.
+    pub seed: u64,
+    /// Measurement fidelity per user ([`RunMode::Analytic`] for
+    /// population sweeps, [`RunMode::FullSim`] for spot checks through
+    /// the packet simulator via per-worker [`SimArena`]s).
+    pub mode: RunMode,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    /// The output is byte-identical for every value.
+    pub workers: usize,
+    /// Users per shard (the unit of work handed to a worker). Purely a
+    /// scheduling knob: the partition is fixed by `users` and this
+    /// value, never by the worker count.
+    pub shard_users: u64,
+}
+
+impl CampaignConfig {
+    /// Default shape: 512-user shards, auto parallelism.
+    pub fn new(users: u64, seed: u64, mode: RunMode) -> CampaignConfig {
+        CampaignConfig {
+            users,
+            seed,
+            mode,
+            workers: 0,
+            shard_users: 512,
+        }
+    }
+}
+
+/// Per-cluster win tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTally {
+    /// Users assigned to this cluster.
+    pub runs: u64,
+    /// Of those, runs where LTE beat WiFi on combined throughput.
+    pub lte_wins: u64,
+}
+
+/// Streaming, mergeable statistics for one shard of a campaign — and,
+/// after folding, for the whole campaign. Bounded memory: sketches and
+/// histograms hold fixed-size count arrays, never samples.
+///
+/// All distribution summaries count **integer-valued samples** (bps
+/// rounded to 1 bit/s, pings in whole microseconds), so every merge adds
+/// integers and the algebra is exactly associative and commutative
+/// (property-tested in `tests/prop_campaign.rs`). The [`MeanAcc`]s carry
+/// float sums whose grouping can matter in the last ulp; campaign
+/// byte-identity across worker counts comes from the fixed in-order
+/// fold, not from float associativity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Users measured.
+    pub users: u64,
+    /// Runs where LTE won on combined throughput (the paper's "40% of
+    /// the time" metric at population scale).
+    pub lte_wins: u64,
+    /// WiFi download throughput distribution (bits/s).
+    pub wifi_down: CdfSketch,
+    /// LTE download throughput distribution (bits/s).
+    pub lte_down: CdfSketch,
+    /// Combined LTE − WiFi throughput difference (bits/s); its
+    /// `fraction_negative` is the WiFi-win rate.
+    pub combined_diff: CdfSketch,
+    /// LTE − WiFi ping difference (µs).
+    pub ping_diff_us: Histogram,
+    /// Mean/CI of WiFi download throughput (bits/s).
+    pub wifi_down_acc: MeanAcc,
+    /// Mean/CI of LTE download throughput (bits/s).
+    pub lte_down_acc: MeanAcc,
+    /// Mean/CI of the combined throughput difference (bits/s).
+    pub diff_acc: MeanAcc,
+    /// Mean/CI of the ping difference (µs).
+    pub ping_diff_acc: MeanAcc,
+    /// Per-cluster tallies, indexed like [`paper_clusters`].
+    pub clusters: Vec<ClusterTally>,
+}
+
+impl ShardSummary {
+    /// An empty summary (identity element of [`Mergeable::merge`]).
+    pub fn new() -> ShardSummary {
+        ShardSummary {
+            users: 0,
+            lte_wins: 0,
+            // 0–100 Mbit/s at 125 kbit/s resolution; out-of-range draws
+            // land in the tracked under/overflow blocks.
+            wifi_down: CdfSketch::new(0.0, 100e6, 800),
+            lte_down: CdfSketch::new(0.0, 100e6, 800),
+            // ±100 Mbit/s; zero sits exactly on a bin edge so
+            // `fraction_negative` is exact.
+            combined_diff: CdfSketch::new(-100e6, 100e6, 800),
+            // ±1 s of ping difference at 2.5 ms resolution.
+            ping_diff_us: Histogram::new(-1e6, 1e6, 800),
+            wifi_down_acc: MeanAcc::new(),
+            lte_down_acc: MeanAcc::new(),
+            diff_acc: MeanAcc::new(),
+            ping_diff_acc: MeanAcc::new(),
+            clusters: vec![ClusterTally::default(); CAMPAIGN_CLUSTERS],
+        }
+    }
+
+    /// Fold one user's measurement into the summary.
+    pub fn record(&mut self, cluster_idx: usize, m: &RunMeasurement) {
+        self.users += 1;
+        self.clusters[cluster_idx].runs += 1;
+        let wifi = m.wifi_up_bps + m.wifi_down_bps;
+        let lte = m.lte_up_bps + m.lte_down_bps;
+        if m.lte_wins_combined() {
+            self.lte_wins += 1;
+            self.clusters[cluster_idx].lte_wins += 1;
+        }
+        // Integer-valued samples: exactly representable, so count-based
+        // merges are exact (see the type docs).
+        let wifi_down = m.wifi_down_bps.round();
+        let lte_down = m.lte_down_bps.round();
+        let diff = (lte - wifi).round();
+        let ping_diff_us =
+            (m.lte_ping.as_nanos() / 1_000) as f64 - (m.wifi_ping.as_nanos() / 1_000) as f64;
+        self.wifi_down.push(wifi_down);
+        self.lte_down.push(lte_down);
+        self.combined_diff.push(diff);
+        self.ping_diff_us.add(ping_diff_us);
+        self.wifi_down_acc.push(wifi_down);
+        self.lte_down_acc.push(lte_down);
+        self.diff_acc.push(diff);
+        self.ping_diff_acc.push(ping_diff_us);
+    }
+
+    /// Fraction of users where LTE beat WiFi.
+    pub fn lte_win_fraction(&self) -> f64 {
+        if self.users == 0 {
+            return 0.0;
+        }
+        self.lte_wins as f64 / self.users as f64
+    }
+}
+
+impl Default for ShardSummary {
+    fn default() -> ShardSummary {
+        ShardSummary::new()
+    }
+}
+
+impl Mergeable for ShardSummary {
+    fn merge(&mut self, other: &ShardSummary) {
+        self.users += other.users;
+        self.lte_wins += other.lte_wins;
+        self.wifi_down.merge(&other.wifi_down);
+        self.lte_down.merge(&other.lte_down);
+        self.combined_diff.merge(&other.combined_diff);
+        self.ping_diff_us.merge(&other.ping_diff_us);
+        self.wifi_down_acc.merge(&other.wifi_down_acc);
+        self.lte_down_acc.merge(&other.lte_down_acc);
+        self.diff_acc.merge(&other.diff_acc);
+        self.ping_diff_acc.merge(&other.ping_diff_acc);
+        assert_eq!(
+            self.clusters.len(),
+            other.clusters.len(),
+            "merging summaries with different cluster counts"
+        );
+        for (a, b) in self.clusters.iter_mut().zip(&other.clusters) {
+            a.runs += b.runs;
+            a.lte_wins += b.lte_wins;
+        }
+    }
+}
+
+/// A finished campaign: the folded summary plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Users measured.
+    pub users: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Shards the population was partitioned into.
+    pub shards: u64,
+    /// The merged statistics.
+    pub stats: ShardSummary,
+}
+
+/// Order-free per-user seed: a splitmix64-style mix of the campaign
+/// seed and the user index. Deliberately NOT `root.derive(user)` —
+/// `DetRng::derive` mutates the parent, which would make user seeds
+/// depend on visit order and break worker-count invariance.
+fn mix(seed: u64, user: u64) -> u64 {
+    let mut z = seed ^ user.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Measure one synthetic user: pick a cluster (Table 1 run-count
+/// weighted), draw link conditions from that cluster's calibrated
+/// world, and run the measurement at the configured fidelity.
+fn measure_user(
+    cfg: &CampaignConfig,
+    worlds: &[WirelessWorld],
+    cum_runs: &[u64],
+    total_runs: u64,
+    user: u64,
+    arena: &mut SimArena,
+    summary: &mut ShardSummary,
+) {
+    let mut rng = DetRng::seed_from_u64(mix(cfg.seed, user));
+    let pick = rng.uniform_u64(0, total_runs);
+    let cluster_idx = cum_runs.partition_point(|&c| c <= pick);
+    let draw = worlds[cluster_idx].draw(&mut rng);
+    let run_seed = rng.next_u64();
+    let m = match cfg.mode {
+        RunMode::Analytic => measure_pair(&draw.wifi, &draw.lte, RunMode::Analytic, run_seed),
+        RunMode::FullSim => measure_pair_arena(&draw.wifi, &draw.lte, arena, run_seed),
+    };
+    summary.record(cluster_idx, &m);
+}
+
+/// Run a campaign. Workers claim shards from a shared counter; each
+/// worker owns one [`SimArena`] (FullSim runs re-arm it per transfer)
+/// and streams each shard into a [`ShardSummary`] stored in its
+/// partition slot. Slots are folded in shard order, so the result is
+/// byte-identical for every worker count.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    let clusters = paper_clusters();
+    let worlds: Vec<WirelessWorld> = clusters
+        .iter()
+        .map(|p| {
+            WirelessWorld::with_target(
+                p.wifi_median_bps,
+                combined_target_adjustment(p.lte_win_frac),
+            )
+        })
+        .collect();
+    // Cumulative run counts for the weighted cluster pick:
+    // cum_runs[i] = total Table 1 runs in clusters 0..=i.
+    let mut total_runs = 0u64;
+    let cum_runs: Vec<u64> = clusters
+        .iter()
+        .map(|c| {
+            total_runs += c.runs as u64;
+            total_runs
+        })
+        .collect();
+
+    let shard_users = cfg.shard_users.max(1);
+    let num_shards = cfg.users.div_ceil(shard_users);
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.workers
+    }
+    .min(num_shards.max(1) as usize)
+    .max(1);
+
+    let next = AtomicU64::new(0);
+    let mut slots: Vec<Option<ShardSummary>> = (0..num_shards).map(|_| None).collect();
+    let slot_guard = Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut arena = SimArena::new();
+                loop {
+                    let shard = next.fetch_add(1, Ordering::Relaxed);
+                    if shard >= num_shards {
+                        break;
+                    }
+                    let lo = shard * shard_users;
+                    let hi = (lo + shard_users).min(cfg.users);
+                    let mut summary = ShardSummary::new();
+                    for user in lo..hi {
+                        measure_user(
+                            cfg,
+                            &worlds,
+                            &cum_runs,
+                            total_runs,
+                            user,
+                            &mut arena,
+                            &mut summary,
+                        );
+                    }
+                    slot_guard.lock().unwrap()[shard as usize] = Some(summary);
+                }
+            });
+        }
+    });
+
+    let mut stats = ShardSummary::new();
+    for slot in slots {
+        stats.merge(&slot.expect("every shard slot filled"));
+    }
+    CampaignSummary {
+        users: cfg.users,
+        seed: cfg.seed,
+        shards: num_shards,
+        stats,
+    }
+}
+
+/// Do two mean accumulators agree up to float-regrouping noise? Counts
+/// must match exactly; sums may differ in the last few ulps because a
+/// monolithic accumulation and a fold of shard partial-sums group the
+/// additions differently.
+fn accs_agree(a: &MeanAcc, b: &MeanAcc) -> bool {
+    if a.count() != b.count() {
+        return false;
+    }
+    if a.is_empty() {
+        return true;
+    }
+    let rel = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0);
+    rel(a.mean(), b.mean()) && rel(a.std_dev(), b.std_dev())
+}
+
+/// Verify two campaigns over the same population agree — typically one
+/// sharded and one monolithic (`shard_users = users`, `workers = 1`).
+/// Count-based summaries (win tallies, sketches, histograms) must match
+/// **exactly**: their merge algebra is integer addition. The float mean
+/// accumulators must match up to regrouping noise (see [`accs_agree`]).
+/// Returns a named first-divergence for forensics.
+pub fn merge_agreement(a: &CampaignSummary, b: &CampaignSummary) -> Result<(), String> {
+    if a.users != b.users {
+        return Err(format!("user counts differ: {} vs {}", a.users, b.users));
+    }
+    let pairs: [(&str, bool); 9] = [
+        ("lte_wins", a.stats.lte_wins == b.stats.lte_wins),
+        ("users", a.stats.users == b.stats.users),
+        ("wifi_down sketch", a.stats.wifi_down == b.stats.wifi_down),
+        ("lte_down sketch", a.stats.lte_down == b.stats.lte_down),
+        (
+            "combined_diff sketch",
+            a.stats.combined_diff == b.stats.combined_diff,
+        ),
+        (
+            "ping_diff histogram",
+            a.stats.ping_diff_us == b.stats.ping_diff_us,
+        ),
+        ("cluster tallies", a.stats.clusters == b.stats.clusters),
+        (
+            "throughput accumulators",
+            accs_agree(&a.stats.wifi_down_acc, &b.stats.wifi_down_acc)
+                && accs_agree(&a.stats.lte_down_acc, &b.stats.lte_down_acc),
+        ),
+        (
+            "difference accumulators",
+            accs_agree(&a.stats.diff_acc, &b.stats.diff_acc)
+                && accs_agree(&a.stats.ping_diff_acc, &b.stats.ping_diff_acc),
+        ),
+    ];
+    for (what, ok) in pairs {
+        if !ok {
+            return Err(format!("campaign summaries diverge in {what}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_invariance_analytic() {
+        let mut one = CampaignConfig::new(3_000, 42, RunMode::Analytic);
+        one.workers = 1;
+        one.shard_users = 256;
+        let mut eight = one.clone();
+        eight.workers = 8;
+        let a = run_campaign(&one);
+        let b = run_campaign(&eight);
+        assert_eq!(a, b, "worker count changed campaign output");
+    }
+
+    #[test]
+    fn sharded_equals_monolithic() {
+        let sharded = CampaignConfig::new(2_000, 7, RunMode::Analytic);
+        let mut mono = sharded.clone();
+        mono.workers = 1;
+        mono.shard_users = 2_000;
+        let a = run_campaign(&sharded);
+        let b = run_campaign(&mono);
+        assert_eq!(a.shards, 4);
+        assert_eq!(b.shards, 1);
+        merge_agreement(&a, &b).expect("sharded vs monolithic");
+    }
+
+    #[test]
+    fn population_win_rate_matches_table1_mixture() {
+        let cfg = CampaignConfig::new(20_000, 11, RunMode::Analytic);
+        let s = run_campaign(&cfg);
+        // The Table 1 run-count-weighted LTE-win rate is ≈ 0.33; the
+        // population draw plus calibration noise stays within a few
+        // points of it.
+        let frac = s.stats.lte_win_fraction();
+        assert!((0.25..0.42).contains(&frac), "win rate {frac}");
+        // Every cluster received users, roughly in proportion: Boston
+        // (884/2104 of the table) must dominate.
+        let boston = s.stats.clusters[0].runs as f64 / s.users as f64;
+        assert!((boston - 884.0 / 2104.0).abs() < 0.02, "boston {boston}");
+        assert!(s.stats.clusters.iter().all(|c| c.runs > 0));
+        // Streaming summaries saw every user.
+        assert_eq!(s.stats.wifi_down.count(), s.users);
+        assert_eq!(s.stats.ping_diff_us.total(), s.users);
+        assert_eq!(s.stats.diff_acc.count(), s.users);
+        // The CI shrinks like 1/√n: at 20k users the band is far
+        // narrower than the spread of the metric itself.
+        let (lo, hi) = s.stats.diff_acc.ci95();
+        assert!(lo < hi);
+        assert!(hi - lo < s.stats.diff_acc.std_dev(), "band {lo}..{hi}");
+    }
+
+    #[test]
+    fn fullsim_campaign_worker_invariant() {
+        // Small FullSim population: exercises the per-worker arenas and
+        // pins that arena reuse keeps worker-count invariance.
+        let mut one = CampaignConfig::new(6, 3, RunMode::FullSim);
+        one.workers = 1;
+        one.shard_users = 2;
+        let mut three = one.clone();
+        three.workers = 3;
+        let a = run_campaign(&one);
+        let b = run_campaign(&three);
+        merge_agreement(&a, &b).expect("fullsim worker invariance");
+        assert_eq!(a.stats.users, 6);
+        assert!(a.stats.wifi_down_acc.mean() > 0.0);
+    }
+
+    #[test]
+    fn mix_is_order_free_and_spreads() {
+        // Same (seed, user) always agrees; nearby users decorrelate.
+        assert_eq!(mix(1, 2), mix(1, 2));
+        let a = mix(9, 0);
+        let b = mix(9, 1);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "weak diffusion: {a:x} vs {b:x}");
+    }
+}

@@ -10,7 +10,10 @@
 //!   simulator or through a calibrated analytic model;
 //! * [`analysis`] — the paper's analysis pipeline: geographic k-means
 //!   (100 km radius) reproducing Table 1, and the CDFs of Figures 3, 4
-//!   and 6.
+//!   and 6;
+//! * [`campaign`] — population-scale campaigns: 10⁵–10⁶ synthetic users
+//!   fanned over the Table 1 geography, streamed into bounded-memory
+//!   mergeable summaries with per-worker `SimArena` reuse.
 //!
 //! The data is synthetic-but-calibrated (DESIGN.md §1): run counts and
 //! cluster geometry follow Table 1 exactly; per-location WiFi/LTE rate
@@ -18,9 +21,14 @@
 //! the paper's last column.
 
 pub mod analysis;
+pub mod campaign;
 pub mod measure;
 pub mod world;
 
 pub use analysis::{CrowdAnalysis, Table1Row};
-pub use measure::{measure_pair, RunMeasurement, RunMode};
+pub use campaign::{
+    merge_agreement, run_campaign, CampaignConfig, CampaignSummary, ClusterTally, ShardSummary,
+    CAMPAIGN_CLUSTERS,
+};
+pub use measure::{measure_pair, measure_pair_arena, RunMeasurement, RunMode};
 pub use world::{dataset_to_csv, generate_dataset, paper_clusters, ClusterProfile, MeasurementRun};

@@ -13,7 +13,7 @@
 //!   validated against FullSim in tests.
 
 use mpwifi_sim::apps::{measure_ping, run_tcp_download, run_tcp_upload};
-use mpwifi_sim::{LinkSpec, WIFI_ADDR};
+use mpwifi_sim::{LinkSpec, SimArena, WIFI_ADDR};
 use mpwifi_simcore::Dur;
 use mpwifi_tcp::conn::TcpConfig;
 use serde::{Deserialize, Serialize};
@@ -107,6 +107,33 @@ fn measure_fullsim(wifi: &LinkSpec, lte: &LinkSpec, seed: u64) -> RunMeasurement
         deadline,
         seed ^ 3,
     );
+    RunMeasurement {
+        wifi_up_bps: w_up.avg_throughput_bps().unwrap_or(0.0),
+        wifi_down_bps: w_down.avg_throughput_bps().unwrap_or(0.0),
+        lte_up_bps: l_up.avg_throughput_bps().unwrap_or(0.0),
+        lte_down_bps: l_down.avg_throughput_bps().unwrap_or(0.0),
+        wifi_ping: measure_ping(wifi, 10, seed ^ 4),
+        lte_ping: measure_ping(lte, 10, seed ^ 5),
+    }
+}
+
+/// Measure one `(WiFi, LTE)` pair at FullSim fidelity through a
+/// reusable [`SimArena`]: same transfers, same seeds, same deadline as
+/// [`measure_pair`] in [`RunMode::FullSim`] — bit-identical results
+/// (pinned by a test below) at a fraction of the allocation cost.
+/// Campaign workers hold one arena each and push every user through it.
+pub fn measure_pair_arena(
+    wifi: &LinkSpec,
+    lte: &LinkSpec,
+    arena: &mut SimArena,
+    seed: u64,
+) -> RunMeasurement {
+    let deadline = Dur::from_secs(180);
+    let idle = LinkSpec::symmetric(1_000_000, Dur::from_millis(50));
+    let w_down = arena.tcp_download(wifi, &idle, WIFI_ADDR, TRANSFER_BYTES, deadline, seed);
+    let w_up = arena.tcp_upload(wifi, &idle, WIFI_ADDR, TRANSFER_BYTES, deadline, seed ^ 1);
+    let l_down = arena.tcp_download(lte, &idle, WIFI_ADDR, TRANSFER_BYTES, deadline, seed ^ 2);
+    let l_up = arena.tcp_upload(lte, &idle, WIFI_ADDR, TRANSFER_BYTES, deadline, seed ^ 3);
     RunMeasurement {
         wifi_up_bps: w_up.avg_throughput_bps().unwrap_or(0.0),
         wifi_down_bps: w_down.avg_throughput_bps().unwrap_or(0.0),
@@ -250,6 +277,24 @@ mod tests {
             lte_ping: Dur::from_millis(60),
         };
         assert!(m.lte_wins_combined());
+    }
+
+    #[test]
+    fn arena_measurement_bit_identical_to_fullsim() {
+        let wifi = spec(12.0, 6.0, 30);
+        let lte = spec(6.0, 3.0, 70);
+        let mut arena = SimArena::new();
+        for seed in [3u64, 11, 12] {
+            let fresh = measure_pair(&wifi, &lte, RunMode::FullSim, seed);
+            let reused = measure_pair_arena(&wifi, &lte, &mut arena, seed);
+            assert_eq!(
+                format!("{fresh:?}"),
+                format!("{reused:?}"),
+                "arena measurement diverged at seed {seed}"
+            );
+        }
+        assert_eq!(arena.builds(), 1);
+        assert!(arena.resets() >= 11, "4 transfers per pair after the first");
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Merge-algebra property tests for [`ShardSummary`].
+//!
+//! Samples are integer-valued and small enough (< 2²⁰) that every
+//! float sum and sum-of-squares in the accumulators stays exactly
+//! representable, so `==` is an honest check of the full summary —
+//! including the [`mpwifi_measure::MeanAcc`] components whose algebra
+//! is only exact on exactly-representable inputs (the campaign driver
+//! documents that production byte-identity instead comes from the fixed
+//! in-order fold).
+
+use mpwifi_crowd::{RunMeasurement, ShardSummary, CAMPAIGN_CLUSTERS};
+use mpwifi_measure::Mergeable;
+use mpwifi_simcore::Dur;
+use proptest::prelude::*;
+
+/// One synthetic measurement: integer bps below 2²⁰, pings in whole
+/// microseconds below ~1 s, and a cluster index.
+fn meas() -> impl Strategy<Value = (usize, RunMeasurement)> {
+    (
+        0usize..CAMPAIGN_CLUSTERS,
+        0i64..(1 << 20),
+        0i64..(1 << 20),
+        0i64..(1 << 20),
+        0i64..(1 << 20),
+        0u64..(1 << 20),
+        0u64..(1 << 20),
+    )
+        .prop_map(|(cluster, wu, wd, lu, ld, wp, lp)| {
+            (
+                cluster,
+                RunMeasurement {
+                    wifi_up_bps: wu as f64,
+                    wifi_down_bps: wd as f64,
+                    lte_up_bps: lu as f64,
+                    lte_down_bps: ld as f64,
+                    wifi_ping: Dur::from_micros(wp),
+                    lte_ping: Dur::from_micros(lp),
+                },
+            )
+        })
+}
+
+fn summarize(runs: &[(usize, RunMeasurement)]) -> ShardSummary {
+    let mut s = ShardSummary::new();
+    for (cluster, m) in runs {
+        s.record(*cluster, m);
+    }
+    s
+}
+
+/// Deterministic Fisher–Yates driven by an LCG, so shard-order shuffles
+/// are reproducible from the proptest-provided seed.
+fn shuffled<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(0x1405_7B7E_F767_814F);
+        let j = ((seed >> 33) as usize) % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) on the full summary, floats included.
+    #[test]
+    fn prop_shard_summary_merge_associative(
+        a in proptest::collection::vec(meas(), 0..40),
+        b in proptest::collection::vec(meas(), 0..40),
+        c in proptest::collection::vec(meas(), 0..40),
+    ) {
+        let (sa, sb, sc) = (summarize(&a), summarize(&b), summarize(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊕ b == b ⊕ a on the full summary.
+    #[test]
+    fn prop_shard_summary_merge_commutative(
+        a in proptest::collection::vec(meas(), 0..60),
+        b in proptest::collection::vec(meas(), 0..60),
+    ) {
+        let (sa, sb) = (summarize(&a), summarize(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Folding shards in any order gives the same summary, and it equals
+    /// the monolithic single-pass summary over the concatenated runs.
+    #[test]
+    fn prop_shard_order_invariance_and_monolithic(
+        runs in proptest::collection::vec(meas(), 1..120),
+        chunk in 1usize..20,
+        order_seed in any::<u64>(),
+    ) {
+        let shards: Vec<ShardSummary> =
+            runs.chunks(chunk).map(summarize).collect();
+        let mut in_order = ShardSummary::new();
+        for s in &shards {
+            in_order.merge(s);
+        }
+        let mut permuted = ShardSummary::new();
+        for s in shuffled(&shards, order_seed) {
+            permuted.merge(&s);
+        }
+        let monolithic = summarize(&runs);
+        prop_assert_eq!(&in_order, &permuted);
+        prop_assert_eq!(&in_order, &monolithic);
+    }
+}

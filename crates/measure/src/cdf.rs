@@ -1,5 +1,6 @@
 //! Empirical cumulative distribution functions.
 
+use crate::stream::SampleBuilder;
 use serde::{Deserialize, Serialize};
 
 /// An empirical CDF over `f64` samples.
@@ -15,15 +16,49 @@ pub struct Cdf {
     sorted: Vec<f64>,
 }
 
+/// Streaming constructor for [`Cdf`]: `push`/`extend` samples, then
+/// `finish` to sort once.
+///
+/// ```
+/// use mpwifi_measure::{Cdf, SampleBuilder};
+/// let mut b = Cdf::builder();
+/// b.extend([3.0, 1.0, 2.0]);
+/// assert_eq!(b.finish().median(), 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CdfBuilder {
+    samples: Vec<f64>,
+}
+
+impl SampleBuilder for CdfBuilder {
+    type Output = Cdf;
+
+    fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample in CDF input");
+        self.samples.push(x);
+    }
+
+    fn finish(self) -> Cdf {
+        let mut samples = self.samples;
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: samples }
+    }
+}
+
 impl Cdf {
-    /// Build from samples (NaNs are rejected).
-    pub fn from_samples(mut samples: Vec<f64>) -> Cdf {
+    /// Streaming constructor.
+    pub fn builder() -> CdfBuilder {
+        CdfBuilder::default()
+    }
+
+    /// Build from samples in one shot (NaNs are rejected). Thin wrapper
+    /// over [`Cdf::builder`].
+    pub fn from_samples(samples: Vec<f64>) -> Cdf {
         assert!(
             samples.iter().all(|x| !x.is_nan()),
             "NaN sample in CDF input"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Cdf { sorted: samples }
+        CdfBuilder { samples }.finish()
     }
 
     /// Number of samples.
@@ -74,29 +109,42 @@ impl Cdf {
         Some((*self.sorted.first()?, *self.sorted.last()?))
     }
 
-    /// `(x, F(x))` points for plotting, one per sample.
-    pub fn points(&self) -> Vec<(f64, f64)> {
+    /// Borrowing iterator of `(x, F(x))` points, one per sample.
+    pub fn iter_points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         let n = self.sorted.len() as f64;
         self.sorted
             .iter()
             .enumerate()
-            .map(|(i, &x)| (x, (i + 1) as f64 / n))
-            .collect()
+            .map(move |(i, &x)| (x, (i + 1) as f64 / n))
+    }
+
+    /// `(x, F(x))` points for plotting, one per sample.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.iter_points().collect()
+    }
+
+    /// Borrowing iterator of downsampled plotting points: at most
+    /// `max_points`, always including the extremes.
+    pub fn iter_points_downsampled(
+        &self,
+        max_points: usize,
+    ) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len();
+        let (len, step) = if n <= max_points || max_points < 2 {
+            (n, 1.0)
+        } else {
+            (max_points, (n - 1) as f64 / (max_points - 1) as f64)
+        };
+        (0..len).map(move |i| {
+            let idx = (i as f64 * step).round() as usize;
+            (self.sorted[idx], (idx + 1) as f64 / n as f64)
+        })
     }
 
     /// Downsampled plotting points: at most `max_points`, always
     /// including the extremes.
     pub fn points_downsampled(&self, max_points: usize) -> Vec<(f64, f64)> {
-        let pts = self.points();
-        if pts.len() <= max_points || max_points < 2 {
-            return pts;
-        }
-        let mut out = Vec::with_capacity(max_points);
-        let step = (pts.len() - 1) as f64 / (max_points - 1) as f64;
-        for i in 0..max_points {
-            out.push(pts[(i as f64 * step).round() as usize]);
-        }
-        out
+        self.iter_points_downsampled(max_points).collect()
     }
 
     /// Maximum absolute difference between two CDFs (Kolmogorov–Smirnov
@@ -165,6 +213,27 @@ mod tests {
         assert_eq!(pts.len(), 50);
         assert_eq!(pts[0].0, 0.0);
         assert_eq!(pts[49].0, 999.0);
+    }
+
+    #[test]
+    fn builder_matches_batch_constructor() {
+        use crate::stream::SampleBuilder;
+        let samples = vec![5.0, -1.0, 2.0, 2.0, 0.0];
+        let mut b = Cdf::builder();
+        b.extend(samples.iter().copied());
+        let built = b.finish();
+        let batch = Cdf::from_samples(samples);
+        assert_eq!(built.points(), batch.points());
+    }
+
+    #[test]
+    fn iterator_variants_match_collected() {
+        let c = Cdf::from_samples((0..300).map(|i| i as f64).collect());
+        assert_eq!(c.iter_points().collect::<Vec<_>>(), c.points());
+        assert_eq!(
+            c.iter_points_downsampled(40).collect::<Vec<_>>(),
+            c.points_downsampled(40)
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Histograms, fairness, and resampling confidence intervals.
 
+use crate::stream::{Mergeable, SampleBuilder};
 use serde::{Deserialize, Serialize};
 
 /// A fixed-bin histogram over `[lo, hi)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -28,7 +29,8 @@ impl Histogram {
         }
     }
 
-    /// Add a sample.
+    /// Add a sample. NaN panics; `-inf` counts as underflow and `+inf`
+    /// as overflow, so `total()` always equals the number of `add`s.
     pub fn add(&mut self, x: f64) {
         assert!(!x.is_nan(), "NaN sample");
         self.total += 1;
@@ -48,23 +50,24 @@ impl Histogram {
         self.counts[i]
     }
 
+    /// Borrowing iterator of `(bin_center, fraction)` pairs.
+    pub fn iter_normalized(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            (
+                self.lo + (i as f64 + 0.5) * width,
+                if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                },
+            )
+        })
+    }
+
     /// `(bin_center, fraction)` pairs.
     pub fn normalized(&self) -> Vec<(f64, f64)> {
-        let width = (self.hi - self.lo) / self.counts.len() as f64;
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| {
-                (
-                    self.lo + (i as f64 + 0.5) * width,
-                    if self.total == 0 {
-                        0.0
-                    } else {
-                        c as f64 / self.total as f64
-                    },
-                )
-            })
-            .collect()
+        self.iter_normalized().collect()
     }
 
     /// Total samples, including out-of-range.
@@ -75,6 +78,36 @@ impl Histogram {
     /// Samples outside the range.
     pub fn out_of_range(&self) -> u64 {
         self.underflow + self.overflow
+    }
+}
+
+impl SampleBuilder for Histogram {
+    type Output = Histogram;
+
+    fn push(&mut self, x: f64) {
+        self.add(x);
+    }
+
+    fn finish(self) -> Histogram {
+        self
+    }
+}
+
+impl Mergeable for Histogram {
+    /// Bin-wise count addition. `total()` and `out_of_range()` of the
+    /// merge equal the sums of the inputs exactly — every counter is an
+    /// integer, so merging is exactly associative and commutative.
+    fn merge(&mut self, other: &Self) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "merging histograms with different shapes"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
     }
 }
 
@@ -151,6 +184,51 @@ mod tests {
         }
         let total: f64 = h.normalized().iter().map(|&(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_preserves_totals_and_out_of_range_exactly() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, -3.0, f64::NEG_INFINITY] {
+            a.add(x);
+        }
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        for x in [9.9, 12.0, f64::INFINITY] {
+            b.add(x);
+        }
+        let (a_total, a_oor) = (a.total(), a.out_of_range());
+        let (b_total, b_oor) = (b.total(), b.out_of_range());
+        a.merge(&b);
+        assert_eq!(a.total(), a_total + b_total);
+        assert_eq!(a.out_of_range(), a_oor + b_oor);
+        // Merge equals the bulk-built histogram over the union.
+        let mut bulk = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, -3.0, f64::NEG_INFINITY, 9.9, 12.0, f64::INFINITY] {
+            bulk.add(x);
+        }
+        assert_eq!(a, bulk);
+    }
+
+    #[test]
+    fn infinities_count_as_out_of_range() {
+        let mut h = Histogram::new(-1.0, 1.0, 4);
+        h.add(f64::NEG_INFINITY);
+        h.add(f64::INFINITY);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.out_of_range(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        Histogram::new(0.0, 1.0, 2).add(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merge_shape_mismatch_panics() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        a.merge(&Histogram::new(0.0, 2.0, 2));
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //!
 //! * [`Cdf`] — empirical CDFs with quantile and fraction-below queries
 //!   (every CDF figure in the paper);
+//! * [`CdfSketch`] / [`MeanAcc`] — bounded-memory streaming statistics
+//!   that merge associatively across campaign shards;
+//! * [`SampleBuilder`] / [`Mergeable`] — the uniform construction and
+//!   merge surface shared by every summary type;
 //! * [`Summary`] — mean/median/percentile summaries;
 //! * [`kmeans`] — geographic clustering with a 100 km radius, the
 //!   grouping behind Table 1;
@@ -15,11 +19,15 @@ pub mod geo;
 pub mod hist;
 pub mod kmeans;
 pub mod render;
+pub mod sketch;
+pub mod stream;
 pub mod summary;
 
-pub use cdf::Cdf;
+pub use cdf::{Cdf, CdfBuilder};
 pub use geo::{haversine_km, GeoPoint};
 pub use hist::{bootstrap_mean_ci, jain_fairness, Histogram};
 pub use kmeans::{cluster_geo, GeoCluster};
-pub use render::{series_block, TextTable};
+pub use render::{series_block, series_block_iter, TextTable};
+pub use sketch::{CdfSketch, MeanAcc};
+pub use stream::{Mergeable, SampleBuilder};
 pub use summary::Summary;

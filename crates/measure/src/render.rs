@@ -68,13 +68,20 @@ impl TextTable {
 }
 
 /// Render `(x, y)` series as a gnuplot-style block:
-/// a `# title` comment, then `x y` lines.
-pub fn series_block(title: &str, points: &[(f64, f64)]) -> String {
+/// a `# title` comment, then `x y` lines. Accepts any point iterator,
+/// so callers can feed borrowing iterators (e.g.
+/// `Cdf::iter_points_downsampled`) without collecting a `Vec` first.
+pub fn series_block_iter(title: &str, points: impl IntoIterator<Item = (f64, f64)>) -> String {
     let mut out = format!("# {title}\n");
-    for &(x, y) in points {
+    for (x, y) in points {
         let _ = writeln!(out, "{x:.6} {y:.6}");
     }
     out
+}
+
+/// [`series_block_iter`] over a point slice.
+pub fn series_block(title: &str, points: &[(f64, f64)]) -> String {
+    series_block_iter(title, points.iter().copied())
 }
 
 /// Format bits/second in human units.

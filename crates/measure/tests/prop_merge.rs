@@ -1,0 +1,148 @@
+//! Merge-algebra properties for the streaming summary types.
+//!
+//! The crowd campaign relies on `merge(a, merge(b, c)) ==
+//! merge(merge(a, b), c)` and on shard-order invariance: any grouping
+//! of runs into shards, merged in any order, must produce the same
+//! summary. Count-based summaries satisfy this for arbitrary reals;
+//! `MeanAcc` sums floats, so the strategies below draw dyadic samples
+//! (multiples of 1/16 with bounded magnitude) for which every partial
+//! sum is exactly representable — making `==` an honest check rather
+//! than an approximate one.
+
+use mpwifi_measure::{CdfSketch, Histogram, MeanAcc, Mergeable, SampleBuilder};
+use proptest::prelude::*;
+
+fn dyadic_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        (-(1i64 << 20)..(1i64 << 20)).prop_map(|i| i as f64 / 16.0),
+        0..120,
+    )
+}
+
+fn sketch(xs: &[f64]) -> CdfSketch {
+    let mut s = CdfSketch::new(-70_000.0, 70_000.0, 512);
+    s.extend(xs.iter().copied());
+    s
+}
+
+fn hist(xs: &[f64]) -> Histogram {
+    let mut h = Histogram::new(-70_000.0, 70_000.0, 64);
+    h.extend(xs.iter().copied());
+    h
+}
+
+fn acc(xs: &[f64]) -> MeanAcc {
+    let mut m = MeanAcc::new();
+    m.extend(xs.iter().copied());
+    m
+}
+
+/// Merge the summaries of `shards` in the order given by a
+/// seed-determined permutation (tiny deterministic Fisher–Yates).
+fn merged_in_order<T: Mergeable + Clone>(parts: &[T], order_seed: u64) -> T {
+    let mut idx: Vec<usize> = (0..parts.len()).collect();
+    let mut state = order_seed | 1;
+    for i in (1..idx.len()).rev() {
+        state = state
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(0x1405_7B7E_F767_814F);
+        idx.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    let mut out = parts[idx[0]].clone();
+    for &i in &idx[1..] {
+        out.merge(&parts[i]);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn prop_sketch_merge_associative(
+        a in dyadic_samples(), b in dyadic_samples(), c in dyadic_samples()
+    ) {
+        let mut left = sketch(&a);
+        let mut bc = sketch(&b);
+        bc.merge(&sketch(&c));
+        left.merge(&bc);
+        let mut right = sketch(&a);
+        right.merge(&sketch(&b));
+        right.merge(&sketch(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn prop_hist_merge_associative_and_exact(
+        a in dyadic_samples(), b in dyadic_samples(), c in dyadic_samples()
+    ) {
+        let mut left = hist(&a);
+        let mut bc = hist(&b);
+        bc.merge(&hist(&c));
+        left.merge(&bc);
+        let mut right = hist(&a);
+        right.merge(&hist(&b));
+        right.merge(&hist(&c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.total(), (a.len() + b.len() + c.len()) as u64);
+        let oor = hist(&a).out_of_range() + hist(&b).out_of_range() + hist(&c).out_of_range();
+        prop_assert_eq!(left.out_of_range(), oor);
+    }
+
+    #[test]
+    fn prop_mean_acc_merge_associative(
+        a in dyadic_samples(), b in dyadic_samples(), c in dyadic_samples()
+    ) {
+        let mut left = acc(&a);
+        let mut bc = acc(&b);
+        bc.merge(&acc(&c));
+        left.merge(&bc);
+        let mut right = acc(&a);
+        right.merge(&acc(&b));
+        right.merge(&acc(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn prop_merge_commutative(a in dyadic_samples(), b in dyadic_samples()) {
+        let mut ab = sketch(&a);
+        ab.merge(&sketch(&b));
+        let mut ba = sketch(&b);
+        ba.merge(&sketch(&a));
+        prop_assert_eq!(ab, ba);
+        let mut hab = hist(&a);
+        hab.merge(&hist(&b));
+        let mut hba = hist(&b);
+        hba.merge(&hist(&a));
+        prop_assert_eq!(hab, hba);
+        let mut mab = acc(&a);
+        mab.merge(&acc(&b));
+        let mut mba = acc(&b);
+        mba.merge(&acc(&a));
+        prop_assert_eq!(mab, mba);
+    }
+
+    #[test]
+    fn prop_shard_order_invariance(
+        parts in proptest::collection::vec(dyadic_samples(), 1..6),
+        order_seed in any::<u64>(),
+    ) {
+        // Summaries per shard, merged in shard order vs a shuffled order.
+        let sketches: Vec<CdfSketch> = parts.iter().map(|p| sketch(p)).collect();
+        prop_assert_eq!(merged_in_order(&sketches, 1), merged_in_order(&sketches, order_seed));
+        let hists: Vec<Histogram> = parts.iter().map(|p| hist(p)).collect();
+        prop_assert_eq!(merged_in_order(&hists, 1), merged_in_order(&hists, order_seed));
+        let accs: Vec<MeanAcc> = parts.iter().map(|p| acc(p)).collect();
+        prop_assert_eq!(merged_in_order(&accs, 1), merged_in_order(&accs, order_seed));
+    }
+
+    #[test]
+    fn prop_sharded_equals_monolithic(
+        parts in proptest::collection::vec(dyadic_samples(), 1..6),
+    ) {
+        // Merging per-shard sketches equals one sketch over all samples.
+        let all: Vec<f64> = parts.iter().flatten().copied().collect();
+        let sketches: Vec<CdfSketch> = parts.iter().map(|p| sketch(p)).collect();
+        prop_assert_eq!(merged_in_order(&sketches, 1), sketch(&all));
+        let hists: Vec<Histogram> = parts.iter().map(|p| hist(p)).collect();
+        prop_assert_eq!(merged_in_order(&hists, 1), hist(&all));
+    }
+}

@@ -159,6 +159,31 @@ impl Pipeline {
     pub fn stage_mut(&mut self, index: usize) -> &mut dyn Stage {
         self.stages[index].as_mut()
     }
+
+    /// Number of stages in the chain.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Start a new campaign run on a reused pipeline: zero the
+    /// counters and raise the gate. Stage state is reset separately via
+    /// [`Stage::reset_run`] — the label and stage storage stay.
+    pub fn begin_run(&mut self) {
+        self.stats = PipelineStats::default();
+        self.up = true;
+    }
+
+    /// Drop stages beyond `len` (a reused pipeline whose new spec needs
+    /// fewer stages). At least one stage must remain.
+    pub fn truncate_stages(&mut self, len: usize) {
+        assert!(len >= 1, "pipeline needs at least one stage");
+        self.stages.truncate(len);
+    }
+
+    /// Append a stage at the egress end.
+    pub fn push_stage(&mut self, stage: Box<dyn Stage>) {
+        self.stages.push(stage);
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The experiment implementations, grouped by paper section.
 
 pub mod app_figs;
+pub mod crowd_campaign;
 pub mod crowd_figs;
 pub mod extensions;
 pub mod fault_figs;

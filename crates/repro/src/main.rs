@@ -4,6 +4,7 @@
 //! repro [--full] [--seed N] [--jobs N] [--markdown FILE] [--metrics FILE] <experiment>... | all | --list
 //! repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all
 //! repro conformance [--cases N] [--seed N] [--jobs N]
+//! repro campaign [--users N] [--seed N] [--jobs N] [--full]
 //! ```
 //!
 //! Experiments shard across `--jobs N` worker threads. Every
@@ -17,6 +18,12 @@
 //! sidecar via `--quarantine FILE`, exit code 3) while the rest of the
 //! campaign completes and the surviving sections render byte-identical
 //! to an unsupervised run.
+//!
+//! `repro campaign` runs a population-scale crowd campaign: `--users`
+//! synthetic users fanned over the Table 1 geography through the
+//! sharded streaming-summary driver (byte-identical for every `--jobs`
+//! value; `--full` adds a packet-level spot check through the reusable
+//! sim arenas). Exit code 1 if any population claim fails.
 //!
 //! `repro conformance` runs the protocol-conformance fuzz campaign
 //! instead of paper experiments: `--cases` seeded scenarios with the
@@ -41,6 +48,7 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut cases = 200usize;
+    let mut users = 100_000u64;
     let mut supervised = false;
     let mut sup_cfg = SuperviseConfig::default();
     let mut quarantine_path: Option<String> = None;
@@ -121,6 +129,14 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--cases needs a positive integer"));
             }
+            "--users" => {
+                i += 1;
+                users = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--users needs a positive integer"));
+            }
             "--markdown" => {
                 i += 1;
                 markdown = Some(
@@ -166,7 +182,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--cases N] [--seed N] [--jobs N]"
+                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--cases N] [--seed N] [--jobs N]\n       repro campaign [--users N] [--seed N] [--jobs N] [--full]"
                 );
                 return;
             }
@@ -179,6 +195,12 @@ fn main() {
             die("'conformance' runs alone; drop the other targets");
         }
         run_conformance(cases, seed, jobs);
+    }
+    if targets.iter().any(|t| t == "campaign") {
+        if targets.len() > 1 {
+            die("'campaign' runs alone; drop the other targets");
+        }
+        run_crowd_campaign(users, seed, jobs, scale);
     }
     if targets.is_empty() {
         die("no experiment given; try --list or 'all'");
@@ -414,6 +436,20 @@ fn quarantine_json(
     }
     out.push_str("]\n");
     out
+}
+
+/// Run a population-scale crowd campaign and exit non-zero if any
+/// population claim fails.
+fn run_crowd_campaign(users: u64, seed: u64, jobs: usize, scale: Scale) -> ! {
+    let start = std::time::Instant::now();
+    let report =
+        mpwifi_repro::experiments::crowd_campaign::campaign_cli_report(users, jobs, seed, scale);
+    println!("{}", report.render_text());
+    println!(
+        "(campaign of {users} users finished in {:.1?}, seed {seed}, jobs {jobs})",
+        start.elapsed(),
+    );
+    std::process::exit(if report.all_hold() { 0 } else { 1 });
 }
 
 /// Run the conformance fuzz campaign and exit non-zero on violations.

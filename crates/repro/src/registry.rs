@@ -87,7 +87,7 @@ fn run_ext_stability(_: Scale, seed: u64) -> Report {
 }
 
 /// Every experiment, in paper order, extensions last.
-pub const REGISTRY: [ExperimentSpec; 28] = [
+pub const REGISTRY: [ExperimentSpec; 29] = [
     ExperimentSpec {
         id: "table1",
         title: "Geographic coverage of the crowd-sourced dataset",
@@ -283,6 +283,13 @@ pub const REGISTRY: [ExperimentSpec; 28] = [
         section: "ext",
         extension: true,
         run: ex::fault_figs::fault_noise,
+    },
+    ExperimentSpec {
+        id: "crowd-campaign",
+        title: "Population-scale crowd campaign (streaming mergeable stats)",
+        section: "ext",
+        extension: true,
+        run: ex::crowd_campaign::crowd_campaign,
     },
 ];
 

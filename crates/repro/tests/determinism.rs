@@ -69,6 +69,33 @@ fn fault_sweeps_are_deterministic_across_jobs_and_repeats() {
 }
 
 #[test]
+fn crowd_campaign_reports_are_worker_invariant() {
+    // The population campaign shares the runner's contract at its own
+    // layer: a 10⁴-user campaign rendered with 1 worker and with 8
+    // workers must produce byte-identical reports — blocks (figure
+    // analogs, CI tables) and claim text included. This pins the whole
+    // chain: order-free per-user seeds, the fixed shard partition, and
+    // the in-order shard fold.
+    use mpwifi_repro::experiments::crowd_campaign::campaign_report_with;
+    let render = |workers: usize| {
+        let r = campaign_report_with(10_000, workers, 42);
+        let claims: Vec<String> = r
+            .claims
+            .iter()
+            .map(|c| format!("{}|{}|{}|{}", c.what, c.paper, c.measured, c.holds))
+            .collect();
+        format!("blocks={:?} claims={:?}", r.blocks, claims)
+    };
+    let serial = render(1);
+    assert_eq!(
+        serial,
+        render(8),
+        "campaign report diverged between 1 and 8 workers"
+    );
+    assert_eq!(serial, render(1), "campaign report diverged across repeats");
+}
+
+#[test]
 fn conformance_campaign_fingerprint_is_sharding_independent() {
     // The conformance fuzzer shares the runner's determinism contract:
     // a campaign's verdicts (and hence its fingerprint) are a pure

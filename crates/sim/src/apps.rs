@@ -81,6 +81,20 @@ pub fn run_tcp_download(
         .lte(lte)
         .seed(seed)
         .build();
+    drive_tcp_download(&mut sim, bytes, cfg, deadline, make_payload(bytes))
+}
+
+/// The single-path TCP download loop over an already-built world.
+/// Shared verbatim by [`run_tcp_download`] (fresh build per run) and
+/// [`crate::SimArena`] (reset-reuse), which is what makes the two paths
+/// bit-identical by construction.
+pub(crate) fn drive_tcp_download(
+    sim: &mut Sim<TcpClientHost, TcpServerHost>,
+    bytes: u64,
+    cfg: TcpConfig,
+    deadline: Dur,
+    payload: Bytes,
+) -> BulkResult {
     let id = sim.client.connect(Time::ZERO, cfg, SERVER_PORT);
     let mut progress = RateSeries::new();
     progress.mark_start(Time::ZERO);
@@ -90,7 +104,7 @@ pub fn run_tcp_download(
             if !sent {
                 for sid in sim.server.stack.take_accepted() {
                     let conn = sim.server.stack.conn_mut(sid).unwrap();
-                    conn.send(make_payload(bytes));
+                    conn.send(payload.clone());
                     conn.close(sim.now);
                     sent = true;
                 }
@@ -117,8 +131,8 @@ pub fn run_tcp_download(
         established,
         completed,
         subflow_progress: Vec::new(),
-        wifi_log: sim.wifi_log,
-        lte_log: sim.lte_log,
+        wifi_log: sim.wifi_log.clone(),
+        lte_log: sim.lte_log.clone(),
         requested_bytes: bytes,
     }
 }
@@ -145,10 +159,22 @@ pub fn run_tcp_upload(
         .lte(lte)
         .seed(seed)
         .build();
+    drive_tcp_upload(&mut sim, bytes, cfg, deadline, make_payload(bytes))
+}
+
+/// The single-path TCP upload loop over an already-built world; see
+/// [`drive_tcp_download`] for why this is shared.
+pub(crate) fn drive_tcp_upload(
+    sim: &mut Sim<TcpClientHost, TcpServerHost>,
+    bytes: u64,
+    cfg: TcpConfig,
+    deadline: Dur,
+    payload: Bytes,
+) -> BulkResult {
     let id = sim.client.connect(Time::ZERO, cfg, SERVER_PORT);
     {
         let conn = sim.client.stack.conn_mut(id).unwrap();
-        conn.send(make_payload(bytes));
+        conn.send(payload);
         conn.close(Time::ZERO);
     }
     let mut progress = RateSeries::new();
@@ -179,8 +205,8 @@ pub fn run_tcp_upload(
         established,
         completed,
         subflow_progress: Vec::new(),
-        wifi_log: sim.wifi_log,
-        lte_log: sim.lte_log,
+        wifi_log: sim.wifi_log.clone(),
+        lte_log: sim.lte_log.clone(),
         requested_bytes: bytes,
     }
 }

@@ -52,6 +52,19 @@ pub trait Endpoint: 'static {
     }
 }
 
+/// Endpoints that can be re-armed in place for a new campaign run.
+///
+/// [`crate::Sim::reset`] requires both hosts to implement this: after
+/// `reset_run(seed)` the endpoint must be indistinguishable from a
+/// freshly constructed one for the same run, so reset-reuse stays
+/// bit-identical to a fresh build. The initial-sequence-number seeds
+/// mirror the workload drivers in [`crate::apps`]: clients derive
+/// `run_seed as u32 | 1`, servers `(run_seed as u32) ^ 0xBEEF`.
+pub trait ResetEndpoint: Endpoint {
+    /// Drop all connection state and re-seed for the given run.
+    fn reset_run(&mut self, run_seed: u64);
+}
+
 /// Render one `TcpStack` as health lines (shared by both TCP hosts).
 fn tcp_stack_health(stack: &TcpStack) -> String {
     let mut out = String::new();
@@ -160,6 +173,12 @@ impl Endpoint for TcpClientHost {
     }
 }
 
+impl ResetEndpoint for TcpClientHost {
+    fn reset_run(&mut self, run_seed: u64) {
+        self.stack = TcpStack::new(run_seed as u32 | 1);
+    }
+}
+
 /// Single-path TCP server: a `TcpStack` plus a peer-address table so
 /// replies leave toward the interface each connection arrived from.
 #[derive(Debug)]
@@ -168,23 +187,29 @@ pub struct TcpServerHost {
     /// The underlying connection stack (public for workload drivers).
     pub stack: TcpStack,
     peer_addr: HashMap<SocketId, Addr>,
+    /// Every `(port, cfg)` ever listened on, replayed by
+    /// [`ResetEndpoint::reset_run`] so a re-armed server accepts on the
+    /// same ports a fresh one would.
+    listens: Vec<(u16, TcpConfig)>,
 }
 
 impl TcpServerHost {
     /// Create a server at `local_addr` listening on `listen_port`.
     pub fn new(local_addr: Addr, listen_port: u16, cfg: TcpConfig, iss_seed: u32) -> TcpServerHost {
         let mut stack = TcpStack::new(iss_seed);
-        stack.listen(listen_port, cfg);
+        stack.listen(listen_port, cfg.clone());
         TcpServerHost {
             local_addr,
             stack,
             peer_addr: HashMap::new(),
+            listens: vec![(listen_port, cfg)],
         }
     }
 
     /// Listen on an additional port.
     pub fn listen(&mut self, port: u16, cfg: TcpConfig) {
-        self.stack.listen(port, cfg);
+        self.stack.listen(port, cfg.clone());
+        self.listens.push((port, cfg));
     }
 }
 
@@ -221,6 +246,16 @@ impl Endpoint for TcpServerHost {
 
     fn health(&self) -> String {
         tcp_stack_health(&self.stack)
+    }
+}
+
+impl ResetEndpoint for TcpServerHost {
+    fn reset_run(&mut self, run_seed: u64) {
+        self.stack = TcpStack::new((run_seed as u32) ^ 0xBEEF);
+        for (port, cfg) in &self.listens {
+            self.stack.listen(*port, cfg.clone());
+        }
+        self.peer_addr.clear();
     }
 }
 

@@ -18,9 +18,13 @@
 //!   applies scripted failure events, and keeps per-interface packet
 //!   logs (the `tcpdump` substitute behind Figure 15);
 //! * [`apps`] — reusable workload drivers (bulk transfers with progress
-//!   sampling, request/response exchanges, pings).
+//!   sampling, request/response exchanges, pings);
+//! * [`SimArena`] — crowd-campaign reuse: one built world re-armed per
+//!   run via [`Sim::reset`] / [`CampaignRun`], so million-user sweeps
+//!   pay for allocation once per worker instead of once per user.
 
 pub mod apps;
+pub mod arena;
 pub mod check;
 pub mod endpoint;
 pub mod link;
@@ -28,8 +32,11 @@ pub mod log;
 pub mod world;
 
 pub use apps::{measure_ping, BulkResult};
+pub use arena::{CampaignRun, SimArena};
 pub use check::{SimObserver, TxHost};
-pub use endpoint::{Endpoint, MptcpClientHost, MptcpServerHost, TcpClientHost, TcpServerHost};
+pub use endpoint::{
+    Endpoint, MptcpClientHost, MptcpServerHost, ResetEndpoint, TcpClientHost, TcpServerHost,
+};
 pub use link::{LinkSpec, PathPair, ServiceSpec};
 pub use log::{PacketDir, PacketEvent, PacketLog};
 pub use world::{RunUntil, ScriptEvent, Sim, SimBuilder, StallSnapshot, STALL_CLASSIFY_WINDOW};

@@ -44,6 +44,13 @@ impl PacketLog {
         self.events.push(PacketEvent { at, dir, bytes });
     }
 
+    /// Forget all events, keeping the allocation for the next run.
+    /// Campaign arenas call this between runs so log storage is paid
+    /// for once per worker, not once per user.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// All events in order.
     pub fn events(&self) -> &[PacketEvent] {
         &self.events

@@ -1,8 +1,9 @@
 //! The simulation driver: one multi-homed client, one server, two
 //! emulated access links, scripted failures, deterministic time.
 
+use crate::arena::CampaignRun;
 use crate::check::{SimObserver, TxHost};
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, ResetEndpoint};
 use crate::link::{LinkSpec, PathPair};
 use crate::log::{PacketDir, PacketLog};
 use crate::{LTE_ADDR, WIFI_ADDR};
@@ -49,9 +50,8 @@ pub enum ScriptEvent {
 /// was the run still making delivery progress when time ran out?
 ///
 /// Replaces the old `bool` return (`true` iff the predicate held);
-/// [`RunUntil::held`] is the drop-in migration for existing callers,
-/// and [`Sim::run_until_bool`] remains as a deprecated shim for one
-/// release.
+/// [`RunUntil::held`] is the drop-in migration for callers that only
+/// care whether the predicate held.
 #[derive(Debug)]
 pub enum RunUntil {
     /// The predicate held before the deadline.
@@ -377,6 +377,52 @@ impl<'a, C: Endpoint, S: Endpoint> SimBuilder<'a, C, S> {
     }
 }
 
+impl<C: ResetEndpoint, S: ResetEndpoint> Sim<C, S> {
+    /// Re-arm this built world for a new campaign run, reusing every
+    /// allocation a fresh build would have to make: the segment-buffer
+    /// pool stays warm, the link stages keep their queue storage, the
+    /// scratch frame buffers and packet-log vectors keep their capacity.
+    ///
+    /// Behavior is pinned to be *bit-identical* to a fresh
+    /// [`Sim::builder`] build at the same run parameters: the RNG chain
+    /// (`seed → derive(1) wifi → derive(2) lte`, plus the per-stage
+    /// derives inside each direction) is replayed in fresh-build order,
+    /// and both endpoints are re-seeded through
+    /// [`ResetEndpoint::reset_run`]. Fault plans are recompiled into
+    /// scripted events exactly as [`SimBuilder::build`] does.
+    pub fn reset(&mut self, run: &CampaignRun<'_>) {
+        let mut rng = DetRng::seed_from_u64(run.seed);
+        self.wifi
+            .reset(run.wifi, "wifi", &mut rng.derive(1), run.wifi_faults);
+        self.lte
+            .reset(run.lte, "lte", &mut rng.derive(2), run.lte_faults);
+        self.now = Time::ZERO;
+        self.wifi_log.clear();
+        self.lte_log.clear();
+        self.frame_seq = 0;
+        self.script.clear();
+        // The pool is intentionally NOT reset: a warm pool hands out
+        // buffers with identical contents, it only skips allocations.
+        self.to_server_wifi.clear();
+        self.to_server_lte.clear();
+        self.to_client_wifi.clear();
+        self.to_client_lte.clear();
+        self.observer = None;
+        self.delivered_bytes = 0;
+        self.last_advance = Time::ZERO;
+        self.stall_ttl = None;
+        self.script_fired = 0;
+        self.client.reset_run(run.seed);
+        self.server.reset_run(run.seed);
+        if let Some(plan) = run.wifi_faults {
+            self.schedule_fault_plan(WIFI_ADDR, run.wifi, plan);
+        }
+        if let Some(plan) = run.lte_faults {
+            self.schedule_fault_plan(LTE_ADDR, run.lte, plan);
+        }
+    }
+}
+
 impl<C: Endpoint, S: Endpoint> Sim<C, S> {
     /// Start building a testbed; see [`SimBuilder`].
     pub fn builder<'a>(client: C, server: S) -> SimBuilder<'a, C, S> {
@@ -450,6 +496,13 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
     /// Detach and return the current observer, if any.
     pub fn clear_observer(&mut self) -> Option<Box<dyn SimObserver<C, S>>> {
         self.observer.take()
+    }
+
+    /// Number of pooled encode buffers currently owned (see
+    /// [`SegmentBufPool::capacity`]). Campaign arenas use this to verify
+    /// the pool stays warm across runs.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.capacity()
     }
 
     /// Schedule a scripted event. Keeps the script sorted via binary
@@ -736,13 +789,6 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
                 };
             }
         }
-    }
-
-    /// Deprecated alias for `run_until(..).held()`, keeping the old
-    /// `bool`-returning signature alive for one release.
-    #[deprecated(note = "use run_until and RunUntil::held")]
-    pub fn run_until_bool<F: FnMut(&mut Self) -> bool>(&mut self, pred: F, deadline: Time) -> bool {
-        self.run_until(pred, deadline).held()
     }
 
     /// Classification at the deadline: stalled if the watermark has

@@ -16,8 +16,8 @@ OUT="${1:-BENCH_PR2.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "== cargo bench (simulator, hot_path, runner)"
-MPWIFI_BENCH_JSON="$RAW" cargo bench -p mpwifi-bench --bench simulator --bench hot_path --bench runner
+echo "== cargo bench (simulator, hot_path, runner, arena)"
+MPWIFI_BENCH_JSON="$RAW" cargo bench -p mpwifi-bench --bench simulator --bench hot_path --bench runner --bench arena
 
 COUNT="$(wc -l <"$RAW")"
 if [ "$COUNT" -lt 5 ]; then

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tier-1 build + tests.
-# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise]
+# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke]
 #   --bench-smoke   also build the criterion benches and run each for a
 #                   single iteration (cargo bench -- --test), proving
 #                   the benchmarks still compile and run without paying
@@ -15,6 +15,12 @@
 #                   with MPWIFI_CONFORMANCE_CASES). Fails on any
 #                   invariant violation and prints the shrunk
 #                   reproducer.
+#   --crowd-smoke   also run the crowd-campaign smoke: a 10⁴-user
+#                   population campaign under --supervise must complete
+#                   with every claim holding and zero quarantines, and
+#                   the standalone `repro campaign` driver (which runs
+#                   the sharded-vs-monolithic merge-agreement check as
+#                   one of its claims) must exit 0.
 #   --supervise     also run the supervision smoke: a campaign with a
 #                   planted panicking spec and a planted livelocked spec
 #                   must quarantine both (exit 3, sidecar naming them)
@@ -28,14 +34,16 @@ BENCH_SMOKE=0
 FAULT_SMOKE=0
 CONFORMANCE=0
 SUPERVISE=0
+CROWD_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
         --faults) FAULT_SMOKE=1 ;;
         --conformance) CONFORMANCE=1 ;;
         --supervise) SUPERVISE=1 ;;
+        --crowd-smoke) CROWD_SMOKE=1 ;;
         *)
-            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise]" >&2
+            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke]" >&2
             exit 2
             ;;
     esac
@@ -85,6 +93,25 @@ if [ "$CONFORMANCE" -eq 1 ]; then
     CASES="${MPWIFI_CONFORMANCE_CASES:-25}"
     echo "== conformance smoke: $CASES fuzz cases, fixed seed"
     cargo run --release -p mpwifi-repro -- conformance --cases "$CASES" --seed 42 --jobs 4
+fi
+
+if [ "$CROWD_SMOKE" -eq 1 ]; then
+    USERS="${MPWIFI_CROWD_USERS:-10000}"
+    echo "== crowd smoke: $USERS-user campaign via repro campaign (merge agreement is claim 5)"
+    cargo run --release -p mpwifi-repro -- campaign --users "$USERS" --seed 42 --jobs 4 >/dev/null
+    echo "== crowd smoke: crowd-campaign experiment under supervision, zero quarantines"
+    CTMP="$(mktemp)"
+    cargo run --release -p mpwifi-repro -- crowd-campaign --seed 42 --supervise \
+        --quarantine "$CTMP" >/dev/null
+    if grep -q '"id"' "$CTMP"; then
+        echo "crowd campaign was quarantined:" >&2
+        cat "$CTMP" >&2
+        rm -f "$CTMP"
+        exit 1
+    fi
+    rm -f "$CTMP"
+    echo "== crowd smoke: worker-count invariance of campaign reports"
+    cargo test --release -p mpwifi-repro --test determinism -q crowd_campaign_reports
 fi
 
 if [ "$SUPERVISE" -eq 1 ]; then
