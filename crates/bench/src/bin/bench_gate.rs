@@ -1,0 +1,86 @@
+//! CLI for the bench regression gate.
+//!
+//! ```text
+//! bench_gate BASELINE.json CURRENT.json [--threshold 0.10]
+//! ```
+//!
+//! Both files may be a plain JSON array of bench records, a
+//! `{"machine": ..., "results": [...]}` object, or the raw JSONL
+//! sidecar the criterion shim writes via `MPWIFI_BENCH_JSON`. Prints a
+//! per-id diff and exits 1 if any benchmark's median regressed more
+//! than the threshold (default 10%, overridable by the flag or the
+//! `MPWIFI_BENCH_GATE_THRESHOLD` env var). Baseline ids that were not
+//! measured and current ids with no baseline are reported but never
+//! fail the gate.
+
+use mpwifi_bench::gate::{compare, parse_records, render_report};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_gate BASELINE.json CURRENT.json [--threshold FRACTION]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold: f64 = match std::env::var("MPWIFI_BENCH_GATE_THRESHOLD") {
+        Ok(v) => match v.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("bench_gate: bad MPWIFI_BENCH_GATE_THRESHOLD {v:?}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => 0.10,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                match v.parse() {
+                    Ok(t) => threshold = t,
+                    Err(_) => return usage(),
+                }
+            }
+            flag if flag.starts_with("--") => return usage(),
+            p => paths.push(p),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        return usage();
+    };
+
+    let read = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_records(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (read(baseline_path), read(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {r}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let (rows, pass) = compare(&baseline, &current, threshold);
+    print!("{}", render_report(&rows, threshold));
+    if pass {
+        println!(
+            "bench gate PASS: no median regressed more than {:.0}% vs {baseline_path}",
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench gate FAIL: median regression over {:.0}% vs {baseline_path}",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,302 @@
+//! Bench regression gate: compare a current bench run against a
+//! committed baseline and fail on median regressions.
+//!
+//! The vendored criterion shim emits one record per benchmark as a
+//! single JSON object (`{"id", "median_ns", "samples"}`). Baselines
+//! wrap those in either a plain array (`BENCH_PR2.json`,
+//! `BENCH_PR6.json`) or, from PR 7 on, an object with a `machine`
+//! metadata block and a `results` array. This module parses all three
+//! shapes — including the raw JSONL sidecar — with a small scanner
+//! keyed on `"id"`, so the gate needs no JSON dependency.
+//!
+//! A benchmark **regresses** when `current / baseline > 1 + threshold`
+//! on the median. Baseline ids absent from the current run are reported
+//! but do not fail (the smoke gate measures only the hot subset); new
+//! ids are informational.
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub id: String,
+    pub median_ns: f64,
+}
+
+/// Gate verdict for one benchmark id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the threshold (or faster).
+    Ok,
+    /// Slower than `1 + threshold` times the baseline.
+    Regressed,
+    /// In the baseline but not measured in the current run.
+    NotMeasured,
+    /// Measured now but absent from the baseline.
+    New,
+}
+
+/// One row of the comparison report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    pub id: String,
+    pub baseline_ns: Option<f64>,
+    pub current_ns: Option<f64>,
+    /// `current / baseline` when both sides exist.
+    pub ratio: Option<f64>,
+    pub verdict: Verdict,
+}
+
+/// Extract every `{"id": ..., "median_ns": ...}` record from `text`,
+/// whatever the surrounding wrapper (array, object with `results`, or
+/// bare JSONL). Returns an error if a record is malformed.
+pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut out: Vec<BenchRecord> = Vec::new();
+    let mut rest = text;
+    while let Some(p) = rest.find("\"id\"") {
+        let after = &rest[p + 4..];
+        // Bound every field search to this record: stop at the next
+        // "id" key so a missing field can't swallow the neighbour's.
+        let limit = after.find("\"id\"").unwrap_or(after.len());
+        let record = &after[..limit];
+        let id = parse_string_value(record)
+            .ok_or_else(|| format!("malformed \"id\" value near: {}", excerpt(record)))?;
+        let m = record
+            .find("\"median_ns\"")
+            .ok_or_else(|| format!("record {id:?} has no \"median_ns\" field"))?;
+        let median_ns = parse_number_value(&record[m + 11..])
+            .ok_or_else(|| format!("record {id:?} has a malformed \"median_ns\" value"))?;
+        out.push(BenchRecord { id, median_ns });
+        rest = &after[limit..];
+    }
+    if out.is_empty() {
+        return Err("no benchmark records found".to_string());
+    }
+    Ok(out)
+}
+
+/// Parse `: "value"` (the text after a key), tolerating whitespace.
+/// Bench ids never contain escapes, so none are handled.
+fn parse_string_value(s: &str) -> Option<String> {
+    let s = s.trim_start().strip_prefix(':')?.trim_start();
+    let s = s.strip_prefix('"')?;
+    let end = s.find('"')?;
+    Some(s[..end].to_string())
+}
+
+/// Parse `: 123.4` (the text after a key).
+fn parse_number_value(s: &str) -> Option<f64> {
+    let s = s.trim_start().strip_prefix(':')?.trim_start();
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    s[..end].parse().ok()
+}
+
+fn excerpt(s: &str) -> String {
+    s.chars().take(40).collect()
+}
+
+/// Compare `current` against `baseline`. Rows come out in baseline
+/// order with new ids appended; the boolean is `true` when no id
+/// regressed past `threshold` (e.g. `0.10` = fail on >10% slower).
+pub fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    threshold: f64,
+) -> (Vec<GateRow>, bool) {
+    let mut rows = Vec::new();
+    let mut pass = true;
+    for b in baseline {
+        let cur = current.iter().find(|c| c.id == b.id);
+        let row = match cur {
+            Some(c) => {
+                let ratio = c.median_ns / b.median_ns;
+                let verdict = if ratio > 1.0 + threshold {
+                    pass = false;
+                    Verdict::Regressed
+                } else {
+                    Verdict::Ok
+                };
+                GateRow {
+                    id: b.id.clone(),
+                    baseline_ns: Some(b.median_ns),
+                    current_ns: Some(c.median_ns),
+                    ratio: Some(ratio),
+                    verdict,
+                }
+            }
+            None => GateRow {
+                id: b.id.clone(),
+                baseline_ns: Some(b.median_ns),
+                current_ns: None,
+                ratio: None,
+                verdict: Verdict::NotMeasured,
+            },
+        };
+        rows.push(row);
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            rows.push(GateRow {
+                id: c.id.clone(),
+                baseline_ns: None,
+                current_ns: Some(c.median_ns),
+                ratio: None,
+                verdict: Verdict::New,
+            });
+        }
+    }
+    (rows, pass)
+}
+
+/// Render the per-id report the gate prints: one aligned line per
+/// benchmark with both medians, the ratio, and the verdict.
+pub fn render_report(rows: &[GateRow], threshold: f64) -> String {
+    let id_w = rows.iter().map(|r| r.id.len()).max().unwrap_or(2).max(2);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<id_w$}  {:>14}  {:>14}  {:>7}  status\n",
+        "id", "baseline_ns", "current_ns", "ratio"
+    ));
+    let num = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.0}"),
+        None => "-".to_string(),
+    };
+    for r in rows {
+        let ratio = match r.ratio {
+            Some(x) => format!("{x:.2}x"),
+            None => "-".to_string(),
+        };
+        let status = match r.verdict {
+            Verdict::Ok => "ok".to_string(),
+            Verdict::Regressed => format!("REGRESSED (> +{:.0}%)", threshold * 100.0),
+            Verdict::NotMeasured => "not measured (skipped)".to_string(),
+            Verdict::New => "new (no baseline)".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<id_w$}  {:>14}  {:>14}  {:>7}  {}\n",
+            r.id,
+            num(r.baseline_ns),
+            num(r.current_ns),
+            ratio,
+            status
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARRAY: &str = r#"[
+  {"id": "a", "median_ns": 100.0, "samples": 10},
+  {"id": "b", "median_ns": 200.0, "samples": 10}
+]"#;
+
+    const WRAPPED: &str = r#"{
+  "machine": {"cores": 8, "rustc": "rustc 1.95.0", "os": "Linux"},
+  "results": [
+    {"id": "a", "median_ns": 105.0, "samples": 10},
+    {"id": "b", "median_ns": 260.0, "samples": 10}
+  ]
+}"#;
+
+    #[test]
+    fn parses_plain_array() {
+        let r = parse_records(ARRAY).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, "a");
+        assert_eq!(r[0].median_ns, 100.0);
+    }
+
+    #[test]
+    fn parses_machine_wrapped_object() {
+        // The machine block has no "id" key, so the scanner skips it.
+        let r = parse_records(WRAPPED).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1].median_ns, 260.0);
+    }
+
+    #[test]
+    fn parses_raw_jsonl_sidecar() {
+        let jsonl = "{\"id\": \"x\", \"median_ns\": 42.5, \"samples\": 3}\n\
+                     {\"id\": \"y\", \"median_ns\": 7.0, \"samples\": 3}\n";
+        let r = parse_records(jsonl).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].median_ns, 42.5);
+    }
+
+    #[test]
+    fn missing_median_is_an_error() {
+        let bad = r#"{"id": "x", "samples": 3}"#;
+        assert!(parse_records(bad).unwrap_err().contains("median_ns"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_records("[]").is_err());
+    }
+
+    #[test]
+    fn regression_past_threshold_fails() {
+        let base = parse_records(ARRAY).unwrap();
+        let cur = parse_records(WRAPPED).unwrap();
+        // a: 100 → 105 (+5%, ok); b: 200 → 260 (+30%, regressed).
+        let (rows, pass) = compare(&base, &cur, 0.10);
+        assert!(!pass);
+        assert_eq!(rows[0].verdict, Verdict::Ok);
+        assert_eq!(rows[1].verdict, Verdict::Regressed);
+        assert!((rows[1].ratio.unwrap() - 1.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = parse_records(ARRAY).unwrap();
+        let cur = vec![
+            BenchRecord {
+                id: "a".into(),
+                median_ns: 109.0,
+            },
+            BenchRecord {
+                id: "b".into(),
+                median_ns: 150.0,
+            },
+        ];
+        let (rows, pass) = compare(&base, &cur, 0.10);
+        assert!(pass);
+        assert!(rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn skipped_and_new_ids_do_not_fail() {
+        let base = parse_records(ARRAY).unwrap();
+        let cur = vec![
+            BenchRecord {
+                id: "b".into(),
+                median_ns: 190.0,
+            },
+            BenchRecord {
+                id: "z".into(),
+                median_ns: 1.0,
+            },
+        ];
+        let (rows, pass) = compare(&base, &cur, 0.10);
+        assert!(pass, "skipped baseline id or new id must not fail the gate");
+        assert_eq!(rows[0].verdict, Verdict::NotMeasured); // a
+        assert_eq!(rows[1].verdict, Verdict::Ok); // b
+        assert_eq!(rows[2].verdict, Verdict::New); // z
+    }
+
+    #[test]
+    fn report_names_every_id() {
+        let base = parse_records(ARRAY).unwrap();
+        let cur = parse_records(WRAPPED).unwrap();
+        let (rows, _) = compare(&base, &cur, 0.10);
+        let report = render_report(&rows, 0.10);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("1.30x"));
+        for r in &rows {
+            assert!(report.contains(&r.id));
+        }
+    }
+}

@@ -17,13 +17,13 @@
 //! equivalence explicitly for supervision smokes.
 
 use crate::measure::{measure_pair, measure_pair_arena, RunMeasurement, RunMode};
+use crate::steal::StealQueue;
 use crate::world::{combined_target_adjustment, paper_clusters};
 use mpwifi_measure::{CdfSketch, Histogram, MeanAcc, Mergeable, SampleBuilder};
 use mpwifi_radio::WirelessWorld;
 use mpwifi_sim::SimArena;
 use mpwifi_simcore::DetRng;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Number of Table 1 clusters the population is spread over.
@@ -247,11 +247,15 @@ fn measure_user(
     summary.record(cluster_idx, &m);
 }
 
-/// Run a campaign. Workers claim shards from a shared counter; each
-/// worker owns one [`SimArena`] (FullSim runs re-arm it per transfer)
-/// and streams each shard into a [`ShardSummary`] stored in its
-/// partition slot. Slots are folded in shard order, so the result is
-/// byte-identical for every worker count.
+/// Run a campaign. Shards are dispensed by a work-stealing
+/// [`StealQueue`]: each worker starts with a contiguous chunk of the
+/// shard range and steals the upper half of the largest remaining chunk
+/// once its own runs dry, so a straggler shard (one slow FullSim user)
+/// no longer idles the rest of the pool. Each worker owns one
+/// [`SimArena`] (FullSim runs re-arm it per transfer) and streams each
+/// shard into a [`ShardSummary`] stored in its shard-indexed partition
+/// slot. Slots are folded in shard order, so the result is
+/// byte-identical for every worker count and every steal interleaving.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     let clusters = paper_clusters();
     let worlds: Vec<WirelessWorld> = clusters
@@ -286,26 +290,26 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     .min(num_shards.max(1) as usize)
     .max(1);
 
-    let next = AtomicU64::new(0);
+    let queue = StealQueue::new(num_shards, workers);
     let mut slots: Vec<Option<ShardSummary>> = (0..num_shards).map(|_| None).collect();
     let slot_guard = Mutex::new(&mut slots);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let queue = &queue;
+            let worlds = &worlds;
+            let cum_runs = &cum_runs;
+            let slot_guard = &slot_guard;
+            scope.spawn(move || {
                 let mut arena = SimArena::new();
-                loop {
-                    let shard = next.fetch_add(1, Ordering::Relaxed);
-                    if shard >= num_shards {
-                        break;
-                    }
+                while let Some(shard) = queue.pop(w) {
                     let lo = shard * shard_users;
                     let hi = (lo + shard_users).min(cfg.users);
                     let mut summary = ShardSummary::new();
                     for user in lo..hi {
                         measure_user(
                             cfg,
-                            &worlds,
-                            &cum_runs,
+                            worlds,
+                            cum_runs,
                             total_runs,
                             user,
                             &mut arena,
@@ -456,6 +460,25 @@ mod tests {
         merge_agreement(&a, &b).expect("fullsim worker invariance");
         assert_eq!(a.stats.users, 6);
         assert!(a.stats.wifi_down_acc.mean() > 0.0);
+    }
+
+    #[test]
+    fn work_stealing_is_byte_identical_across_jobs_and_repeats() {
+        // Tiny shards (many more than workers) so the steal path runs
+        // hot: workers finish their initial chunks at different times
+        // and repartition the tail among themselves. The slot fold must
+        // erase every trace of who ran what: 1 worker vs 8 workers vs a
+        // repeated 8-worker run all produce the same summary, exactly.
+        let mut one = CampaignConfig::new(2_000, 99, RunMode::Analytic);
+        one.workers = 1;
+        one.shard_users = 16;
+        let mut eight = one.clone();
+        eight.workers = 8;
+        let a = run_campaign(&one);
+        let b = run_campaign(&eight);
+        let c = run_campaign(&eight);
+        assert_eq!(a, b, "steal scheduling changed campaign output");
+        assert_eq!(b, c, "repeated stealing run diverged");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod analysis;
 pub mod campaign;
 pub mod measure;
+pub mod steal;
 pub mod world;
 
 pub use analysis::{CrowdAnalysis, Table1Row};
@@ -31,4 +32,5 @@ pub use campaign::{
     CAMPAIGN_CLUSTERS,
 };
 pub use measure::{measure_pair, measure_pair_arena, RunMeasurement, RunMode};
+pub use steal::StealQueue;
 pub use world::{dataset_to_csv, generate_dataset, paper_clusters, ClusterProfile, MeasurementRun};

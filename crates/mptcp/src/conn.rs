@@ -319,6 +319,8 @@ pub struct MptcpConnection {
     test_dss_double_every: u64,
     /// Count of data DSS mappings emitted (drives the knob above).
     dss_maps_emitted: u64,
+    /// Reused per-subflow segment buffer for [`MptcpConnection::take_tx_into`].
+    tx_raw_scratch: Vec<Segment>,
 }
 
 impl MptcpConnection {
@@ -409,6 +411,7 @@ impl MptcpConnection {
             aborted: false,
             test_dss_double_every: 0,
             dss_maps_emitted: 0,
+            tx_raw_scratch: Vec::new(),
         }
     }
 
@@ -1265,25 +1268,35 @@ impl MptcpConnection {
     /// Drain decorated outgoing segments: `(subflow index, local iface,
     /// remote addr, segment)`.
     pub fn take_tx(&mut self, now: Time) -> Vec<(usize, Addr, Addr, Segment)> {
+        let mut out = Vec::new();
+        self.take_tx_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-light [`MptcpConnection::take_tx`]: drain outgoing
+    /// decorated segments into a caller-provided buffer, reusing an
+    /// internal per-subflow scratch for the raw TCP segments.
+    pub fn take_tx_into(&mut self, now: Time, out: &mut Vec<(usize, Addr, Addr, Segment)>) {
         self.pump_send(now);
         let data_ack = self.data_ack_out();
         let fin_ready = self.data_fin_ready();
         let fin_dsn = self.snd_buf.end();
-        let mut out = Vec::new();
+        let mut raw = std::mem::take(&mut self.tx_raw_scratch);
         for idx in 0..self.subflows.len() {
-            let raw = self.subflows[idx].conn.take_tx(now);
-            for seg in raw {
+            raw.clear();
+            self.subflows[idx].conn.take_tx_into(now, &mut raw);
+            for seg in raw.drain(..) {
                 for piece in self.decorate(idx, seg, data_ack, fin_ready, fin_dsn) {
                     let sf = &self.subflows[idx];
                     out.push((idx, sf.iface, sf.remote_addr, piece));
                 }
             }
         }
+        self.tx_raw_scratch = raw;
         // Once the FASTCLOSE has left, tear the subflows down locally.
         if self.aborting && !self.aborted && self.subflows.iter().all(|s| !s.pending_fastclose) {
             self.finish_abort(now);
         }
-        out
     }
 
     /// Attach DSS (and pending REMOVE_ADDR) to an outgoing subflow

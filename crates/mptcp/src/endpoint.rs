@@ -23,6 +23,8 @@ pub struct ClientEndpoint {
     conns: Vec<MptcpConnection>,
     next_port: u16,
     key_rng: DetRng,
+    /// Reused per-connection buffer for [`ClientEndpoint::take_tx_into`].
+    tx_scratch: Vec<(usize, Addr, Addr, Segment)>,
 }
 
 impl ClientEndpoint {
@@ -36,6 +38,7 @@ impl ClientEndpoint {
             conns: Vec::new(),
             next_port: 40_000,
             key_rng: DetRng::seed_from_u64(key_seed),
+            tx_scratch: Vec::new(),
         }
     }
 
@@ -134,12 +137,24 @@ impl ClientEndpoint {
     /// Drain outgoing segments: `(local interface, remote address, segment)`.
     pub fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
         let mut out = Vec::new();
-        for conn in &mut self.conns {
-            for (_, iface, remote, seg) in conn.take_tx(now) {
-                out.push((iface, remote, seg));
-            }
-        }
+        self.take_tx_into(now, &mut out);
         out
+    }
+
+    /// Allocation-free `take_tx`: drain outgoing segments into a
+    /// caller-provided buffer, reusing an internal per-connection
+    /// scratch (the per-step driver path).
+    pub fn take_tx_into(&mut self, now: Time, out: &mut Vec<(Addr, Addr, Segment)>) {
+        let mut raw = std::mem::take(&mut self.tx_scratch);
+        for conn in &mut self.conns {
+            raw.clear();
+            conn.take_tx_into(now, &mut raw);
+            out.extend(
+                raw.drain(..)
+                    .map(|(_, iface, remote, seg)| (iface, remote, seg)),
+            );
+        }
+        self.tx_scratch = raw;
     }
 
     /// Local notification that an interface was disabled (`multipath
@@ -178,6 +193,8 @@ pub struct ServerEndpoint {
     conns: Vec<MptcpConnection>,
     accepted: Vec<usize>,
     key_rng: DetRng,
+    /// Reused per-connection buffer for [`ServerEndpoint::take_tx_into`].
+    tx_scratch: Vec<(usize, Addr, Addr, Segment)>,
 }
 
 impl ServerEndpoint {
@@ -197,6 +214,7 @@ impl ServerEndpoint {
             conns: Vec::new(),
             accepted: Vec::new(),
             key_rng: DetRng::seed_from_u64(key_seed ^ 0xA24B_AED4_963E_E407),
+            tx_scratch: Vec::new(),
         }
     }
 
@@ -291,12 +309,24 @@ impl ServerEndpoint {
     /// Drain outgoing segments: `(local interface, remote address, segment)`.
     pub fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
         let mut out = Vec::new();
-        for conn in &mut self.conns {
-            for (_, iface, remote, seg) in conn.take_tx(now) {
-                out.push((iface, remote, seg));
-            }
-        }
+        self.take_tx_into(now, &mut out);
         out
+    }
+
+    /// Allocation-free `take_tx`: drain outgoing segments into a
+    /// caller-provided buffer, reusing an internal per-connection
+    /// scratch (the per-step driver path).
+    pub fn take_tx_into(&mut self, now: Time, out: &mut Vec<(Addr, Addr, Segment)>) {
+        let mut raw = std::mem::take(&mut self.tx_scratch);
+        for conn in &mut self.conns {
+            raw.clear();
+            conn.take_tx_into(now, &mut raw);
+            out.extend(
+                raw.drain(..)
+                    .map(|(_, iface, remote, seg)| (iface, remote, seg)),
+            );
+        }
+        self.tx_scratch = raw;
     }
 }
 

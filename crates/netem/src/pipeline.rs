@@ -11,6 +11,7 @@
 use crate::frame::Frame;
 use crate::stage::Stage;
 use mpwifi_simcore::Time;
+use std::cell::Cell;
 
 /// Counters describing everything a pipeline did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +34,16 @@ pub struct Pipeline {
     stages: Vec<Box<dyn Stage>>,
     up: bool,
     stats: PipelineStats,
+    /// Cached ready horizon: `Some(h)` means the min over all stages'
+    /// `next_ready()` is exactly `h` (which may itself be `None` for a
+    /// quiescent pipeline); the outer `None` means "dirty, recompute".
+    /// Every mutation path (`push`, `poll_into` movement, `set_up`,
+    /// `stage_mut`, `push_stage`, `truncate_stages`, `begin_run`)
+    /// invalidates it, so `next_ready` is an O(1) field read on the
+    /// simulator's per-step due checks between mutations.
+    horizon: Cell<Option<Option<Time>>>,
+    /// Scratch for batch hand-off between stages, reused across polls.
+    transfer: Vec<(Time, Frame)>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -54,7 +65,14 @@ impl Pipeline {
             stages,
             up: true,
             stats: PipelineStats::default(),
+            horizon: Cell::new(None),
+            transfer: Vec::new(),
         }
+    }
+
+    /// Drop the cached ready horizon after any stage mutation.
+    fn invalidate_horizon(&mut self) {
+        *self.horizon.get_mut() = None;
     }
 
     /// Human-readable label ("wifi-down", "lte-up", ...).
@@ -79,6 +97,7 @@ impl Pipeline {
             }
         }
         self.up = up;
+        self.invalidate_horizon();
     }
 
     /// Offer a frame to the ingress.
@@ -89,11 +108,19 @@ impl Pipeline {
             return;
         }
         self.stages[0].push(now, frame);
+        self.invalidate_horizon();
     }
 
-    /// Earliest time any internal stage can emit a frame.
+    /// Earliest time any internal stage can emit a frame. Served from the
+    /// cached horizon when clean — the stage scan runs at most once per
+    /// mutation, so the simulator's repeated due checks are field reads.
     pub fn next_ready(&self) -> Option<Time> {
-        self.stages.iter().filter_map(|s| s.next_ready()).min()
+        if let Some(cached) = self.horizon.get() {
+            return cached;
+        }
+        let h = self.stages.iter().filter_map(|s| s.next_ready()).min();
+        self.horizon.set(Some(h));
+        h
     }
 
     /// Advance internal frame movement up to `now` and collect frames that
@@ -101,41 +128,55 @@ impl Pipeline {
     ///
     /// Allocates a fresh `Vec` per call; the simulation driver uses
     /// [`Self::poll_into`] with a scratch buffer reused across steps.
+    #[deprecated(note = "allocates per call; use poll_into with a reused scratch buffer")]
     pub fn poll(&mut self, now: Time) -> Vec<Frame> {
         let mut out = Vec::new();
         self.poll_into(now, &mut out);
         out
     }
 
-    /// [`Self::poll`], but appending exiting frames to a caller-provided
-    /// buffer. The caller owns `out` and its clearing policy (the driver
-    /// drains it after delivery, so one buffer serves every step); this
-    /// method only appends.
+    /// [`poll`](Self::poll), but appending exiting frames to a
+    /// caller-provided buffer. The caller owns `out` and its clearing
+    /// policy (the driver drains it after delivery, so one buffer serves
+    /// every step); this method only appends.
+    ///
+    /// Frames move in a single forward pass, a batch per stage: stage i
+    /// pushes only into stage i+1 at the frame's true exit instant, so by
+    /// the time stage i+1 drains, every frame that could reach it this
+    /// poll already has — one pass leaves nothing due (the pre-PR 7
+    /// fixpoint loop's extra passes only ever verified this).
     pub fn poll_into(&mut self, now: Time, out: &mut Vec<Frame>) {
-        // Keep moving frames until no stage can emit at `now`. A frame
-        // exiting stage i at time t enters stage i+1 at the same t.
-        loop {
-            let mut moved = false;
-            for i in 0..self.stages.len() {
-                while let Some((exit, frame)) = self.stages[i].pop_ready(now) {
-                    moved = true;
-                    if i + 1 < self.stages.len() {
-                        // Hand the frame over at its true transit instant,
-                        // not the (possibly later) poll instant.
-                        self.stages[i + 1].push(exit, frame);
-                    } else if self.up {
-                        self.stats.delivered += 1;
-                        self.stats.bytes_delivered += frame.wire_len() as u64;
-                        out.push(frame);
-                    } else {
-                        self.stats.dropped_down += 1;
-                    }
+        // Quiescent fast path: nothing is due, nothing can move.
+        match self.next_ready() {
+            Some(h) if h <= now => {}
+            _ => return,
+        }
+        let last = self.stages.len() - 1;
+        // `transfer` is a field only to reuse its allocation; take it to
+        // split the borrow from `self.stages`.
+        let mut transfer = std::mem::take(&mut self.transfer);
+        for i in 0..=last {
+            transfer.clear();
+            self.stages[i].pop_ready_batch(now, &mut transfer);
+            if i < last {
+                // Hand frames over at their true transit instants, not
+                // the (possibly later) poll instant.
+                for (exit, frame) in transfer.drain(..) {
+                    self.stages[i + 1].push(exit, frame);
                 }
-            }
-            if !moved {
-                break;
+            } else if self.up {
+                for (_, frame) in transfer.drain(..) {
+                    self.stats.delivered += 1;
+                    self.stats.bytes_delivered += frame.wire_len() as u64;
+                    out.push(frame);
+                }
+            } else {
+                self.stats.dropped_down += transfer.len() as u64;
+                transfer.clear();
             }
         }
+        self.transfer = transfer;
+        self.invalidate_horizon();
     }
 
     /// Aggregate counters. Stage drop counts are read live, so the
@@ -155,8 +196,10 @@ impl Pipeline {
     }
 
     /// Mutable access to a stage (e.g. to change a link's service rate
-    /// mid-run). Panics on out-of-range index.
+    /// mid-run). Panics on out-of-range index. Conservatively drops the
+    /// cached ready horizon — the caller may reschedule anything.
     pub fn stage_mut(&mut self, index: usize) -> &mut dyn Stage {
+        self.invalidate_horizon();
         self.stages[index].as_mut()
     }
 
@@ -171,6 +214,7 @@ impl Pipeline {
     pub fn begin_run(&mut self) {
         self.stats = PipelineStats::default();
         self.up = true;
+        self.invalidate_horizon();
     }
 
     /// Drop stages beyond `len` (a reused pipeline whose new spec needs
@@ -178,16 +222,22 @@ impl Pipeline {
     pub fn truncate_stages(&mut self, len: usize) {
         assert!(len >= 1, "pipeline needs at least one stage");
         self.stages.truncate(len);
+        self.invalidate_horizon();
     }
 
     /// Append a stage at the egress end.
     pub fn push_stage(&mut self, stage: Box<dyn Stage>) {
         self.stages.push(stage);
+        self.invalidate_horizon();
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // Tests exercise the allocating `poll` on purpose: it is the
+    // convenience wrapper around `poll_into` and keeps assertions terse.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::frame::Addr;
     use crate::stage::{DelayStage, LinkQueue, LossStage};

@@ -26,6 +26,18 @@ pub trait Stage: std::fmt::Debug {
     /// t enters the delay stage at t even if the poll happens later.
     fn pop_ready(&mut self, now: Time) -> Option<(Time, Frame)>;
 
+    /// Pop *every* frame whose exit time is `<= now`, appending
+    /// `(exit, frame)` pairs to `out` in pop order. Semantically exactly
+    /// a [`Self::pop_ready`] loop until `None` (the default body), but
+    /// one virtual call per stage per poll instead of one per frame;
+    /// stages whose queues are already exit-sorted override it to drain
+    /// the due prefix as a slice.
+    fn pop_ready_batch(&mut self, now: Time, out: &mut Vec<(Time, Frame)>) {
+        while let Some(item) = self.pop_ready(now) {
+            out.push(item);
+        }
+    }
+
     /// Frames dropped by this stage so far.
     fn dropped(&self) -> u64 {
         0
@@ -410,6 +422,17 @@ impl Stage for DelayStage {
         }
     }
 
+    fn pop_ready_batch(&mut self, now: Time, out: &mut Vec<(Time, Frame)>) {
+        // Exits are non-decreasing (FIFO clamp in `push`), so the due
+        // frames are exactly the front run with exit <= now.
+        let n = self
+            .in_flight
+            .iter()
+            .take_while(|&&(t, _)| t <= now)
+            .count();
+        out.extend(self.in_flight.drain(..n));
+    }
+
     fn set_delay(&mut self, delay: Dur) {
         DelayStage::set_delay(self, delay);
     }
@@ -475,6 +498,17 @@ impl Stage for LossStage {
             Some(&(t, _)) if t <= now => self.passthrough.pop_front(),
             _ => None,
         }
+    }
+
+    fn pop_ready_batch(&mut self, now: Time, out: &mut Vec<(Time, Frame)>) {
+        // Pass-through times are non-decreasing (pushes arrive in time
+        // order), so the due frames are the front run.
+        let n = self
+            .passthrough
+            .iter()
+            .take_while(|&&(t, _)| t <= now)
+            .count();
+        out.extend(self.passthrough.drain(..n));
     }
 
     fn dropped(&self) -> u64 {

@@ -346,6 +346,9 @@ pub fn measure_ping(spec: &LinkSpec, n: usize, seed: u64) -> Dur {
     let mut total = Dur::ZERO;
     let mut received = 0u64;
     let mut now = Time::ZERO;
+    // Scratch buffers reused across probes (no per-poll allocation).
+    let mut ups: Vec<Frame> = Vec::new();
+    let mut downs: Vec<Frame> = Vec::new();
     for i in 0..n {
         let start = now;
         // 64-byte ICMP-ish probe + 20-byte IP header.
@@ -364,8 +367,9 @@ pub fn measure_ping(spec: &LinkSpec, n: usize, seed: u64) -> Dur {
                 break None;
             };
             now = now.max(t);
-            let (ups, _) = pair.poll(now);
-            if let Some(f) = ups.into_iter().next() {
+            ups.clear();
+            pair.up.poll_into(now, &mut ups);
+            if let Some(f) = ups.drain(..).next() {
                 break Some(f);
             }
         };
@@ -383,8 +387,10 @@ pub fn measure_ping(spec: &LinkSpec, n: usize, seed: u64) -> Dur {
                     break false;
                 };
                 now = now.max(t);
-                let (_, downs) = pair.poll(now);
+                downs.clear();
+                pair.down.poll_into(now, &mut downs);
                 if !downs.is_empty() {
+                    downs.clear();
                     break true;
                 }
             }

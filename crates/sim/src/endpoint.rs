@@ -30,6 +30,14 @@ pub trait Endpoint: 'static {
     /// segment)`.
     fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)>;
 
+    /// Allocation-free [`Endpoint::take_tx`]: append outgoing segments
+    /// to a caller-provided buffer. The sim driver calls this twice per
+    /// step with a reused scratch buffer; hosts on the transfer hot
+    /// path override it to avoid the default's per-call `Vec`.
+    fn take_tx_into(&mut self, now: Time, out: &mut Vec<(Addr, Addr, Segment)>) {
+        out.extend(self.take_tx(now));
+    }
+
     /// Earliest pending timer.
     fn next_timer(&self) -> Option<Time>;
 
@@ -125,6 +133,8 @@ pub struct TcpClientHost {
     server_addr: Addr,
     /// The underlying connection stack (public for workload drivers).
     pub stack: TcpStack,
+    /// Reused segment buffer for [`Endpoint::take_tx_into`].
+    tx_scratch: Vec<Segment>,
 }
 
 impl TcpClientHost {
@@ -134,6 +144,7 @@ impl TcpClientHost {
             iface,
             server_addr,
             stack: TcpStack::new(iss_seed),
+            tx_scratch: Vec::new(),
         }
     }
 
@@ -149,11 +160,19 @@ impl Endpoint for TcpClientHost {
     }
 
     fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
-        self.stack
-            .take_tx(now)
-            .into_iter()
-            .map(|seg| (self.iface, self.server_addr, seg))
-            .collect()
+        let mut out = Vec::new();
+        self.take_tx_into(now, &mut out);
+        out
+    }
+
+    fn take_tx_into(&mut self, now: Time, out: &mut Vec<(Addr, Addr, Segment)>) {
+        let mut segs = std::mem::take(&mut self.tx_scratch);
+        self.stack.take_tx_into(now, &mut segs);
+        out.extend(
+            segs.drain(..)
+                .map(|seg| (self.iface, self.server_addr, seg)),
+        );
+        self.tx_scratch = segs;
     }
 
     fn next_timer(&self) -> Option<Time> {
@@ -191,6 +210,8 @@ pub struct TcpServerHost {
     /// [`ResetEndpoint::reset_run`] so a re-armed server accepts on the
     /// same ports a fresh one would.
     listens: Vec<(u16, TcpConfig)>,
+    /// Reused segment buffer for [`Endpoint::take_tx_into`].
+    tx_scratch: Vec<Segment>,
 }
 
 impl TcpServerHost {
@@ -203,6 +224,7 @@ impl TcpServerHost {
             stack,
             peer_addr: HashMap::new(),
             listens: vec![(listen_port, cfg)],
+            tx_scratch: Vec::new(),
         }
     }
 
@@ -220,20 +242,25 @@ impl Endpoint for TcpServerHost {
     }
 
     fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
+        let mut out = Vec::new();
+        self.take_tx_into(now, &mut out);
+        out
+    }
+
+    fn take_tx_into(&mut self, now: Time, out: &mut Vec<(Addr, Addr, Segment)>) {
         let local = self.local_addr;
+        let mut segs = std::mem::take(&mut self.tx_scratch);
+        self.stack.take_tx_into(now, &mut segs);
         let peer_addr = &self.peer_addr;
-        self.stack
-            .take_tx(now)
-            .into_iter()
-            .filter_map(|seg| {
-                // A reply whose peer interface was never learned (the
-                // connection's only inbound segment was corrupted away,
-                // say) has nowhere to go: drop it rather than panic.
-                // The connection's own retransmit timer recovers.
-                let dst = peer_addr.get(&(seg.src_port, seg.dst_port)).copied()?;
-                Some((local, dst, seg))
-            })
-            .collect()
+        out.extend(segs.drain(..).filter_map(|seg| {
+            // A reply whose peer interface was never learned (the
+            // connection's only inbound segment was corrupted away,
+            // say) has nowhere to go: drop it rather than panic.
+            // The connection's own retransmit timer recovers.
+            let dst = peer_addr.get(&(seg.src_port, seg.dst_port)).copied()?;
+            Some((local, dst, seg))
+        }));
+        self.tx_scratch = segs;
     }
 
     fn next_timer(&self) -> Option<Time> {
@@ -300,6 +327,10 @@ impl Endpoint for MptcpClientHost {
         self.mp.take_tx(now)
     }
 
+    fn take_tx_into(&mut self, now: Time, out: &mut Vec<(Addr, Addr, Segment)>) {
+        self.mp.take_tx_into(now, out);
+    }
+
     fn next_timer(&self) -> Option<Time> {
         self.mp.next_timer()
     }
@@ -348,6 +379,10 @@ impl Endpoint for MptcpServerHost {
 
     fn take_tx(&mut self, now: Time) -> Vec<(Addr, Addr, Segment)> {
         self.mp.take_tx(now)
+    }
+
+    fn take_tx_into(&mut self, now: Time, out: &mut Vec<(Addr, Addr, Segment)>) {
+        self.mp.take_tx_into(now, out);
     }
 
     fn next_timer(&self) -> Option<Time> {

@@ -285,6 +285,7 @@ impl PathPair {
     ///
     /// Allocates two fresh `Vec`s per call; the simulation driver uses
     /// [`Self::poll_into`] with scratch buffers reused across steps.
+    #[deprecated(note = "allocates per call; use poll_into with reused scratch buffers")]
     pub fn poll(&mut self, now: Time) -> (Vec<Frame>, Vec<Frame>) {
         let mut up_out = Vec::new();
         let mut down_out = Vec::new();
@@ -303,6 +304,9 @@ impl PathPair {
 
 #[cfg(test)]
 mod tests {
+    // The allocating `poll` is the terse assertion surface for tests.
+    #![allow(deprecated)]
+
     use super::*;
     use bytes::Bytes;
     use mpwifi_netem::Addr;

@@ -249,6 +249,10 @@ pub struct Sim<C: Endpoint, S: Endpoint> {
     to_server_lte: Vec<Frame>,
     to_client_wifi: Vec<Frame>,
     to_client_lte: Vec<Frame>,
+    /// Scratch buffer for endpoint TX drains ([`Sim::drain_tx`] runs
+    /// twice per step), reused so the hot loop never allocates segment
+    /// `Vec`s either.
+    tx_scratch: Vec<(Addr, Addr, Segment)>,
     /// Optional conformance witness (see [`crate::check`]). `None` in
     /// every measurement run; costs one branch per step when absent.
     observer: Option<Box<dyn SimObserver<C, S>>>,
@@ -407,6 +411,7 @@ impl<C: ResetEndpoint, S: ResetEndpoint> Sim<C, S> {
         self.to_server_lte.clear();
         self.to_client_wifi.clear();
         self.to_client_lte.clear();
+        self.tx_scratch.clear();
         self.observer = None;
         self.delivered_bytes = 0;
         self.last_advance = Time::ZERO;
@@ -478,6 +483,7 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
             to_server_lte: Vec::new(),
             to_client_wifi: Vec::new(),
             to_client_lte: Vec::new(),
+            tx_scratch: Vec::new(),
             observer: None,
             delivered_bytes: 0,
             last_advance: Time::ZERO,
@@ -581,14 +587,18 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
     /// `obs == None` this is the exact pre-observer code path.
     fn drain_tx(&mut self, mut obs: Option<&mut (dyn SimObserver<C, S> + 'static)>) {
         let now = self.now;
+        // The scratch is moved out so the observer can borrow `self`
+        // immutably while we iterate it; restored (drained, capacity
+        // kept) at the end.
+        let mut tx = std::mem::take(&mut self.tx_scratch);
         // Client: src interface selects the link's uplink.
-        let client_tx = self.client.take_tx(now);
+        self.client.take_tx_into(now, &mut tx);
         if let Some(o) = obs.as_deref_mut() {
-            for (src_iface, _dst, seg) in &client_tx {
+            for (src_iface, _dst, seg) in &tx {
                 o.on_transmit(now, TxHost::Client, *src_iface, seg, self);
             }
         }
-        for (src_iface, dst, seg) in client_tx {
+        for (src_iface, dst, seg) in tx.drain(..) {
             let bytes = self.pool.encode(&seg);
             let len = bytes.len();
             self.frame_seq += 1;
@@ -597,18 +607,19 @@ impl<C: Endpoint, S: Endpoint> Sim<C, S> {
             self.pair_mut(src_iface).up.push(now, frame);
         }
         // Server: destination (a client interface) selects the downlink.
-        let server_tx = self.server.take_tx(now);
+        self.server.take_tx_into(now, &mut tx);
         if let Some(o) = obs {
-            for (_src, dst_iface, seg) in &server_tx {
+            for (_src, dst_iface, seg) in &tx {
                 o.on_transmit(now, TxHost::Server, *dst_iface, seg, self);
             }
         }
-        for (src, dst_iface, seg) in server_tx {
+        for (src, dst_iface, seg) in tx.drain(..) {
             let bytes = self.pool.encode(&seg);
             self.frame_seq += 1;
             let frame = Frame::new(self.frame_seq, src, dst_iface, bytes, now);
             self.pair_mut(dst_iface).down.push(now, frame);
         }
+        self.tx_scratch = tx;
     }
 
     fn apply_script(&mut self) {

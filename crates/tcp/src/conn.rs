@@ -551,10 +551,18 @@ impl TcpConnection {
 
     /// Drain outgoing segments, generating pending output first.
     pub fn take_tx(&mut self, now: Time) -> Vec<Segment> {
-        self.output(now);
-        let out: Vec<Segment> = self.tx.drain(..).collect();
-        self.stats.segs_sent += out.len() as u64;
+        let mut out = Vec::new();
+        self.take_tx_into(now, &mut out);
         out
+    }
+
+    /// Allocation-free [`TcpConnection::take_tx`]: drain outgoing
+    /// segments into a caller-provided buffer (the per-step driver path;
+    /// the buffer is reused across steps).
+    pub fn take_tx_into(&mut self, now: Time, out: &mut Vec<Segment>) {
+        self.output(now);
+        self.stats.segs_sent += self.tx.len() as u64;
+        out.extend(self.tx.drain(..));
     }
 
     // ------------------------------------------------------------------

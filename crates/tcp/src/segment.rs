@@ -482,42 +482,58 @@ fn parse_option(kind: u8, wire: &Bytes, start: usize, len: usize) -> Option<TcpO
     })
 }
 
-/// Checksum of a TCP portion with its checksum field (word 8, bytes
-/// 16–17) read as zero — i.e. the exact value a canonical encoder would
-/// have written there. `tcp` must be at least [`HEADER_LEN`] bytes.
-fn expected_checksum(tcp: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
-    let mut chunks = tcp.chunks_exact(2);
-    for (i, c) in (&mut chunks).enumerate() {
-        if i != 8 {
-            sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
-        }
+/// Ones'-complement accumulation over `data`, four bytes at a time.
+/// Summing 32-bit big-endian chunks is congruent to summing the classic
+/// 16-bit words because 2^16 ≡ 1 (mod 2^16 − 1); a trailing partial
+/// chunk is zero-padded, which reproduces the odd-byte rule exactly.
+/// The u64 accumulator cannot overflow below ~2^32 bytes of input, and
+/// the wider, branch-free loop vectorizes where the 16-bit one did not.
+#[inline]
+fn wide_ones_complement_sum(data: &[u8]) -> u64 {
+    let mut sum: u64 = 0;
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        sum += u64::from(u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
     }
-    if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 4];
+        tail[..rem.len()].copy_from_slice(rem);
+        sum += u64::from(u32::from_be_bytes(tail));
     }
+    sum
+}
+
+/// Fold a wide accumulator to 16 bits and complement. The fold result
+/// depends only on the accumulator's residue mod 2^16 − 1 (and whether
+/// it is exactly zero), so any congruent summation order yields the
+/// same checksum as the reference word-at-a-time loop.
+#[inline]
+fn fold_complement(mut sum: u64) -> u16 {
     while sum > 0xffff {
         sum = (sum & 0xffff) + (sum >> 16);
     }
     !(sum as u16)
 }
 
+/// Checksum of a TCP portion with its checksum field (word 8, bytes
+/// 16–17) read as zero — i.e. the exact value a canonical encoder would
+/// have written there. `tcp` must be at least [`HEADER_LEN`] bytes.
+fn expected_checksum(tcp: &[u8]) -> u16 {
+    // Sum everything branch-free, then remove the stored checksum's
+    // contribution. Bytes 16–17 are the high half of the [16, 20) chunk
+    // (HEADER_LEN ≥ 20 guarantees that chunk is complete), so the field
+    // contributed exactly `stored << 16` to the accumulator and the
+    // subtraction is exact in u64 — no modular correction needed.
+    let stored = u64::from(u16::from_be_bytes([tcp[16], tcp[17]]));
+    fold_complement(wide_ones_complement_sum(tcp) - (stored << 16))
+}
+
 /// Standard internet ones'-complement checksum. Returns the value that
 /// makes a buffer containing it sum to zero; checking a received buffer
 /// (checksum in place) must yield 0.
 pub fn internet_checksum(data: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
-    let mut chunks = data.chunks_exact(2);
-    for c in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
-    }
-    if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
-    }
-    while sum > 0xffff {
-        sum = (sum & 0xffff) + (sum >> 16);
-    }
-    !(sum as u16)
+    fold_complement(wide_ones_complement_sum(data))
 }
 
 #[cfg(test)]

@@ -9,15 +9,21 @@
 use crate::conn::{TcpConfig, TcpConnection};
 use crate::segment::Segment;
 use mpwifi_simcore::Time;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Connection key: `(local_port, remote_port)`.
 pub type SocketId = (u16, u16);
 
 /// A set of TCP connections sharing one interface/endpoint.
+///
+/// Connections live in a `BTreeMap` so every aggregate walk (timers,
+/// outgoing segments) iterates in sorted socket-id order without
+/// building a sorted key list first — the per-step driver calls
+/// [`TcpStack::take_tx_into`] and [`TcpStack::on_timers`] several times
+/// per event, and those walks must be allocation-free.
 #[derive(Debug)]
 pub struct TcpStack {
-    conns: HashMap<SocketId, TcpConnection>,
+    conns: BTreeMap<SocketId, TcpConnection>,
     listeners: HashMap<u16, TcpConfig>,
     next_ephemeral: u16,
     iss_counter: u32,
@@ -29,7 +35,7 @@ impl TcpStack {
     /// deterministic yet distinct across hosts.
     pub fn new(iss_seed: u32) -> TcpStack {
         TcpStack {
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             listeners: HashMap::new(),
             next_ephemeral: 49_152,
             iss_counter: iss_seed,
@@ -99,9 +105,7 @@ impl TcpStack {
 
     /// All connection ids (stable order: sorted, for determinism).
     pub fn socket_ids(&self) -> Vec<SocketId> {
-        let mut ids: Vec<_> = self.conns.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.conns.keys().copied().collect()
     }
 
     /// Number of live connections.
@@ -144,13 +148,12 @@ impl TcpStack {
         self.conns.values().filter_map(|c| c.next_timer()).min()
     }
 
-    /// Fire timers due at `now` on every connection.
+    /// Fire timers due at `now` on every connection (sorted socket-id
+    /// order, allocation-free).
     pub fn on_timers(&mut self, now: Time) {
-        for id in self.socket_ids() {
-            if let Some(c) = self.conns.get_mut(&id) {
-                if c.next_timer().is_some_and(|t| t <= now) {
-                    c.on_timers(now);
-                }
+        for c in self.conns.values_mut() {
+            if c.next_timer().is_some_and(|t| t <= now) {
+                c.on_timers(now);
             }
         }
     }
@@ -159,12 +162,17 @@ impl TcpStack {
     /// (sorted socket id) order.
     pub fn take_tx(&mut self, now: Time) -> Vec<Segment> {
         let mut out = Vec::new();
-        for id in self.socket_ids() {
-            if let Some(c) = self.conns.get_mut(&id) {
-                out.extend(c.take_tx(now));
-            }
-        }
+        self.take_tx_into(now, &mut out);
         out
+    }
+
+    /// Allocation-free [`TcpStack::take_tx`]: drain outgoing segments
+    /// from every connection into a caller-provided buffer, in the same
+    /// deterministic sorted-socket-id order.
+    pub fn take_tx_into(&mut self, now: Time, out: &mut Vec<Segment>) {
+        for c in self.conns.values_mut() {
+            c.take_tx_into(now, out);
+        }
     }
 
     /// Drop fully closed connections; returns how many were reaped.

@@ -6,13 +6,16 @@
 #
 # The vendored criterion shim appends one JSON object per benchmark
 # ({"id", "median_ns", "samples"}) to the file named by
-# MPWIFI_BENCH_JSON; this script wraps those lines into a JSON array.
+# MPWIFI_BENCH_JSON; this script wraps those lines, plus a machine
+# metadata block (core count, rustc, kernel), into a JSON object.
 # Numbers are medians on whatever machine ran the script — compare
-# ratios against the committed baseline, not absolute values.
+# ratios against the committed baseline (scripts/bench_gate), not
+# absolute values, and rebaseline when the box changes (the metadata
+# block records enough to notice).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR7.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -25,10 +28,17 @@ if [ "$COUNT" -lt 5 ]; then
     exit 1
 fi
 
+CORES="$(nproc 2>/dev/null || echo 0)"
+RUSTC="$(rustc --version)"
+KERNEL="$(uname -sr)"
 {
-    echo "["
-    sed '$!s/$/,/; s/^/  /' "$RAW"
-    echo "]"
+    echo "{"
+    printf '  "machine": {"cores": %s, "rustc": "%s", "os": "%s"},\n' \
+        "$CORES" "$RUSTC" "$KERNEL"
+    echo '  "results": ['
+    sed '$!s/$/,/; s/^/    /' "$RAW"
+    echo "  ]"
+    echo "}"
 } >"$OUT"
 
-echo "wrote $OUT ($COUNT benchmarks)"
+echo "wrote $OUT ($COUNT benchmarks, $CORES cores)"

@@ -3,8 +3,12 @@
 # Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke]
 #   --bench-smoke   also build the criterion benches and run each for a
 #                   single iteration (cargo bench -- --test), proving
-#                   the benchmarks still compile and run without paying
-#                   for a full measurement.
+#                   the benchmarks still compile and run; then measure
+#                   the hot_path + simulator suites for real and run
+#                   scripts/bench_gate against the committed
+#                   BENCH_PR7.json baseline — any benchmark whose
+#                   median regressed more than 10% fails the check
+#                   with a per-id diff.
 #   --faults        also run the fault-injection smoke: the three
 #                   fault-* experiments at quick scale (reduced
 #                   onset/duration grids) plus the fault-sweep
@@ -80,6 +84,16 @@ cargo test -q
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     echo "== bench smoke: one iteration per benchmark"
     cargo bench -p mpwifi-bench -- --test
+    echo "== bench gate: hot_path + simulator medians vs BENCH_PR7.json"
+    BRAW="$(mktemp)"
+    MPWIFI_BENCH_JSON="$BRAW" cargo bench -p mpwifi-bench \
+        --bench hot_path --bench simulator >/dev/null
+    if ! scripts/bench_gate BENCH_PR7.json "$BRAW"; then
+        rm -f "$BRAW"
+        echo "bench gate failed (see per-id diff above)" >&2
+        exit 1
+    fi
+    rm -f "$BRAW"
 fi
 
 if [ "$FAULT_SMOKE" -eq 1 ]; then
