@@ -13,7 +13,7 @@
 //! measured and current ids with no baseline are reported but never
 //! fail the gate.
 
-use mpwifi_bench::gate::{compare, parse_records, render_report};
+use mpwifi_bench::gate::{compare, load_records, render_report, Side};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -54,11 +54,10 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let read = |path: &str| -> Result<_, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        parse_records(&text).map_err(|e| format!("{path}: {e}"))
-    };
-    let (baseline, current) = match (read(baseline_path), read(current_path)) {
+    let (baseline, current) = match (
+        load_records(baseline_path, Side::Baseline),
+        load_records(current_path, Side::Current),
+    ) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
             for r in [b.err(), c.err()].into_iter().flatten() {

@@ -95,6 +95,31 @@ fn excerpt(s: &str) -> String {
     s.chars().take(40).collect()
 }
 
+/// Which side of the comparison a file is. Errors on the baseline side
+/// get regeneration guidance; current-run errors stay bare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The committed baseline (e.g. `BENCH_PR7.json`).
+    Baseline,
+    /// The freshly measured run under test.
+    Current,
+}
+
+/// Read and parse one gate input. A missing or malformed baseline is
+/// the common operator error (fresh checkout, renamed baseline, a
+/// half-written file), so instead of a bare read/parse error it names
+/// the problem and the command that records a new baseline.
+pub fn load_records(path: &str, side: Side) -> Result<Vec<BenchRecord>, String> {
+    let fail = |cause: String| match side {
+        Side::Baseline => format!(
+            "no baseline found at {path} ({cause}) — run scripts/bench.sh {path} to record one"
+        ),
+        Side::Current => format!("{path}: {cause}"),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| fail(e.to_string()))?;
+    parse_records(&text).map_err(fail)
+}
+
 /// Compare `current` against `baseline`. Rows come out in baseline
 /// order with new ids appended; the boolean is `true` when no id
 /// regressed past `threshold` (e.g. `0.10` = fail on >10% slower).
@@ -285,6 +310,36 @@ mod tests {
         assert_eq!(rows[0].verdict, Verdict::NotMeasured); // a
         assert_eq!(rows[1].verdict, Verdict::Ok); // b
         assert_eq!(rows[2].verdict, Verdict::New); // z
+    }
+
+    #[test]
+    fn missing_baseline_says_how_to_record_one() {
+        let err = load_records("/nonexistent/BENCH_PR7.json", Side::Baseline).unwrap_err();
+        assert!(
+            err.contains("no baseline found at /nonexistent/BENCH_PR7.json"),
+            "{err}"
+        );
+        assert!(err.contains("scripts/bench.sh"), "{err}");
+    }
+
+    #[test]
+    fn malformed_baseline_says_how_to_record_one() {
+        let dir = std::env::temp_dir().join(format!("bench-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_PR7.json");
+        std::fs::write(&path, "this is not a baseline").unwrap();
+        let err = load_records(path.to_str().unwrap(), Side::Baseline).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(err.contains("no baseline found"), "{err}");
+        assert!(err.contains("no benchmark records found"), "{err}");
+        assert!(err.contains("scripts/bench.sh"), "{err}");
+    }
+
+    #[test]
+    fn current_side_errors_stay_bare() {
+        let err = load_records("/nonexistent/current.json", Side::Current).unwrap_err();
+        assert!(err.starts_with("/nonexistent/current.json:"), "{err}");
+        assert!(!err.contains("no baseline found"), "{err}");
     }
 
     #[test]

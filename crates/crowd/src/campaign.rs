@@ -257,6 +257,21 @@ fn measure_user(
 /// slot. Slots are folded in shard order, so the result is
 /// byte-identical for every worker count and every steal interleaving.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    run_campaign_with(cfg, |_, _, _| {})
+}
+
+/// [`run_campaign`] with a shard-completion observer, for hosts that
+/// stream progress (the campaign server). `on_shard(done, total, users)`
+/// is called after each shard's summary lands in its slot, with the
+/// number of shards finished so far, the total shard count, and the
+/// users measured so far. Calls come from worker threads in completion
+/// order (not shard order) — observation is inherently racy and **must
+/// not** influence results; the folded summary stays byte-identical to
+/// an unobserved run.
+pub fn run_campaign_with(
+    cfg: &CampaignConfig,
+    on_shard: impl Fn(u64, u64, u64) + Sync,
+) -> CampaignSummary {
     let clusters = paper_clusters();
     let worlds: Vec<WirelessWorld> = clusters
         .iter()
@@ -293,12 +308,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     let queue = StealQueue::new(num_shards, workers);
     let mut slots: Vec<Option<ShardSummary>> = (0..num_shards).map(|_| None).collect();
     let slot_guard = Mutex::new(&mut slots);
+    let done_shards = std::sync::atomic::AtomicU64::new(0);
+    let users_done = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queue = &queue;
             let worlds = &worlds;
             let cum_runs = &cum_runs;
             let slot_guard = &slot_guard;
+            let done_shards = &done_shards;
+            let users_done = &users_done;
+            let on_shard = &on_shard;
             scope.spawn(move || {
                 let mut arena = SimArena::new();
                 while let Some(shard) = queue.pop(w) {
@@ -317,6 +337,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
                         );
                     }
                     slot_guard.lock().unwrap()[shard as usize] = Some(summary);
+                    use std::sync::atomic::Ordering;
+                    let done = done_shards.fetch_add(1, Ordering::SeqCst) + 1;
+                    let users = users_done.fetch_add(hi - lo, Ordering::SeqCst) + (hi - lo);
+                    on_shard(done, num_shards, users);
                 }
             });
         }
@@ -479,6 +503,28 @@ mod tests {
         let c = run_campaign(&eight);
         assert_eq!(a, b, "steal scheduling changed campaign output");
         assert_eq!(b, c, "repeated stealing run diverged");
+    }
+
+    #[test]
+    fn observed_campaign_matches_unobserved_and_sees_every_shard() {
+        let mut cfg = CampaignConfig::new(1_000, 5, RunMode::Analytic);
+        cfg.workers = 4;
+        cfg.shard_users = 128;
+        let calls = Mutex::new(Vec::new());
+        let observed = run_campaign_with(&cfg, |done, total, users| {
+            calls.lock().unwrap().push((done, total, users));
+        });
+        let plain = run_campaign(&cfg);
+        assert_eq!(observed, plain, "observer changed campaign output");
+        let calls = calls.into_inner().unwrap();
+        assert_eq!(calls.len(), observed.shards as usize);
+        assert!(calls.iter().all(|&(_, total, _)| total == observed.shards));
+        assert_eq!(calls.iter().map(|c| c.2).max(), Some(cfg.users));
+        // Completion counters form a permutation of 1..=shards: every
+        // shard reported exactly once.
+        let mut dones: Vec<u64> = calls.iter().map(|c| c.0).collect();
+        dones.sort_unstable();
+        assert_eq!(dones, (1..=observed.shards).collect::<Vec<u64>>());
     }
 
     #[test]

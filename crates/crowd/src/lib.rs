@@ -28,8 +28,8 @@ pub mod world;
 
 pub use analysis::{CrowdAnalysis, Table1Row};
 pub use campaign::{
-    merge_agreement, run_campaign, CampaignConfig, CampaignSummary, ClusterTally, ShardSummary,
-    CAMPAIGN_CLUSTERS,
+    merge_agreement, run_campaign, run_campaign_with, CampaignConfig, CampaignSummary,
+    ClusterTally, ShardSummary, CAMPAIGN_CLUSTERS,
 };
 pub use measure::{measure_pair, measure_pair_arena, RunMeasurement, RunMode};
 pub use steal::StealQueue;

@@ -1,8 +1,8 @@
 //! One-direction paths assembled from stages.
 //!
 //! A [`Pipeline`] chains stages (typically queue+service → delay → loss)
-//! and exposes a single `next_ready`/`poll` interface to the simulation
-//! driver. It also carries the interface up/down gate used to emulate
+//! and exposes a single `next_ready`/`poll_into` interface to the
+//! simulation driver. It also carries the interface up/down gate used to emulate
 //! physically unplugging a tethered phone mid-flow (paper Figure 15g/h):
 //! cutting the gate immediately discards every frame queued inside the
 //! pipeline (counted as `dropped_down`), and every frame pushed while
@@ -123,20 +123,9 @@ impl Pipeline {
         h
     }
 
-    /// Advance internal frame movement up to `now` and collect frames that
-    /// exit the egress. Must be called with non-decreasing `now`.
-    ///
-    /// Allocates a fresh `Vec` per call; the simulation driver uses
-    /// [`Self::poll_into`] with a scratch buffer reused across steps.
-    #[deprecated(note = "allocates per call; use poll_into with a reused scratch buffer")]
-    pub fn poll(&mut self, now: Time) -> Vec<Frame> {
-        let mut out = Vec::new();
-        self.poll_into(now, &mut out);
-        out
-    }
-
-    /// [`poll`](Self::poll), but appending exiting frames to a
-    /// caller-provided buffer. The caller owns `out` and its clearing
+    /// Advance internal frame movement up to `now` and append frames
+    /// that exit the egress to a caller-provided buffer. Must be called
+    /// with non-decreasing `now`. The caller owns `out` and its clearing
     /// policy (the driver drains it after delivery, so one buffer serves
     /// every step); this method only appends.
     ///
@@ -234,10 +223,6 @@ impl Pipeline {
 
 #[cfg(test)]
 mod tests {
-    // Tests exercise the allocating `poll` on purpose: it is the
-    // convenience wrapper around `poll_into` and keeps assertions terse.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::frame::Addr;
     use crate::stage::{DelayStage, LinkQueue, LossStage};
@@ -252,6 +237,15 @@ mod tests {
             Bytes::from(vec![0u8; len]),
             Time::ZERO,
         )
+    }
+
+    /// Test-local allocating wrapper: keeps assertions terse without
+    /// reviving the production `poll` (drivers reuse scratch buffers
+    /// via `poll_into`).
+    fn poll(p: &mut Pipeline, now: Time) -> Vec<Frame> {
+        let mut out = Vec::new();
+        p.poll_into(now, &mut out);
+        out
     }
 
     fn rate_delay_pipeline(bps: u64, delay_ms: u64) -> Pipeline {
@@ -273,9 +267,9 @@ mod tests {
         // Polling at 10 ms moves the frame out of the queue (at its true
         // 1 ms exit) into the delay stage; it exits end-to-end at 11 ms
         // even though this poll happened "late".
-        assert!(p.poll(Time::from_millis(10)).is_empty());
+        assert!(poll(&mut p, Time::from_millis(10)).is_empty());
         assert_eq!(p.next_ready(), Some(Time::from_millis(11)));
-        let out = p.poll(Time::from_millis(11));
+        let out = poll(&mut p, Time::from_millis(11));
         assert_eq!(out.len(), 1);
         assert_eq!(p.stats().delivered, 1);
         assert_eq!(p.stats().bytes_delivered, 1500);
@@ -288,7 +282,7 @@ mod tests {
             p.push(Time::ZERO, frame(i, 1500));
         }
         // By 20 ms all three have fully exited (1,2,3 ms + 5 ms delay).
-        let out = p.poll(Time::from_millis(20));
+        let out = poll(&mut p, Time::from_millis(20));
         assert_eq!(out.len(), 3);
         assert_eq!(out.iter().map(|f| f.id).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
@@ -300,7 +294,7 @@ mod tests {
         p.push(Time::ZERO, frame(1, 100));
         assert_eq!(p.stats().dropped_down, 1);
         assert!(p.next_ready().is_none());
-        assert!(p.poll(Time::from_secs(1)).is_empty());
+        assert!(poll(&mut p, Time::from_secs(1)).is_empty());
     }
 
     #[test]
@@ -312,12 +306,12 @@ mod tests {
         // the pipeline is empty before any poll happens.
         assert_eq!(p.backlog(), 0);
         assert_eq!(p.stats().dropped_down, 1);
-        let out = p.poll(Time::from_secs(1));
+        let out = poll(&mut p, Time::from_secs(1));
         assert!(out.is_empty());
         // Re-raising the link lets later frames through.
         p.set_up(true);
         p.push(Time::from_secs(1), frame(2, 1500));
-        let out = p.poll(Time::from_secs(2));
+        let out = poll(&mut p, Time::from_secs(2));
         assert_eq!(out.len(), 1);
     }
 
@@ -329,7 +323,7 @@ mod tests {
         let mut p = rate_delay_pipeline(12_000_000, 10);
         p.push(Time::ZERO, frame(1, 1500)); // leaves queue at 1 ms
         p.push(Time::ZERO, frame(2, 1500)); // leaves queue at 2 ms
-        assert!(p.poll(Time::from_micros(1_500)).is_empty());
+        assert!(poll(&mut p, Time::from_micros(1_500)).is_empty());
         assert_eq!(p.backlog(), 2, "one in delay, one still queued");
         p.set_up(false);
         assert_eq!(p.backlog(), 0, "down flushes queued frames");
@@ -338,9 +332,9 @@ mod tests {
         assert_eq!(s.pushed, s.delivered + s.dropped_in_stages + s.dropped_down);
         // Nothing from before the cut ever re-emerges after restore.
         p.set_up(true);
-        assert!(p.poll(Time::from_secs(5)).is_empty());
+        assert!(poll(&mut p, Time::from_secs(5)).is_empty());
         p.push(Time::from_secs(5), frame(3, 1500));
-        let out = p.poll(Time::from_secs(6));
+        let out = poll(&mut p, Time::from_secs(6));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].id, 3);
     }
@@ -355,7 +349,7 @@ mod tests {
             ],
         );
         p.push(Time::ZERO, frame(1, 100));
-        let out = p.poll(Time::from_secs(1));
+        let out = poll(&mut p, Time::from_secs(1));
         assert!(out.is_empty());
         assert_eq!(p.stats().dropped_in_stages, 1);
     }
@@ -403,8 +397,8 @@ mod tests {
                 for (i, &len) in sizes.iter().enumerate() {
                     p.push(Time::from_micros(i as u64 * 50), frame(i as u64, len));
                 }
-                delivered += p.poll(Time::from_millis(drain_ms)).len() as u64;
-                delivered += p.poll(Time::from_secs(600)).len() as u64;
+                delivered += poll(&mut p, Time::from_millis(drain_ms)).len() as u64;
+                delivered += poll(&mut p, Time::from_secs(600)).len() as u64;
                 let s = p.stats();
                 prop_assert_eq!(s.delivered, delivered);
                 prop_assert_eq!(

@@ -9,8 +9,8 @@
 
 use crate::report::{Report, Scale};
 use mpwifi_crowd::{
-    merge_agreement, paper_clusters, run_campaign, CampaignConfig, CampaignSummary, RunMode,
-    CAMPAIGN_CLUSTERS,
+    merge_agreement, paper_clusters, run_campaign, run_campaign_with, CampaignConfig,
+    CampaignSummary, RunMode, CAMPAIGN_CLUSTERS,
 };
 use mpwifi_measure::render::{series_block_iter, TextTable};
 use mpwifi_measure::MeanAcc;
@@ -35,7 +35,22 @@ pub fn crowd_campaign(scale: Scale, seed: u64) -> Report {
 /// CLI entry point (`repro campaign --users N --jobs N`): explicit
 /// population and worker count; `--full` adds the FullSim spot check.
 pub fn campaign_cli_report(users: u64, workers: usize, seed: u64, scale: Scale) -> Report {
-    let mut r = campaign_report_with(users, workers, seed);
+    campaign_cli_report_observed(users, workers, seed, scale, |_, _, _| {})
+}
+
+/// [`campaign_cli_report`] with a shard-completion observer on the main
+/// population run (the agreement replays and the FullSim spot check run
+/// unobserved — they are small). The campaign server streams progress
+/// through this; the rendered report stays byte-identical to the
+/// unobserved CLI path.
+pub fn campaign_cli_report_observed(
+    users: u64,
+    workers: usize,
+    seed: u64,
+    scale: Scale,
+    on_shard: impl Fn(u64, u64, u64) + Sync,
+) -> Report {
+    let mut r = campaign_report_observed(users, workers, seed, on_shard);
     if scale == Scale::Full {
         fullsim_spot_check(&mut r, seed);
     }
@@ -46,9 +61,19 @@ pub fn campaign_cli_report(users: u64, workers: usize, seed: u64, scale: Scale) 
 /// byte-identical for every `workers` value (0 = auto) — pinned at 10⁴
 /// users by the determinism suite.
 pub fn campaign_report_with(users: u64, workers: usize, seed: u64) -> Report {
+    campaign_report_observed(users, workers, seed, |_, _, _| {})
+}
+
+/// [`campaign_report_with`] with a shard-completion observer.
+pub fn campaign_report_observed(
+    users: u64,
+    workers: usize,
+    seed: u64,
+    on_shard: impl Fn(u64, u64, u64) + Sync,
+) -> Report {
     let mut cfg = CampaignConfig::new(users, seed, RunMode::Analytic);
     cfg.workers = workers;
-    let s = run_campaign(&cfg);
+    let s = run_campaign_with(&cfg, on_shard);
 
     // Replay a sub-population monolithically (one shard, one worker) and
     // check the streamed shard fold against the single-pass accumulation.

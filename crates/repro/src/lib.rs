@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod supervise;
 
 pub use registry::{ExperimentSpec, REGISTRY};
@@ -20,9 +21,10 @@ pub use report::{Claim, Report, Scale};
 pub use runner::{
     derive_seed, run_specs, run_specs_supervised, run_specs_with, RunOutcome, SeedPolicy,
 };
+pub use service::ReproExecutor;
 pub use supervise::{
-    planted_find, repro_command, repro_test_snippet, supervise_one, RunStatus, SuperviseConfig,
-    SupervisedRun, PLANTED,
+    planted_find, repro_command, repro_test_snippet, supervise_call, supervise_one, RunStatus,
+    SuperviseConfig, SupervisedRun, PLANTED,
 };
 
 /// All paper experiment ids in paper order, derived from [`REGISTRY`].

@@ -5,6 +5,7 @@
 //! repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all
 //! repro conformance [--cases N] [--seed N] [--jobs N]
 //! repro campaign [--users N] [--seed N] [--jobs N] [--full]
+//! repro serve [--jobs N] [--queue N] [--retries N] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] [--chaos]
 //! ```
 //!
 //! Experiments shard across `--jobs N` worker threads. Every
@@ -24,6 +25,13 @@
 //! sharded streaming-summary driver (byte-identical for every `--jobs`
 //! value; `--full` adds a packet-level spot check through the reusable
 //! sim arenas). Exit code 1 if any population claim fails.
+//!
+//! `repro serve` turns the harness into a long-running campaign server:
+//! jsonl requests on stdin (experiments, crowd campaigns, pings),
+//! streamed jsonl responses on stdout, with bounded admission, typed
+//! shedding, per-request watchdog budgets, retry-with-jittered-backoff,
+//! a poison-recovering worker pool, and graceful drain on EOF or a
+//! `shutdown` request.
 //!
 //! `repro conformance` runs the protocol-conformance fuzz campaign
 //! instead of paper experiments: `--cases` seeded scenarios with the
@@ -52,6 +60,8 @@ fn main() {
     let mut supervised = false;
     let mut sup_cfg = SuperviseConfig::default();
     let mut quarantine_path: Option<String> = None;
+    let mut queue_cap = 16usize;
+    let mut chaos = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -129,6 +139,15 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--cases needs a positive integer"));
             }
+            "--queue" => {
+                i += 1;
+                queue_cap = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--queue needs a positive integer"));
+            }
+            "--chaos" => chaos = true,
             "--users" => {
                 i += 1;
                 users = args
@@ -182,13 +201,19 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--cases N] [--seed N] [--jobs N]\n       repro campaign [--users N] [--seed N] [--jobs N] [--full]"
+                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--cases N] [--seed N] [--jobs N]\n       repro campaign [--users N] [--seed N] [--jobs N] [--full]\n       repro serve [--jobs N] [--queue N] [--retries N] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] [--chaos]"
                 );
                 return;
             }
             other => targets.push(other.to_string()),
         }
         i += 1;
+    }
+    if targets.iter().any(|t| t == "serve") {
+        if targets.len() > 1 {
+            die("'serve' runs alone; drop the other targets");
+        }
+        run_serve(jobs, queue_cap, sup_cfg, chaos);
     }
     if targets.iter().any(|t| t == "conformance") {
         if targets.len() > 1 {
@@ -436,6 +461,28 @@ fn quarantine_json(
     }
     out.push_str("]\n");
     out
+}
+
+/// Run the campaign server: jsonl requests on stdin, streamed jsonl
+/// responses on stdout, until EOF or a `shutdown` request drains it.
+/// `--jobs` sizes the worker pool, `--queue` bounds admission,
+/// `--retries`/`--max-events`/`--max-wall-ms`/`--stall-ttl-s` set the
+/// default supervision policy (per-request overrides win), and
+/// `--chaos` unlocks the worker-bomb request kind for the chaos
+/// harness. Exits 0 after a clean drain.
+fn run_serve(workers: usize, queue: usize, sup_cfg: SuperviseConfig, chaos: bool) -> ! {
+    use mpwifi_serve::{serve, Executor, ServeConfig};
+    let cfg = ServeConfig {
+        workers: workers.max(1),
+        queue_capacity: queue.max(1),
+        default_retries: sup_cfg.retries,
+        chaos,
+    };
+    let exec: std::sync::Arc<dyn Executor + Send + Sync> =
+        std::sync::Arc::new(mpwifi_repro::ReproExecutor::new(sup_cfg));
+    let stdin = std::io::stdin().lock();
+    serve(&cfg, exec, stdin, Box::new(std::io::stdout()));
+    std::process::exit(0);
 }
 
 /// Run a population-scale crowd campaign and exit non-zero if any

@@ -247,6 +247,23 @@ fn classify_failure(payload: Box<dyn std::any::Any + Send>) -> RunStatus {
     }
 }
 
+/// Supervise an arbitrary call: arm the watchdog for the closure's
+/// scope, isolate panics, and classify any failure into a [`RunStatus`].
+/// This is the core primitive behind [`supervise_one`] and the campaign
+/// server's request execution — anything that runs simulator code on a
+/// long-lived thread should go through here so a breach can never leak
+/// an armed watchdog or a capturing panic hook into the next run.
+pub fn supervise_call<T>(wd: &WatchdogConfig, f: impl FnOnce() -> T) -> Result<T, RunStatus> {
+    install_capture_hook();
+    CAPTURED.with(|c| *c.borrow_mut() = None);
+    CAPTURING.set(true);
+    let armed = watchdog::arm_scoped(wd);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    drop(armed);
+    CAPTURING.set(false);
+    result.map_err(classify_failure)
+}
+
 /// One supervised attempt: arm, run, disarm, classify.
 fn attempt(
     spec: &ExperimentSpec,
@@ -254,18 +271,11 @@ fn attempt(
     seed: u64,
     cfg: &SuperviseConfig,
 ) -> (RunStatus, Option<RunOutcome>) {
-    install_capture_hook();
-    CAPTURED.with(|c| *c.borrow_mut() = None);
-    CAPTURING.set(true);
-    watchdog::arm(&cfg.watchdog());
-    let result = catch_unwind(AssertUnwindSafe(|| {
+    match supervise_call(&cfg.watchdog(), || {
         crate::runner::run_one(spec, scale, seed)
-    }));
-    watchdog::disarm();
-    CAPTURING.set(false);
-    match result {
+    }) {
         Ok(outcome) => (RunStatus::Completed, Some(outcome)),
-        Err(payload) => (classify_failure(payload), None),
+        Err(status) => (status, None),
     }
 }
 
@@ -343,6 +353,25 @@ pub fn repro_test_snippet(id: &str, seed: u64, scale: Scale) -> String {
 
 fn run_planted_panic(_: Scale, _seed: u64) -> Report {
     panic!("planted panic: this experiment always dies (supervision smoke)");
+}
+
+/// A transient failure: panics unless `seed % 4 == 0`. Under retries the
+/// derived-seed chain re-rolls the dice each attempt, so whether (and on
+/// which attempt) it recovers is a pure function of the root seed — the
+/// retry-path tests search the chain to plant a success at a chosen
+/// attempt and assert the supervisor lands exactly there.
+fn run_planted_transient(_: Scale, seed: u64) -> Report {
+    assert!(
+        seed % 4 == 0,
+        "planted transient failure: seed {seed} is not a multiple of 4"
+    );
+    let mut r = Report::new(
+        "planted-transient",
+        "PLANTED — fails unless seed % 4 == 0 (retry-path smoke)",
+        "supervision retry smoke",
+    );
+    r.claim("run completed", "completes", "completed", true);
+    r
 }
 
 fn run_planted_flaky(_: Scale, seed: u64) -> Report {
@@ -427,7 +456,7 @@ fn run_planted_stall(_: Scale, seed: u64) -> Report {
 
 /// The planted specs, resolvable by [`planted_find`] but absent from
 /// [`crate::REGISTRY`].
-pub static PLANTED: [ExperimentSpec; 3] = [
+pub static PLANTED: [ExperimentSpec; 4] = [
     ExperimentSpec {
         id: "planted-panic",
         title: "PLANTED — always panics (supervision smoke)",
@@ -448,6 +477,13 @@ pub static PLANTED: [ExperimentSpec; 3] = [
         section: "ext",
         extension: true,
         run: run_planted_flaky,
+    },
+    ExperimentSpec {
+        id: "planted-transient",
+        title: "PLANTED — fails unless seed % 4 == 0 (retry-path smoke)",
+        section: "ext",
+        extension: true,
+        run: run_planted_transient,
     },
 ];
 
@@ -544,6 +580,104 @@ mod tests {
         let no_retry = supervise_one(spec, Scale::Quick, 42, &SuperviseConfig::default());
         assert!(no_retry.status.is_failure());
         assert!(!no_retry.flaky);
+    }
+
+    /// The attempt-seed chain `supervise_one` walks for a spec, starting
+    /// from the root seed: `[root, retry1, retry2, ...]`.
+    fn transient_chain(root: u64, len: usize) -> Vec<u64> {
+        let mut seeds = vec![root];
+        for n in 1..len {
+            seeds.push(derive_seed(root, &format!("planted-transient#retry{n}")));
+        }
+        seeds
+    }
+
+    /// First attempt index (0-based) at which `planted-transient` passes.
+    fn first_success(chain: &[u64]) -> Option<usize> {
+        chain.iter().position(|s| s % 4 == 0)
+    }
+
+    /// A root seed whose derived chain first succeeds exactly at attempt
+    /// index `n` (so `supervise_one` needs `n` retries to complete).
+    fn root_with_success_at(n: usize) -> u64 {
+        (0u64..100_000)
+            .find(|&root| first_success(&transient_chain(root, n + 2)) == Some(n))
+            .expect("no root seed with the wanted retry profile")
+    }
+
+    #[test]
+    fn transient_failure_succeeds_on_predicted_retry() {
+        let spec = planted_find("planted-transient").unwrap();
+        // Root and retry-1 seeds fail, retry-2 passes: three attempts.
+        let root = root_with_success_at(2);
+        let cfg = SuperviseConfig {
+            retries: 4,
+            ..SuperviseConfig::default()
+        };
+        let run = supervise_one(spec, Scale::Quick, root, &cfg);
+        assert_eq!(run.status, RunStatus::Completed);
+        assert_eq!(
+            run.attempts, 3,
+            "must complete on exactly the third attempt"
+        );
+        assert!(run.flaky, "a retried success must be flagged flaky");
+        assert_eq!(
+            run.seed,
+            derive_seed(root, "planted-transient#retry2"),
+            "final attempt must run under the documented derived seed"
+        );
+        assert!(run.outcome.is_some());
+        assert!(run.partial_metrics.is_none());
+    }
+
+    #[test]
+    fn transient_failure_quarantines_only_after_retries_exhausted() {
+        let spec = planted_find("planted-transient").unwrap();
+        let root = root_with_success_at(2);
+        // One retry is not enough: both attempts fail, the run is
+        // quarantined, and the attempt count proves no retry was skipped.
+        let short = SuperviseConfig {
+            retries: 1,
+            ..SuperviseConfig::default()
+        };
+        let run = supervise_one(spec, Scale::Quick, root, &short);
+        assert!(
+            matches!(run.status, RunStatus::Panicked { .. }),
+            "expected quarantine, got {}",
+            run.status.label()
+        );
+        assert_eq!(
+            run.attempts, 2,
+            "retries must be exhausted before quarantine"
+        );
+        assert!(!run.flaky);
+        assert!(run.outcome.is_none());
+        // Two retries reach the planted success: same spec, same root
+        // seed, now completes — quarantine was purely a retry-budget call.
+        let enough = SuperviseConfig {
+            retries: 2,
+            ..SuperviseConfig::default()
+        };
+        let recovered = supervise_one(spec, Scale::Quick, root, &enough);
+        assert_eq!(recovered.status, RunStatus::Completed);
+        assert_eq!(recovered.attempts, 3);
+    }
+
+    #[test]
+    fn supervise_call_isolates_panics_and_disarms() {
+        let wd = WatchdogConfig {
+            max_events: Some(1_000),
+            ..WatchdogConfig::default()
+        };
+        let ok: Result<u64, RunStatus> = supervise_call(&wd, || 41 + 1);
+        assert_eq!(ok, Ok(42));
+        assert!(!watchdog::armed(), "success path must disarm");
+        let err: Result<(), RunStatus> = supervise_call(&wd, || panic!("scoped boom"));
+        let Err(RunStatus::Panicked { message }) = err else {
+            panic!("expected Panicked, got {err:?}");
+        };
+        assert!(message.contains("scoped boom"));
+        assert!(!watchdog::armed(), "unwind path must disarm");
     }
 
     #[test]

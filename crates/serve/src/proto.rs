@@ -1,0 +1,1121 @@
+//! The campaign server's wire protocol: newline-delimited JSON.
+//!
+//! One request per line in, one response per line out. Every response
+//! is a flat JSON object tagged with `"type"`; responses that belong to
+//! a request echo its client-chosen `"req"` tag, so a client can
+//! multiplex any number of in-flight requests over one stream and match
+//! the interleaved replies (workers complete out of admission order).
+//!
+//! The vendored `serde` is a no-op shim (see `vendor/README.md`), so —
+//! like every other JSON surface in this workspace (`--metrics`
+//! sidecars, the bench gate) — the codec here is hand-rolled: a small
+//! flat-object parser ([`JsonObj`]) on the way in, `render` methods on
+//! the way out. The types still carry the marker derives for forward
+//! compatibility, and both directions are round-trip tested.
+//!
+//! Malformed input is part of the protocol, not an error path: an
+//! unparseable or invalid line produces a typed
+//! [`Response::Malformed`] and the server moves on. The request is the
+//! failure domain.
+
+use mpwifi_simcore::RunMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One value in a flat protocol object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A (already unescaped) string.
+    Str(String),
+    /// Any JSON number; integer fields range-check on access.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A parsed flat JSON object (`{"key": scalar, ...}`). The protocol is
+/// deliberately flat — nested objects and arrays are rejected, which
+/// keeps the parser small and every malformed shape a *typed* refusal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObj {
+    /// Parse one line. Errors name the first offending position's
+    /// context so `malformed` responses are actionable.
+    pub fn parse(line: &str) -> Result<JsonObj, String> {
+        let mut p = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut fields = Vec::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+        } else {
+            loop {
+                p.skip_ws();
+                let key = p.string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let value = p.value()?;
+                fields.push((key, value));
+                p.skip_ws();
+                match p.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {}, got {:?}",
+                            p.pos,
+                            other.map(char::from)
+                        ))
+                    }
+                }
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes after object at byte {}", p.pos));
+        }
+        Ok(JsonObj { fields })
+    }
+
+    /// Look a field up.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// String field, or an error naming the key.
+    pub fn str_field(&self, key: &str) -> Result<&str, String> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s),
+            Some(_) => Err(format!("field {key:?} must be a string")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    /// Optional string field (error only on wrong type).
+    pub fn opt_str(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(Some(s)),
+            Some(_) => Err(format!("field {key:?} must be a string")),
+            None => Ok(None),
+        }
+    }
+
+    /// Optional unsigned-integer field; rejects negatives, fractions,
+    /// and values past 2^53 (not exactly representable).
+    pub fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => {
+                if *n < 0.0 || n.fract() != 0.0 || *n > 9_007_199_254_740_992.0 {
+                    Err(format!("field {key:?} must be a non-negative integer"))
+                } else {
+                    Ok(Some(*n as u64))
+                }
+            }
+            Some(_) => Err(format!("field {key:?} must be a number")),
+            None => Ok(None),
+        }
+    }
+
+    /// Optional bool field.
+    pub fn opt_bool(&self, key: &str) -> Result<Option<bool>, String> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(Some(*b)),
+            Some(_) => Err(format!("field {key:?} must be a boolean")),
+            None => Ok(None),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                char::from(want),
+                self.pos.saturating_sub(1),
+                other.map(char::from)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| char::from(b).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogates degrade to the replacement char;
+                        // protocol strings are plain ASCII in practice.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {:?}", other.map(char::from))),
+                },
+                // Multi-byte UTF-8: copy the raw bytes of this char.
+                Some(b) if b >= 0x80 => {
+                    let start = self.pos - 1;
+                    while matches!(self.peek(), Some(c) if c & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                }
+                Some(b) => out.push(char::from(b)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{') | Some(b'[') => {
+                Err("nested objects/arrays are not part of the protocol".to_string())
+            }
+            Some(_) => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(JsonValue::Num)
+                    .ok_or_else(|| format!("malformed number at byte {start}"))
+            }
+            None => Err("missing value".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// What a `run` request asks for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunKind {
+    /// One registry (or planted) experiment.
+    Experiment {
+        /// Experiment id, e.g. `"fig9"`.
+        id: String,
+        /// Full scale (`"scale": "full"`)? Default quick.
+        full: bool,
+    },
+    /// A crowd campaign over the Table 1 geography.
+    Campaign {
+        /// Synthetic users.
+        users: u64,
+        /// Campaign worker threads inside the request (`"jobs"`).
+        /// Default 1: one serve worker runs the whole campaign.
+        jobs: usize,
+        /// Full scale adds the FullSim spot check.
+        full: bool,
+    },
+    /// Chaos-only: panic *outside* the supervised region, killing the
+    /// worker thread itself. Exists to prove the pool replaces crashed
+    /// workers; rejected unless the server runs with chaos mode on.
+    WorkerBomb,
+}
+
+/// A validated `run` request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRequest {
+    /// Client-chosen tag echoed on every response for this request.
+    pub req: String,
+    /// What to run.
+    pub kind: RunKind,
+    /// Root seed (default 42). Retry seeds and backoff jitter derive
+    /// from it deterministically.
+    pub seed: u64,
+    /// Retries after a failed attempt (default: server policy).
+    pub retries: u32,
+    /// Per-request watchdog budget overrides; `None` = server default.
+    pub max_events: Option<u64>,
+    /// Wall-clock budget override, milliseconds.
+    pub wall_ms: Option<u64>,
+    /// Sim-time stall TTL override, seconds.
+    pub stall_ttl_s: Option<u64>,
+}
+
+/// One parsed client line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run something (the only kind that enters the admission queue).
+    Run(RunRequest),
+    /// Liveness probe; answered inline with [`Response::Pong`].
+    Ping,
+    /// Graceful drain: finish everything admitted, reject new runs.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one jsonl line. `default_retries` fills in when the client
+    /// doesn't set `"retries"`.
+    pub fn parse(line: &str, default_retries: u32) -> Result<Request, String> {
+        let obj = JsonObj::parse(line)?;
+        match obj.str_field("type")? {
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "run" => {
+                let req = obj.str_field("req")?.to_string();
+                let seed = obj.opt_u64("seed")?.unwrap_or(42);
+                let retries = obj
+                    .opt_u64("retries")?
+                    .map_or(default_retries, |r| r as u32);
+                let full = match obj.opt_str("scale")? {
+                    None | Some("quick") => false,
+                    Some("full") => true,
+                    Some(other) => return Err(format!("unknown scale {other:?}")),
+                };
+                let kind = match obj.opt_str("kind")?.unwrap_or("experiment") {
+                    "experiment" => RunKind::Experiment {
+                        id: obj.str_field("id")?.to_string(),
+                        full,
+                    },
+                    "campaign" => RunKind::Campaign {
+                        users: obj.opt_u64("users")?.unwrap_or(10_000).max(1),
+                        jobs: obj.opt_u64("jobs")?.unwrap_or(1).clamp(1, 64) as usize,
+                        full,
+                    },
+                    "worker-bomb" => RunKind::WorkerBomb,
+                    other => return Err(format!("unknown run kind {other:?}")),
+                };
+                Ok(Request::Run(RunRequest {
+                    req,
+                    kind,
+                    seed,
+                    retries,
+                    max_events: obj.opt_u64("max_events")?,
+                    wall_ms: obj.opt_u64("wall_ms")?,
+                    stall_ttl_s: obj.opt_u64("stall_ttl_s")?,
+                }))
+            }
+            other => Err(format!("unknown request type {other:?}")),
+        }
+    }
+
+    /// Render a request as one jsonl line (the load client's encoder;
+    /// round-trips through [`Request::parse`]).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Ping => "{\"type\": \"ping\"}".to_string(),
+            Request::Shutdown => "{\"type\": \"shutdown\"}".to_string(),
+            Request::Run(r) => {
+                let mut out = format!(
+                    "{{\"type\": \"run\", \"req\": \"{}\", \"seed\": {}, \"retries\": {}",
+                    json_escape(&r.req),
+                    r.seed,
+                    r.retries
+                );
+                match &r.kind {
+                    RunKind::Experiment { id, full } => {
+                        out.push_str(&format!(
+                            ", \"kind\": \"experiment\", \"id\": \"{}\", \"scale\": \"{}\"",
+                            json_escape(id),
+                            if *full { "full" } else { "quick" }
+                        ));
+                    }
+                    RunKind::Campaign { users, jobs, full } => {
+                        out.push_str(&format!(
+                            ", \"kind\": \"campaign\", \"users\": {users}, \"jobs\": {jobs}, \
+                             \"scale\": \"{}\"",
+                            if *full { "full" } else { "quick" }
+                        ));
+                    }
+                    RunKind::WorkerBomb => out.push_str(", \"kind\": \"worker-bomb\""),
+                }
+                for (key, v) in [
+                    ("max_events", r.max_events),
+                    ("wall_ms", r.wall_ms),
+                    ("stall_ttl_s", r.stall_ttl_s),
+                ] {
+                    if let Some(v) = v {
+                        out.push_str(&format!(", \"{key}\": {v}"));
+                    }
+                }
+                out.push('}');
+                out
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statuses and responses
+// ---------------------------------------------------------------------
+
+/// How a request ended — the request-level failure taxonomy, mirroring
+/// the PR 5 `RunStatus` run taxonomy and extending it with the states
+/// only a server has (shed, draining, malformed, worker-lost).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestStatus {
+    /// The run produced its report. `claims_hold` is the report's
+    /// paper-vs-measured verdict — the report's business, not the
+    /// server's.
+    Completed {
+        /// Did every claim in the report hold?
+        claims_hold: bool,
+    },
+    /// Refused at admission: the bounded queue was full.
+    Shed {
+        /// Queue depth at refusal.
+        depth: usize,
+        /// Queue capacity.
+        capacity: usize,
+    },
+    /// Refused at admission: the server is draining.
+    Draining,
+    /// The line never became a valid request (bad JSON, unknown id,
+    /// chaos kind without chaos mode, ...).
+    Malformed {
+        /// What was wrong.
+        error: String,
+    },
+    /// The supervised run panicked (quarantined).
+    Panicked {
+        /// Panic message and location.
+        message: String,
+    },
+    /// The watchdog's sim-time stall TTL fired (quarantined).
+    Stalled {
+        /// Forensic snapshot.
+        forensics: String,
+    },
+    /// The watchdog's wall-clock deadline fired (quarantined).
+    DeadlineExceeded {
+        /// Configured limit, ms.
+        limit_ms: u64,
+        /// Forensic snapshot.
+        forensics: String,
+    },
+    /// The watchdog's event budget fired (quarantined).
+    BudgetExhausted {
+        /// Configured step limit.
+        limit: u64,
+        /// Forensic snapshot.
+        forensics: String,
+    },
+    /// The worker thread itself died mid-request; the pool replaced it
+    /// and the request is reported lost (quarantined).
+    WorkerLost,
+}
+
+impl RequestStatus {
+    /// Short stable label, shared with sidecars and stats.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestStatus::Completed { .. } => "completed",
+            RequestStatus::Shed { .. } => "shed",
+            RequestStatus::Draining => "draining",
+            RequestStatus::Malformed { .. } => "malformed",
+            RequestStatus::Panicked { .. } => "panicked",
+            RequestStatus::Stalled { .. } => "stalled",
+            RequestStatus::DeadlineExceeded { .. } => "deadline-exceeded",
+            RequestStatus::BudgetExhausted { .. } => "budget-exhausted",
+            RequestStatus::WorkerLost => "worker-lost",
+        }
+    }
+
+    /// Is this a failed *execution* (eligible for retry/quarantine)?
+    /// Admission refusals (shed/draining/malformed) are not failures of
+    /// a run — they never ran.
+    pub fn is_run_failure(&self) -> bool {
+        matches!(
+            self,
+            RequestStatus::Panicked { .. }
+                | RequestStatus::Stalled { .. }
+                | RequestStatus::DeadlineExceeded { .. }
+                | RequestStatus::BudgetExhausted { .. }
+                | RequestStatus::WorkerLost
+        )
+    }
+
+    /// The forensic text attached to a failure, if any.
+    pub fn forensics(&self) -> Option<&str> {
+        match self {
+            RequestStatus::Panicked { message } => Some(message),
+            RequestStatus::Malformed { error } => Some(error),
+            RequestStatus::Stalled { forensics }
+            | RequestStatus::DeadlineExceeded { forensics, .. }
+            | RequestStatus::BudgetExhausted { forensics, .. } => Some(forensics),
+            _ => None,
+        }
+    }
+}
+
+/// Terminal counters for one serve session, emitted as the final
+/// `stats` line on drain and returned by the server entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Admitted requests that completed (claims holding or not).
+    pub completed: u64,
+    /// Requests refused because the queue was full.
+    pub shed: u64,
+    /// Requests refused because the server was draining.
+    pub rejected_draining: u64,
+    /// Lines that never became valid requests.
+    pub malformed: u64,
+    /// Admitted requests whose final status was a failure.
+    pub quarantined: u64,
+    /// Retry attempts dispatched (not requests-with-retries).
+    pub retried: u64,
+    /// Requests that completed only on a retry.
+    pub flaky: u64,
+    /// Crashed worker threads replaced by the pool.
+    pub workers_replaced: u64,
+}
+
+/// One server→client line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request entered the admission queue at `depth`.
+    Accepted {
+        /// Request tag.
+        req: String,
+        /// Queue depth after admission.
+        depth: usize,
+    },
+    /// Typed shed: the bounded queue was full; nothing was queued.
+    Shed {
+        /// Request tag.
+        req: String,
+        /// Queue depth at refusal (== capacity).
+        depth: usize,
+        /// Queue capacity.
+        capacity: usize,
+    },
+    /// Refused because the server is draining.
+    Rejected {
+        /// Request tag.
+        req: String,
+    },
+    /// The line was not a valid request.
+    Malformed {
+        /// Request tag when one could be salvaged from the line.
+        req: Option<String>,
+        /// What was wrong.
+        error: String,
+    },
+    /// An attempt failed and a retry is scheduled after `backoff_ms`.
+    Retry {
+        /// Request tag.
+        req: String,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// Deterministic jittered backoff before the next attempt.
+        backoff_ms: u64,
+        /// Failure label of the failed attempt.
+        cause: &'static str,
+    },
+    /// Campaign progress: shards folded so far.
+    Progress {
+        /// Request tag.
+        req: String,
+        /// Shards completed.
+        done_shards: u64,
+        /// Total shards in the campaign.
+        total_shards: u64,
+        /// Users measured so far.
+        users_done: u64,
+    },
+    /// One streamed result section (rendered report text, verbatim —
+    /// byte-identical to the one-shot CLI's stdout section).
+    Section {
+        /// Request tag.
+        req: String,
+        /// Rendered section text.
+        text: String,
+    },
+    /// Metrics sidecar for a completed run.
+    Metrics {
+        /// Request tag.
+        req: String,
+        /// Simulator counters for the run.
+        metrics: RunMetrics,
+    },
+    /// Terminal response for an admitted request.
+    Done {
+        /// Request tag.
+        req: String,
+        /// Final status.
+        status: RequestStatus,
+        /// Attempts made.
+        attempts: u32,
+        /// Completed only on a retry?
+        flaky: bool,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// Acknowledgement of `shutdown`: new runs will be rejected.
+    Draining,
+    /// Final line before the server exits.
+    Stats {
+        /// Session counters.
+        stats: ServeStats,
+    },
+}
+
+impl Response {
+    /// Render as one jsonl line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Accepted { req, depth } => format!(
+                "{{\"type\": \"accepted\", \"req\": \"{}\", \"depth\": {depth}}}",
+                json_escape(req)
+            ),
+            Response::Shed {
+                req,
+                depth,
+                capacity,
+            } => format!(
+                "{{\"type\": \"shed\", \"req\": \"{}\", \"status\": \"shed\", \
+                 \"depth\": {depth}, \"capacity\": {capacity}}}",
+                json_escape(req)
+            ),
+            Response::Rejected { req } => format!(
+                "{{\"type\": \"rejected\", \"req\": \"{}\", \"status\": \"draining\"}}",
+                json_escape(req)
+            ),
+            Response::Malformed { req, error } => {
+                let tag = match req {
+                    Some(r) => format!("\"req\": \"{}\", ", json_escape(r)),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"type\": \"malformed\", {tag}\"status\": \"malformed\", \
+                     \"error\": \"{}\"}}",
+                    json_escape(error)
+                )
+            }
+            Response::Retry {
+                req,
+                attempt,
+                backoff_ms,
+                cause,
+            } => format!(
+                "{{\"type\": \"retry\", \"req\": \"{}\", \"attempt\": {attempt}, \
+                 \"backoff_ms\": {backoff_ms}, \"cause\": \"{cause}\"}}",
+                json_escape(req)
+            ),
+            Response::Progress {
+                req,
+                done_shards,
+                total_shards,
+                users_done,
+            } => format!(
+                "{{\"type\": \"progress\", \"req\": \"{}\", \"done_shards\": {done_shards}, \
+                 \"total_shards\": {total_shards}, \"users_done\": {users_done}}}",
+                json_escape(req)
+            ),
+            Response::Section { req, text } => format!(
+                "{{\"type\": \"section\", \"req\": \"{}\", \"text\": \"{}\"}}",
+                json_escape(req),
+                json_escape(text)
+            ),
+            Response::Metrics { req, metrics: m } => format!(
+                "{{\"type\": \"metrics\", \"req\": \"{}\", \"events_popped\": {}, \
+                 \"frames_forwarded\": {}, \"bytes_delivered\": {}, \"tcp_retransmits\": {}, \
+                 \"faults_injected\": {}, \"subflows_declared_dead\": {}, \
+                 \"reinjections\": {}, \"recovery_time_us\": {}}}",
+                json_escape(req),
+                m.events_popped,
+                m.frames_forwarded,
+                m.bytes_delivered,
+                m.tcp_retransmits,
+                m.faults_injected,
+                m.subflows_declared_dead,
+                m.reinjections,
+                m.recovery_time_us,
+            ),
+            Response::Done {
+                req,
+                status,
+                attempts,
+                flaky,
+            } => {
+                let mut out = format!(
+                    "{{\"type\": \"done\", \"req\": \"{}\", \"status\": \"{}\", \
+                     \"attempts\": {attempts}, \"flaky\": {flaky}",
+                    json_escape(req),
+                    status.label()
+                );
+                if let RequestStatus::Completed { claims_hold } = status {
+                    out.push_str(&format!(", \"claims_hold\": {claims_hold}"));
+                }
+                if let Some(f) = status.forensics() {
+                    out.push_str(&format!(", \"forensics\": \"{}\"", json_escape(f)));
+                }
+                out.push('}');
+                out
+            }
+            Response::Pong => "{\"type\": \"pong\"}".to_string(),
+            Response::Draining => "{\"type\": \"draining\"}".to_string(),
+            Response::Stats { stats: s } => format!(
+                "{{\"type\": \"stats\", \"admitted\": {}, \"completed\": {}, \"shed\": {}, \
+                 \"rejected_draining\": {}, \"malformed\": {}, \"quarantined\": {}, \
+                 \"retried\": {}, \"flaky\": {}, \"workers_replaced\": {}, \"drained\": true}}",
+                s.admitted,
+                s.completed,
+                s.shed,
+                s.rejected_draining,
+                s.malformed,
+                s.quarantined,
+                s.retried,
+                s.flaky,
+                s.workers_replaced,
+            ),
+        }
+    }
+
+    /// Parse one server line — the load client's decoder. Statuses
+    /// carrying structured payloads (limits) collapse to their
+    /// forensic-text form; labels and counters round-trip exactly.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let obj = JsonObj::parse(line)?;
+        let req = |o: &JsonObj| -> Result<String, String> { Ok(o.str_field("req")?.to_string()) };
+        match obj.str_field("type")? {
+            "accepted" => Ok(Response::Accepted {
+                req: req(&obj)?,
+                depth: obj.opt_u64("depth")?.unwrap_or(0) as usize,
+            }),
+            "shed" => Ok(Response::Shed {
+                req: req(&obj)?,
+                depth: obj.opt_u64("depth")?.unwrap_or(0) as usize,
+                capacity: obj.opt_u64("capacity")?.unwrap_or(0) as usize,
+            }),
+            "rejected" => Ok(Response::Rejected { req: req(&obj)? }),
+            "malformed" => Ok(Response::Malformed {
+                req: obj.opt_str("req")?.map(str::to_string),
+                error: obj.str_field("error")?.to_string(),
+            }),
+            "retry" => Ok(Response::Retry {
+                req: req(&obj)?,
+                attempt: obj.opt_u64("attempt")?.unwrap_or(0) as u32,
+                backoff_ms: obj.opt_u64("backoff_ms")?.unwrap_or(0),
+                cause: status_label(obj.str_field("cause")?)?,
+            }),
+            "progress" => Ok(Response::Progress {
+                req: req(&obj)?,
+                done_shards: obj.opt_u64("done_shards")?.unwrap_or(0),
+                total_shards: obj.opt_u64("total_shards")?.unwrap_or(0),
+                users_done: obj.opt_u64("users_done")?.unwrap_or(0),
+            }),
+            "section" => Ok(Response::Section {
+                req: req(&obj)?,
+                text: obj.str_field("text")?.to_string(),
+            }),
+            "metrics" => {
+                let m = RunMetrics {
+                    events_popped: obj.opt_u64("events_popped")?.unwrap_or(0),
+                    frames_forwarded: obj.opt_u64("frames_forwarded")?.unwrap_or(0),
+                    bytes_delivered: obj.opt_u64("bytes_delivered")?.unwrap_or(0),
+                    tcp_retransmits: obj.opt_u64("tcp_retransmits")?.unwrap_or(0),
+                    faults_injected: obj.opt_u64("faults_injected")?.unwrap_or(0),
+                    subflows_declared_dead: obj.opt_u64("subflows_declared_dead")?.unwrap_or(0),
+                    reinjections: obj.opt_u64("reinjections")?.unwrap_or(0),
+                    recovery_time_us: obj.opt_u64("recovery_time_us")?.unwrap_or(0),
+                    ..RunMetrics::default()
+                };
+                Ok(Response::Metrics {
+                    req: req(&obj)?,
+                    metrics: m,
+                })
+            }
+            "done" => {
+                let forensics = obj.opt_str("forensics")?.unwrap_or("").to_string();
+                let status = match obj.str_field("status")? {
+                    "completed" => RequestStatus::Completed {
+                        claims_hold: obj.opt_bool("claims_hold")?.unwrap_or(false),
+                    },
+                    "panicked" => RequestStatus::Panicked { message: forensics },
+                    "stalled" => RequestStatus::Stalled { forensics },
+                    "deadline-exceeded" => RequestStatus::DeadlineExceeded {
+                        limit_ms: 0,
+                        forensics,
+                    },
+                    "budget-exhausted" => RequestStatus::BudgetExhausted {
+                        limit: 0,
+                        forensics,
+                    },
+                    "worker-lost" => RequestStatus::WorkerLost,
+                    other => return Err(format!("unknown done status {other:?}")),
+                };
+                Ok(Response::Done {
+                    req: req(&obj)?,
+                    status,
+                    attempts: obj.opt_u64("attempts")?.unwrap_or(1) as u32,
+                    flaky: obj.opt_bool("flaky")?.unwrap_or(false),
+                })
+            }
+            "pong" => Ok(Response::Pong),
+            "draining" => Ok(Response::Draining),
+            "stats" => Ok(Response::Stats {
+                stats: ServeStats {
+                    admitted: obj.opt_u64("admitted")?.unwrap_or(0),
+                    completed: obj.opt_u64("completed")?.unwrap_or(0),
+                    shed: obj.opt_u64("shed")?.unwrap_or(0),
+                    rejected_draining: obj.opt_u64("rejected_draining")?.unwrap_or(0),
+                    malformed: obj.opt_u64("malformed")?.unwrap_or(0),
+                    quarantined: obj.opt_u64("quarantined")?.unwrap_or(0),
+                    retried: obj.opt_u64("retried")?.unwrap_or(0),
+                    flaky: obj.opt_u64("flaky")?.unwrap_or(0),
+                    workers_replaced: obj.opt_u64("workers_replaced")?.unwrap_or(0),
+                },
+            }),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+/// Intern a status label string back to the `&'static str` the enum
+/// uses, rejecting unknown labels.
+fn status_label(s: &str) -> Result<&'static str, String> {
+    for known in [
+        "completed",
+        "shed",
+        "draining",
+        "malformed",
+        "panicked",
+        "stalled",
+        "deadline-exceeded",
+        "budget-exhausted",
+        "worker-lost",
+    ] {
+        if s == known {
+            return Ok(known);
+        }
+    }
+    Err(format!("unknown status label {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object_parses_scalars_and_escapes() {
+        let o = JsonObj::parse(
+            r#"{"type": "run", "seed": 42, "frac": -1.5e2, "ok": true, "nul": null, "s": "a\"b\nc"}"#,
+        )
+        .unwrap();
+        assert_eq!(o.str_field("type").unwrap(), "run");
+        assert_eq!(o.opt_u64("seed").unwrap(), Some(42));
+        assert_eq!(o.get("frac"), Some(&JsonValue::Num(-150.0)));
+        assert_eq!(o.opt_bool("ok").unwrap(), Some(true));
+        assert_eq!(o.get("nul"), Some(&JsonValue::Null));
+        assert_eq!(o.str_field("s").unwrap(), "a\"b\nc");
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_not_panics() {
+        for bad in [
+            "",
+            "not json",
+            "{",
+            "{\"a\"}",
+            "{\"a\": }",
+            "{\"a\": 1} trailing",
+            "{\"a\": {\"nested\": 1}}",
+            "{\"a\": [1,2]}",
+            "{\"a\": \"unterminated",
+            "{\"a\": 1e}",
+        ] {
+            assert!(JsonObj::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn u64_fields_reject_negative_and_fractional() {
+        let o = JsonObj::parse(r#"{"neg": -1, "frac": 1.5, "big": 1e300}"#).unwrap();
+        for key in ["neg", "frac", "big"] {
+            assert!(o.opt_u64(key).is_err(), "{key} accepted");
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Shutdown,
+            Request::Run(RunRequest {
+                req: "r-1".into(),
+                kind: RunKind::Experiment {
+                    id: "fig9".into(),
+                    full: true,
+                },
+                seed: 7,
+                retries: 2,
+                max_events: Some(1000),
+                wall_ms: None,
+                stall_ttl_s: Some(30),
+            }),
+            Request::Run(RunRequest {
+                req: "c".into(),
+                kind: RunKind::Campaign {
+                    users: 5000,
+                    jobs: 4,
+                    full: false,
+                },
+                seed: 42,
+                retries: 0,
+                max_events: None,
+                wall_ms: None,
+                stall_ttl_s: None,
+            }),
+            Request::Run(RunRequest {
+                req: "boom".into(),
+                kind: RunKind::WorkerBomb,
+                seed: 42,
+                retries: 0,
+                max_events: None,
+                wall_ms: None,
+                stall_ttl_s: None,
+            }),
+        ];
+        for r in reqs {
+            let line = r.render();
+            assert_eq!(Request::parse(&line, 9).unwrap(), r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn request_defaults_apply() {
+        let r = Request::parse(r#"{"type": "run", "req": "x", "id": "table2"}"#, 3).unwrap();
+        let Request::Run(r) = r else { panic!() };
+        assert_eq!(r.seed, 42);
+        assert_eq!(r.retries, 3, "server default retries fill in");
+        assert_eq!(
+            r.kind,
+            RunKind::Experiment {
+                id: "table2".into(),
+                full: false
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_requests_name_the_problem() {
+        for (line, needle) in [
+            (r#"{"type": "run"}"#, "req"),
+            (r#"{"type": "run", "req": "x"}"#, "id"),
+            (
+                r#"{"type": "run", "req": "x", "id": "a", "scale": "big"}"#,
+                "scale",
+            ),
+            (r#"{"type": "run", "req": "x", "kind": "?"}"#, "kind"),
+            (r#"{"type": "nope"}"#, "type"),
+            (r#"{"req": "x"}"#, "type"),
+        ] {
+            let err = Request::parse(line, 0).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut m = RunMetrics::default();
+        m.events_popped = 9;
+        m.bytes_delivered = 1_000_000;
+        let cases = vec![
+            Response::Accepted {
+                req: "a".into(),
+                depth: 3,
+            },
+            Response::Shed {
+                req: "b".into(),
+                depth: 8,
+                capacity: 8,
+            },
+            Response::Rejected { req: "c".into() },
+            Response::Malformed {
+                req: None,
+                error: "bad \"json\"".into(),
+            },
+            Response::Malformed {
+                req: Some("d".into()),
+                error: "unknown experiment".into(),
+            },
+            Response::Retry {
+                req: "e".into(),
+                attempt: 1,
+                backoff_ms: 35,
+                cause: "panicked",
+            },
+            Response::Progress {
+                req: "f".into(),
+                done_shards: 2,
+                total_shards: 10,
+                users_done: 1024,
+            },
+            Response::Section {
+                req: "g".into(),
+                text: "== line one\nline two\t(tab)".into(),
+            },
+            Response::Metrics {
+                req: "h".into(),
+                metrics: m,
+            },
+            Response::Done {
+                req: "i".into(),
+                status: RequestStatus::Completed { claims_hold: true },
+                attempts: 2,
+                flaky: true,
+            },
+            Response::Done {
+                req: "j".into(),
+                status: RequestStatus::Stalled {
+                    forensics: "iface lte stale".into(),
+                },
+                attempts: 1,
+                flaky: false,
+            },
+            Response::Done {
+                req: "k".into(),
+                status: RequestStatus::WorkerLost,
+                attempts: 1,
+                flaky: false,
+            },
+            Response::Pong,
+            Response::Draining,
+            Response::Stats {
+                stats: ServeStats {
+                    admitted: 10,
+                    completed: 8,
+                    shed: 2,
+                    rejected_draining: 1,
+                    malformed: 3,
+                    quarantined: 2,
+                    retried: 1,
+                    flaky: 1,
+                    workers_replaced: 1,
+                },
+            },
+        ];
+        for r in cases {
+            let line = r.render();
+            let parsed = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed, r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn section_text_survives_exact_bytes() {
+        // The byte-identity guarantee rides on escape/unescape being
+        // lossless for rendered report text.
+        let text = "fig9 — title\n  claim: 1.5× \"quoted\"\n\tdone\n";
+        let line = Response::Section {
+            req: "x".into(),
+            text: text.into(),
+        }
+        .render();
+        let Response::Section { text: back, .. } = Response::parse(&line).unwrap() else {
+            panic!()
+        };
+        assert_eq!(back, text);
+    }
+
+    #[test]
+    fn status_labels_are_stable() {
+        assert_eq!(
+            RequestStatus::Completed { claims_hold: true }.label(),
+            "completed"
+        );
+        assert_eq!(
+            RequestStatus::Shed {
+                depth: 1,
+                capacity: 1
+            }
+            .label(),
+            "shed"
+        );
+        assert_eq!(RequestStatus::Draining.label(), "draining");
+        assert_eq!(RequestStatus::WorkerLost.label(), "worker-lost");
+        assert!(RequestStatus::WorkerLost.is_run_failure());
+        assert!(!RequestStatus::Draining.is_run_failure());
+        assert!(!RequestStatus::Completed { claims_hold: false }.is_run_failure());
+    }
+}

@@ -1,0 +1,230 @@
+//! Bounded admission queue with explicit shedding and drain support.
+//!
+//! The queue is the server's only buffer between the reader thread and the
+//! worker pool, so its capacity bound is the server's memory bound: once
+//! `capacity` requests are waiting, new work is *shed* with a typed response
+//! instead of queued. Closing the queue (drain) keeps already-admitted work
+//! poppable but rejects all new admissions.
+//!
+//! Admission runs a caller-supplied callback *under the queue lock* so the
+//! caller can emit its `accepted` response before any worker can possibly
+//! emit the corresponding `done` — the ordering guarantee the wire protocol
+//! promises. Keep those callbacks cheap; they serialize admissions.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of an admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Enqueued; `depth` is the queue depth *including* this item.
+    Admitted { depth: usize },
+    /// Queue full; the item was dropped. `depth` == `capacity` at shed time.
+    Shed { depth: usize, capacity: usize },
+    /// Queue closed (server draining); the item was dropped.
+    Draining,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue: many producers via [`AdmissionQueue::try_admit_with`],
+/// many consumers via blocking [`AdmissionQueue::pop`].
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission queue capacity must be positive");
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Try to enqueue `item`. On success, `on_admit` runs with the post-push
+    /// depth while the queue lock is still held, before any consumer can see
+    /// the item. Returns the admission outcome; the callback only runs for
+    /// [`Admit::Admitted`].
+    pub fn try_admit_with(&self, item: T, on_admit: impl FnOnce(usize)) -> Admit {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        if inner.closed {
+            return Admit::Draining;
+        }
+        if inner.items.len() >= self.capacity {
+            return Admit::Shed {
+                depth: inner.items.len(),
+                capacity: self.capacity,
+            };
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        on_admit(depth);
+        drop(inner);
+        self.ready.notify_one();
+        Admit::Admitted { depth }
+    }
+
+    /// Block until an item is available or the queue is closed and empty.
+    /// Returns `None` only when draining is complete (closed + empty), so
+    /// workers never abandon admitted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("admission queue poisoned");
+        }
+    }
+
+    /// Current queue depth (racy; for diagnostics only).
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("admission queue poisoned")
+            .items
+            .len()
+    }
+
+    /// Close the queue: already-admitted items remain poppable, new
+    /// admissions return [`Admit::Draining`], and blocked consumers wake so
+    /// they can observe the close once the backlog empties.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_admit_with(1, |_| {}), Admit::Admitted { depth: 1 });
+        assert_eq!(q.try_admit_with(2, |_| {}), Admit::Admitted { depth: 2 });
+        assert_eq!(
+            q.try_admit_with(3, |_| {}),
+            Admit::Shed {
+                depth: 2,
+                capacity: 2
+            }
+        );
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_admit_with(4, |_| {}), Admit::Admitted { depth: 2 });
+    }
+
+    #[test]
+    fn on_admit_sees_post_push_depth_and_skips_on_shed() {
+        let q = AdmissionQueue::new(1);
+        let seen = AtomicUsize::new(0);
+        q.try_admit_with(10, |d| seen.store(d, Ordering::SeqCst));
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        // Shed: callback must not run.
+        seen.store(999, Ordering::SeqCst);
+        let out = q.try_admit_with(11, |d| seen.store(d, Ordering::SeqCst));
+        assert!(matches!(out, Admit::Shed { .. }));
+        assert_eq!(seen.load(Ordering::SeqCst), 999);
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_backlog() {
+        let q = AdmissionQueue::new(4);
+        q.try_admit_with("a", |_| {});
+        q.try_admit_with("b", |_| {});
+        q.close();
+        assert_eq!(q.try_admit_with("c", |_| {}), Admit::Draining);
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        // Stays drained.
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || q.pop()));
+        }
+        // Give the consumers a moment to block, then close with an empty queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().expect("consumer panicked"), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_items() {
+        let q = Arc::new(AdmissionQueue::<u64>::new(8));
+        let produced = Arc::new(AtomicUsize::new(0));
+        let consumed_sum = Arc::new(AtomicUsize::new(0));
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&consumed_sum);
+            consumers.push(std::thread::spawn(move || {
+                while let Some(v) = q.pop() {
+                    sum.fetch_add(v as usize, Ordering::SeqCst);
+                }
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            let produced = Arc::clone(&produced);
+            producers.push(std::thread::spawn(move || {
+                let mut sum = 0usize;
+                for i in 0..100u64 {
+                    let v = p * 1000 + i;
+                    loop {
+                        match q.try_admit_with(v, |_| {}) {
+                            Admit::Admitted { .. } => break,
+                            Admit::Shed { .. } => std::thread::yield_now(),
+                            Admit::Draining => panic!("queue closed mid-produce"),
+                        }
+                    }
+                    sum += v as usize;
+                }
+                produced.fetch_add(sum, Ordering::SeqCst);
+            }));
+        }
+        for h in producers {
+            h.join().expect("producer panicked");
+        }
+        q.close();
+        for h in consumers {
+            h.join().expect("consumer panicked");
+        }
+        assert_eq!(
+            consumed_sum.load(Ordering::SeqCst),
+            produced.load(Ordering::SeqCst)
+        );
+    }
+}

@@ -281,18 +281,6 @@ impl PathPair {
         }
     }
 
-    /// Poll both directions; returns `(uplink exits, downlink exits)`.
-    ///
-    /// Allocates two fresh `Vec`s per call; the simulation driver uses
-    /// [`Self::poll_into`] with scratch buffers reused across steps.
-    #[deprecated(note = "allocates per call; use poll_into with reused scratch buffers")]
-    pub fn poll(&mut self, now: Time) -> (Vec<Frame>, Vec<Frame>) {
-        let mut up_out = Vec::new();
-        let mut down_out = Vec::new();
-        self.poll_into(now, &mut up_out, &mut down_out);
-        (up_out, down_out)
-    }
-
     /// Poll both directions, appending uplink exits to `up_out` and
     /// downlink exits to `down_out`. The caller owns the buffers and
     /// their clearing policy.
@@ -304,12 +292,19 @@ impl PathPair {
 
 #[cfg(test)]
 mod tests {
-    // The allocating `poll` is the terse assertion surface for tests.
-    #![allow(deprecated)]
-
     use super::*;
     use bytes::Bytes;
     use mpwifi_netem::Addr;
+
+    /// Test-local allocating wrapper: keeps assertions terse without
+    /// reviving the production `poll` (drivers reuse scratch buffers
+    /// via `poll_into`).
+    fn poll(pp: &mut PathPair, now: Time) -> (Vec<Frame>, Vec<Frame>) {
+        let mut up_out = Vec::new();
+        let mut down_out = Vec::new();
+        pp.poll_into(now, &mut up_out, &mut down_out);
+        (up_out, down_out)
+    }
 
     #[test]
     fn symmetric_spec_builds() {
@@ -328,7 +323,7 @@ mod tests {
         pp.up.push(Time::ZERO, f);
         let ready = pp.next_ready().unwrap();
         assert_eq!(ready, Time::from_micros(1200));
-        let (ups, _) = pp.poll(Time::from_micros(21_200));
+        let (ups, _) = poll(&mut pp, Time::from_micros(21_200));
         assert_eq!(ups.len(), 1);
     }
 
@@ -348,7 +343,7 @@ mod tests {
             Time::ZERO,
         );
         pp.up.push(Time::ZERO, f);
-        let (ups, _) = pp.poll(Time::from_secs(1));
+        let (ups, _) = poll(&mut pp, Time::from_secs(1));
         assert!(ups.is_empty(), "100% loss drops everything");
     }
 
@@ -385,7 +380,7 @@ mod tests {
                 Time::ZERO,
             ),
         );
-        let (u, d) = pp.poll(Time::from_secs(1));
+        let (u, d) = poll(&mut pp, Time::from_secs(1));
         assert!(u.is_empty() && d.is_empty());
     }
 }

@@ -21,5 +21,5 @@ pub use events::{EventId, EventQueue};
 pub use metrics::RunMetrics;
 pub use rng::{norm_quantile, DetRng};
 pub use series::{RateSeries, TimeSeries};
-pub use supervise::{Breach, BreachReport, WatchdogConfig};
+pub use supervise::{arm_scoped, Armed, Breach, BreachReport, WatchdogConfig};
 pub use time::{Dur, Time};

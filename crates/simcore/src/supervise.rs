@@ -126,6 +126,31 @@ pub fn disarm() {
     ARMED.set(false);
 }
 
+/// RAII guard returned by [`arm_scoped`]; disarms on drop.
+#[derive(Debug)]
+pub struct Armed {
+    // Thread-local watchdog: the guard must stay on the arming thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// Arm the watchdog for the current scope. Unlike bare [`arm`]/[`disarm`],
+/// the guard disarms even when the scope unwinds — the shape long-running
+/// hosts (the campaign server) need so a breached request can never leak an
+/// armed watchdog into the worker's next request.
+#[must_use = "dropping the guard disarms the watchdog immediately"]
+pub fn arm_scoped(cfg: &WatchdogConfig) -> Armed {
+    arm(cfg);
+    Armed {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
 /// Is the watchdog armed on this thread?
 pub fn armed() -> bool {
     ARMED.get()
@@ -256,5 +281,27 @@ mod tests {
     fn inactive_config_does_not_arm() {
         arm(&WatchdogConfig::default());
         assert!(!armed());
+    }
+
+    #[test]
+    fn scoped_guard_disarms_on_drop_and_on_unwind() {
+        {
+            let _armed = arm_scoped(&WatchdogConfig {
+                max_events: Some(10),
+                ..WatchdogConfig::default()
+            });
+            assert!(armed());
+        }
+        assert!(!armed(), "guard drop must disarm");
+
+        let unwound = std::panic::catch_unwind(|| {
+            let _armed = arm_scoped(&WatchdogConfig {
+                max_events: Some(10),
+                ..WatchdogConfig::default()
+            });
+            panic!("breach");
+        });
+        assert!(unwound.is_err());
+        assert!(!armed(), "unwind past the guard must disarm");
     }
 }

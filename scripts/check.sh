@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tier-1 build + tests.
-# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke]
+# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke] [--serve-smoke]
 #   --bench-smoke   also build the criterion benches and run each for a
 #                   single iteration (cargo bench -- --test), proving
 #                   the benchmarks still compile and run; then measure
@@ -25,6 +25,17 @@
 #                   the standalone `repro campaign` driver (which runs
 #                   the sharded-vs-monolithic merge-agreement check as
 #                   one of its claims) must exit 0.
+#   --serve-smoke   also run the campaign-server chaos smoke: start
+#                   `repro serve` in chaos mode and drive it with the
+#                   chaos_load client (100+ mixed valid / malformed /
+#                   planted-panic / planted-stall / worker-bomb
+#                   requests, a queue-saturation shed phase, and a
+#                   graceful drain). The client exits nonzero unless
+#                   the server survives everything, sheds with typed
+#                   responses, quarantines exactly the planted
+#                   failures, reconciles its final stats line, and
+#                   renders healthy sections byte-identical to the
+#                   one-shot CLI.
 #   --supervise     also run the supervision smoke: a campaign with a
 #                   planted panicking spec and a planted livelocked spec
 #                   must quarantine both (exit 3, sidecar naming them)
@@ -39,6 +50,7 @@ FAULT_SMOKE=0
 CONFORMANCE=0
 SUPERVISE=0
 CROWD_SMOKE=0
+SERVE_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
@@ -46,8 +58,9 @@ for arg in "$@"; do
         --conformance) CONFORMANCE=1 ;;
         --supervise) SUPERVISE=1 ;;
         --crowd-smoke) CROWD_SMOKE=1 ;;
+        --serve-smoke) SERVE_SMOKE=1 ;;
         *)
-            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke]" >&2
+            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke] [--serve-smoke]" >&2
             exit 2
             ;;
     esac
@@ -126,6 +139,12 @@ if [ "$CROWD_SMOKE" -eq 1 ]; then
     rm -f "$CTMP"
     echo "== crowd smoke: worker-count invariance of campaign reports"
     cargo test --release -p mpwifi-repro --test determinism -q crowd_campaign_reports
+fi
+
+if [ "$SERVE_SMOKE" -eq 1 ]; then
+    echo "== serve smoke: chaos load client vs repro serve (chaos mode)"
+    cargo build --release -q -p mpwifi-repro -p mpwifi-bench --bins
+    ./target/release/chaos_load
 fi
 
 if [ "$SUPERVISE" -eq 1 ]; then
