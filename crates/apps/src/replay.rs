@@ -9,7 +9,7 @@
 //! start of the first connection to the end of the last one.
 
 use crate::patterns::{AppPattern, FlowPattern};
-use mpwifi_mptcp::{CcChoice, MptcpConfig};
+use mpwifi_mptcp::{CcKind, MptcpConfig};
 use mpwifi_netem::Addr;
 use mpwifi_sim::apps::make_payload;
 use mpwifi_sim::endpoint::{MptcpClientHost, MptcpServerHost, TcpClientHost, TcpServerHost};
@@ -501,11 +501,7 @@ pub fn replay(
         }
         Transport::Mptcp { primary, coupled } => {
             let cfg = MptcpConfig {
-                cc: if coupled {
-                    CcChoice::Coupled
-                } else {
-                    CcChoice::Decoupled
-                },
+                cc: if coupled { CcKind::Lia } else { CcKind::Reno },
                 ..MptcpConfig::default()
             };
             let client = MptcpClientHost::new(SERVER_ADDR, [WIFI_ADDR, LTE_ADDR], seed | 1);

@@ -11,6 +11,7 @@
 //! output into a false positive.
 
 use mpwifi_mptcp::options::{mp_options, MpOption};
+use mpwifi_mptcp::{SchedKind, SchedProgress};
 use mpwifi_netem::Addr;
 use mpwifi_sim::{
     Endpoint, MptcpClientHost, MptcpServerHost, Sim, SimObserver, TcpClientHost, TcpServerHost,
@@ -20,7 +21,7 @@ use mpwifi_simcore::Time;
 use mpwifi_tcp::segment::Segment;
 use mpwifi_tcp::stack::SocketId;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 
 /// Deterministic payload byte at stream offset `off` for a pattern
@@ -342,12 +343,130 @@ impl SimObserver<TcpClientHost, TcpServerHost> for TcpConformance {
     }
 }
 
+/// Simulated time a scheduler may sit blocked (data queued, an eligible
+/// subflow with window room, zero assignment progress) before the
+/// `mptcp-sched-wedged` oracle fires. Far above any legitimate pause:
+/// bounded deferral ([`mpwifi_mptcp::sched::DEFER_CAP`]) resolves within
+/// a few RTTs, and generated fault episodes last under three seconds.
+const WEDGE_WINDOW_US: u64 = 10_000_000;
+
+/// Bytes a Redundant-scheduler sender must assign while two subflows
+/// are eligible before the `mptcp-redundant-no-dup` oracle demands at
+/// least one duplicated chunk.
+const REDUNDANT_DUP_FLOOR: u64 = 64 * 1024;
+
+/// Per-direction wedge detector state (see `mptcp-sched-wedged`).
+#[derive(Debug, Default)]
+struct WedgeState {
+    last_assigned: u64,
+    /// Settled step time at which the current blocked streak began.
+    stalled_since: Option<Time>,
+    flagged: bool,
+}
+
+#[derive(Debug)]
+struct SchedWitnessInner {
+    sched: SchedKind,
+    /// Whether a mapping start was ever seen on a second subflow
+    /// (per direction; 0 = client sends).
+    saw_dup: [bool; 2],
+    /// Bytes assigned while at least two subflows were eligible at the
+    /// preceding settled step — the opportunity window in which a
+    /// Redundant sender is obliged to duplicate.
+    dual_live_assigned: [u64; 2],
+    last_assigned: [u64; 2],
+    prev_dual_live: [bool; 2],
+    /// Final [`SchedProgress`] per direction, refreshed every step.
+    last_progress: [Option<SchedProgress>; 2],
+}
+
+/// Shared scheduler-oracle state: the harness holds one handle, the
+/// MPTCP checker a clone. Per-step evidence accumulates inside the
+/// observer; after the run the harness calls [`SchedWitness::finalize`]
+/// for the end-of-run obligations (a Redundant sender that never
+/// duplicated, a scheduler left permanently blocked).
+#[derive(Debug, Clone)]
+pub struct SchedWitness {
+    inner: Rc<RefCell<SchedWitnessInner>>,
+}
+
+impl SchedWitness {
+    /// Fresh witness for a run under scheduler `sched`.
+    pub fn new(sched: SchedKind) -> SchedWitness {
+        SchedWitness {
+            inner: Rc::new(RefCell::new(SchedWitnessInner {
+                sched,
+                saw_dup: [false; 2],
+                dual_live_assigned: [0; 2],
+                last_assigned: [0; 2],
+                prev_dual_live: [false; 2],
+                last_progress: [None; 2],
+            })),
+        }
+    }
+
+    /// End-of-run scheduler obligations. Call after the sim loop exits
+    /// (deadline or event-queue exhaustion), with the log the checker
+    /// fed.
+    ///
+    /// * `mptcp-redundant-no-dup` — a Redundant sender assigned more
+    ///   than [`REDUNDANT_DUP_FLOOR`] bytes while two subflows were
+    ///   eligible, yet no connection-level chunk ever appeared on a
+    ///   second subflow.
+    /// * `mptcp-sched-wedged` — the run ended with data queued, an
+    ///   eligible subflow with room, and nothing in flight anywhere:
+    ///   with no future ACK or transmission to re-invoke it, the
+    ///   scheduler is blocked forever, not deferring. (The in-flight
+    ///   guard keeps a deadline that lands mid-deferral legal.)
+    pub fn finalize(&self, log: &ViolationLog, now: Time) {
+        let w = self.inner.borrow();
+        for (d, name) in [(0usize, "client->server"), (1, "server->client")] {
+            if w.sched == SchedKind::Redundant
+                && w.dual_live_assigned[d] > REDUNDANT_DUP_FLOOR
+                && !w.saw_dup[d]
+            {
+                log.report(
+                    now,
+                    "mptcp-redundant-no-dup",
+                    format!(
+                        "{name}: Redundant scheduler assigned {} bytes while two subflows \
+                         were eligible, yet never duplicated a chunk onto a second subflow",
+                        w.dual_live_assigned[d]
+                    ),
+                );
+            }
+            if let Some(p) = w.last_progress[d] {
+                if p.queued > p.assigned && p.eligible_with_room >= 1 && p.in_flight == 0 {
+                    log.report(
+                        now,
+                        "mptcp-sched-wedged",
+                        format!(
+                            "{name}: run ended with {} of {} bytes assigned, {} eligible \
+                             subflow(s) with room, and nothing in flight — the scheduler \
+                             is permanently blocked",
+                            p.assigned, p.queued, p.eligible_with_room
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Per-direction DSS bookkeeping (0 = client sends, 1 = server sends).
 #[derive(Debug, Default)]
 struct DirState {
-    /// Highest DSN ever covered by a mapping: first transmissions must
-    /// extend this contiguously.
+    /// Highest DSN ever covered by a mapping.
     max_dsn_end: u64,
+    /// Merged DSN intervals ever covered by a mapping (start → end).
+    /// At every settled step the union must be one hole-free interval
+    /// starting at 0: a deferral scheduler (BLEST/ECF) may legally mint
+    /// chunks to two subflows in one pump and have them drain in
+    /// subflow-index order rather than DSN order, so contiguity is a
+    /// *step-end* obligation, not a per-transmission one.
+    covered: BTreeMap<u64, u64>,
+    /// A DSN hole was already reported (report once, not per step).
+    gap_flagged: bool,
     /// Highest connection-level data-ACK seen for this direction.
     max_data_ack: u64,
     /// `data_acked()` watermark from two steps ago (promoted through
@@ -369,13 +488,42 @@ struct DirState {
     seen_on: HashSet<(u16, u16, u64)>,
 }
 
+impl DirState {
+    /// Merge `[start, end)` into the covered-interval set.
+    fn cover(&mut self, start: u64, end: u64) {
+        let (mut s, mut e) = (start, end);
+        // Absorb every interval that overlaps or touches [s, e).
+        while let Some((&ps, &pe)) = self.covered.range(..=e).next_back() {
+            if pe < s {
+                break;
+            }
+            s = s.min(ps);
+            e = e.max(pe);
+            self.covered.remove(&ps);
+        }
+        self.covered.insert(s, e);
+    }
+
+    /// First DSN hole below the coverage high-water mark, if any.
+    /// Touching intervals are merged on insert, so a hole exists exactly
+    /// when there is more than one interval or the first starts above 0.
+    fn first_hole(&self) -> Option<(u64, u64)> {
+        let mut iter = self.covered.iter();
+        let (&s0, &e0) = iter.next()?;
+        if s0 > 0 {
+            return Some((0, s0));
+        }
+        iter.next().map(|(&s1, _)| (e0, s1))
+    }
+}
+
 /// Data-sequence-level oracle for MPTCP runs.
 ///
 /// Per transmitted DSS mapping: the mapped length must equal the carried
 /// payload, the payload must match the seeded pattern *at its claimed
 /// DSN* (the check that catches any mapping that lies about where its
-/// bytes belong), first transmissions must extend the DSN space
-/// contiguously, connection-level data-ACKs must be monotone, subflows
+/// bytes belong), the mapped DSN intervals must be hole-free at every
+/// settled step, connection-level data-ACKs must be monotone, subflows
 /// declared dead must not source new mappings, and reinjections must
 /// carry bytes that were still unacknowledged at the subflow death that
 /// triggered them. Per step: clock monotonicity,
@@ -387,6 +535,8 @@ pub struct MptcpConformance {
     log: ViolationLog,
     up_salt: Option<u64>,
     down_salt: Option<u64>,
+    witness: SchedWitness,
+    wedge: [WedgeState; 2],
     prev_now: Time,
     dir: [DirState; 2],
     /// Subflows dead as of the previous step's end, keyed by
@@ -400,16 +550,21 @@ pub struct MptcpConformance {
 
 impl MptcpConformance {
     /// Create a checker feeding `log`. Salts enable DSS payload-pattern
-    /// verification for the matching direction.
+    /// verification for the matching direction; `witness` (shared with
+    /// the harness) accumulates scheduler-obligation evidence for
+    /// [`SchedWitness::finalize`].
     pub fn new(
         log: ViolationLog,
         up_salt: Option<u64>,
         down_salt: Option<u64>,
+        witness: SchedWitness,
     ) -> MptcpConformance {
         MptcpConformance {
             log,
             up_salt,
             down_salt,
+            witness,
+            wedge: [WedgeState::default(), WedgeState::default()],
             prev_now: Time::ZERO,
             dir: [DirState::default(), DirState::default()],
             prev_dead: HashSet::new(),
@@ -509,16 +664,7 @@ impl SimObserver<MptcpClientHost, MptcpServerHost> for MptcpConformance {
                 );
             }
             let st = &mut self.dir[d];
-            if m.dsn > st.max_dsn_end {
-                self.log.report(
-                    now,
-                    "mptcp-dsn-gap",
-                    format!(
-                        "{host:?}: first transmission at DSN {} leaves a gap after {}",
-                        m.dsn, st.max_dsn_end
-                    ),
-                );
-            }
+            st.cover(m.dsn, dsn_end);
             st.max_dsn_end = st.max_dsn_end.max(dsn_end);
             let ports = (seg.src_port, seg.dst_port);
             let new_on_subflow = st.seen_on.insert((ports.0, ports.1, m.dsn));
@@ -537,13 +683,23 @@ impl SimObserver<MptcpClientHost, MptcpServerHost> for MptcpConformance {
                     st.first_sender.insert(m.dsn, ports);
                 }
                 Some(&first) if first != ports => {
+                    // Dup or reinjection either way — the Redundant
+                    // obligation (some chunk appears on a second
+                    // subflow) is met.
+                    self.witness.inner.borrow_mut().saw_dup[d] = true;
                     // A reinjection: the same connection-level bytes on a
                     // different subflow. It must carry at least one byte
                     // that was unacknowledged when the subflow death that
                     // triggered reinjection happened (a `None` floor means
                     // the kill and this drain share a step — trivially
-                    // legal).
-                    if let Some(kf) = st.kill_floor {
+                    // legal). A Redundant sender is exempt: it duplicates
+                    // every chunk by design, so a copy queued while the
+                    // chunk was unacked may legally drain after both an
+                    // intervening data-ACK and a later subflow death —
+                    // the wire cannot distinguish that copy from a broken
+                    // reinjection filter.
+                    let redundant = self.witness.inner.borrow().sched == SchedKind::Redundant;
+                    if let Some(kf) = st.kill_floor.filter(|_| !redundant) {
                         if dsn_end <= kf {
                             self.log.report(
                                 now,
@@ -573,6 +729,27 @@ impl SimObserver<MptcpClientHost, MptcpServerHost> for MptcpConformance {
         }
         self.prev_now = now;
         check_link_conservation(&self.log, sim);
+        // DSN coverage: a chunk minted to a second subflow in the same
+        // pump may drain after a higher-DSN chunk within one step, but a
+        // hole that survives to a settled step means the sender skipped
+        // data-sequence space for good.
+        for (d, name) in [(0usize, "client->server"), (1, "server->client")] {
+            let st = &mut self.dir[d];
+            if !st.gap_flagged {
+                if let Some((hs, he)) = st.first_hole() {
+                    st.gap_flagged = true;
+                    self.log.report(
+                        now,
+                        "mptcp-dsn-gap",
+                        format!(
+                            "{name}: DSN range [{hs}, {he}) was never mapped although \
+                             transmissions reached {}",
+                            st.max_dsn_end
+                        ),
+                    );
+                }
+            }
+        }
         for (is_client, n) in [(true, sim.client.mp.len()), (false, sim.server.mp.len())] {
             for cid in 0..n {
                 let conn = if is_client {
@@ -622,6 +799,69 @@ impl SimObserver<MptcpClientHost, MptcpServerHost> for MptcpConformance {
                     ),
                 );
             }
+        }
+        // Scheduler-progress tracking: feed the shared witness (dup
+        // opportunity accounting, final progress snapshot) and run the
+        // in-flight wedge detector. Direction 0 is the client's send
+        // side; conformance scenarios open exactly one connection.
+        for d in 0..2usize {
+            let prog = if d == 0 {
+                (sim.client.mp.len() > 0).then(|| sim.client.mp.conn(0).sched_progress())
+            } else {
+                (sim.server.mp.len() > 0).then(|| sim.server.mp.conn(0).sched_progress())
+            };
+            let Some(prog) = prog else { continue };
+            {
+                let mut w = self.witness.inner.borrow_mut();
+                if w.prev_dual_live[d] {
+                    let delta = prog.assigned.saturating_sub(w.last_assigned[d]);
+                    w.dual_live_assigned[d] += delta;
+                }
+                w.last_assigned[d] = prog.assigned;
+                // Two *eligible* subflows — established, alive, not
+                // backup-suppressed — are the duplication opportunity.
+                // (Not `eligible_with_room`: pump_send drains window
+                // room to zero within the very step that opens it, so
+                // at settled steps a busy sender never shows two open
+                // windows — that predicate would never arm.)
+                w.prev_dual_live[d] = prog.eligible >= 2;
+                w.last_progress[d] = Some(prog);
+            }
+            // Wedged while traffic still flows: data queued, room
+            // available, yet assignment has not advanced for a long
+            // stretch of simulated time. Any legitimate pause (bounded
+            // deferral, recovery, fault episode) resolves well inside
+            // the window.
+            let ws = &mut self.wedge[d];
+            let blocked = prog.queued > prog.assigned && prog.eligible_with_room >= 1;
+            if prog.assigned > ws.last_assigned || !blocked {
+                ws.stalled_since = None;
+            } else {
+                let since = *ws.stalled_since.get_or_insert(now);
+                if !ws.flagged
+                    && now.as_micros().saturating_sub(since.as_micros()) >= WEDGE_WINDOW_US
+                {
+                    self.log.report(
+                        now,
+                        "mptcp-sched-wedged",
+                        format!(
+                            "{}: {} of {} bytes assigned with {} eligible subflow(s) with \
+                             room, no scheduling progress for over {} ms",
+                            if d == 0 {
+                                "client->server"
+                            } else {
+                                "server->client"
+                            },
+                            prog.assigned,
+                            prog.queued,
+                            prog.eligible_with_room,
+                            WEDGE_WINDOW_US / 1_000
+                        ),
+                    );
+                    ws.flagged = true;
+                }
+            }
+            ws.last_assigned = prog.assigned;
         }
         // Detect fresh subflow deaths and freeze each direction's
         // reinjection floor at its FIRST death (see

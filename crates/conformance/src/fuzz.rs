@@ -7,7 +7,9 @@
 //! levels. [`shrink`] greedily reduces a violating spec to a minimal
 //! reproducer and [`repro_snippet`] renders it as a paste-ready test.
 
-use crate::scenario::{generate, run_scenario, CaseReport, ScenarioSpec};
+use crate::scenario::{
+    generate, run_scenario, CaseReport, CcSpec, ModeSpec, ScenarioSpec, SchedSpec, TransportSpec,
+};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -81,6 +83,139 @@ pub fn run_campaign(cases: usize, root_seed: u64, jobs: usize) -> Vec<CaseResult
         .into_iter()
         .map(|slot| slot.expect("every case index was claimed by a worker"))
         .collect()
+}
+
+/// Generate a scenario for one (scheduler, congestion-control) matrix
+/// cell: everything else — links, workload, faults, mode — stays
+/// fuzzed, but the transport is forced to MPTCP with the cell's axis
+/// values. A TCP-flavoured seed is converted in place (primary = its
+/// interface, Full mode, RTO-count death detection so any silent
+/// blackout it fuzzed stays recoverable).
+pub fn generate_for_cell(seed: u64, sched: SchedSpec, cc: CcSpec) -> ScenarioSpec {
+    let mut spec = generate(seed);
+    spec.transport = match spec.transport {
+        TransportSpec::Mptcp {
+            primary,
+            mode,
+            rto_activation,
+            ..
+        } => TransportSpec::Mptcp {
+            primary,
+            mode,
+            cc,
+            sched,
+            rto_activation,
+        },
+        TransportSpec::Tcp { iface } => TransportSpec::Mptcp {
+            primary: iface,
+            mode: ModeSpec::Full,
+            cc,
+            sched,
+            rto_activation: 2,
+        },
+    };
+    spec
+}
+
+/// One (scheduler, congestion-control) cell of a matrix campaign.
+#[derive(Debug, Clone)]
+pub struct MatrixCellResult {
+    /// The cell's scheduler.
+    pub sched: SchedSpec,
+    /// The cell's congestion control.
+    pub cc: CcSpec,
+    /// Per-case verdicts, in case-index order.
+    pub results: Vec<CaseResult>,
+}
+
+impl MatrixCellResult {
+    /// Violating cases in this cell.
+    pub fn violations(&self) -> usize {
+        self.results.iter().filter(|r| !r.report.clean()).count()
+    }
+}
+
+/// Run `cases_per_cell` scenarios for every (scheduler, CC) cell of the
+/// full matrix, sharded across up to `jobs` workers. Case seeds derive
+/// from `(root_seed, cell, index)` alone, so — like [`run_campaign`] —
+/// results and fingerprints are byte-identical for every `jobs` value.
+pub fn run_matrix_campaign(
+    cases_per_cell: usize,
+    root_seed: u64,
+    jobs: usize,
+) -> Vec<MatrixCellResult> {
+    let cells: Vec<(SchedSpec, CcSpec)> = SchedSpec::ALL
+        .iter()
+        .flat_map(|&s| CcSpec::ALL.iter().map(move |&c| (s, c)))
+        .collect();
+    let total = cells.len() * cases_per_cell;
+    let run_one = |flat: usize| -> CaseResult {
+        let (cell, index) = (flat / cases_per_cell, flat % cases_per_cell);
+        let (sched, cc) = cells[cell];
+        let seed = case_seed(root_seed ^ splitmix64(cell as u64 ^ 0x5EED_CE11), index);
+        let spec = generate_for_cell(seed, sched, cc);
+        let report = run_scenario(&spec);
+        CaseResult {
+            index,
+            seed,
+            spec,
+            report,
+        }
+    };
+    let flat: Vec<CaseResult> = if jobs <= 1 || total <= 1 {
+        (0..total).map(run_one).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<CaseResult>>> = Mutex::new((0..total).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(total) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let result = run_one(i);
+                    slots.lock().expect("matrix slot lock")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("matrix slot lock")
+            .into_iter()
+            .map(|slot| slot.expect("every matrix index was claimed by a worker"))
+            .collect()
+    };
+    let mut out = Vec::with_capacity(cells.len());
+    let mut it = flat.into_iter();
+    for (sched, cc) in cells {
+        out.push(MatrixCellResult {
+            sched,
+            cc,
+            results: it.by_ref().take(cases_per_cell).collect(),
+        });
+    }
+    out
+}
+
+/// FNV-1a digest of a matrix campaign: hashes every cell's
+/// [`campaign_fingerprint`], so it carries the same determinism
+/// contract across `--jobs` values and repeats.
+pub fn matrix_fingerprint(cells: &[MatrixCellResult]) -> String {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for c in cells {
+        let line = format!(
+            "{:?}x{:?} {}\n",
+            c.sched,
+            c.cc,
+            campaign_fingerprint(&c.results)
+        );
+        for b in line.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    format!("{h:016x}")
 }
 
 /// FNV-1a digest of a whole campaign. Identical digests across

@@ -34,11 +34,13 @@ pub mod fuzz;
 pub mod scenario;
 
 pub use checkers::{
-    pattern_byte, pattern_bytes, MptcpConformance, TcpConformance, Violation, ViolationLog,
+    pattern_byte, pattern_bytes, MptcpConformance, SchedWitness, TcpConformance, Violation,
+    ViolationLog,
 };
 pub use fuzz::{
-    campaign_fingerprint, case_seed, repro_snippet, run_campaign, shrink, splitmix64, test_snippet,
-    CaseResult,
+    campaign_fingerprint, case_seed, generate_for_cell, matrix_fingerprint, repro_snippet,
+    run_campaign, run_matrix_campaign, shrink, splitmix64, test_snippet, CaseResult,
+    MatrixCellResult,
 };
 pub use scenario::{
     generate, run_scenario, CaseReport, CcSpec, FaultEp, IfaceSpec, LinkSpecLite, ModeSpec,

@@ -7,11 +7,12 @@
 //! the exact run.
 
 use crate::checkers::{
-    pattern_byte, pattern_bytes, MptcpConformance, TcpConformance, Violation, ViolationLog,
+    pattern_byte, pattern_bytes, MptcpConformance, SchedWitness, TcpConformance, Violation,
+    ViolationLog,
 };
 use crate::fuzz::splitmix64;
 use bytes::Bytes;
-use mpwifi_mptcp::{BackupActivation, CcChoice, Mode, MptcpConfig, SchedKind};
+use mpwifi_mptcp::{BackupActivation, CcKind, Mode, MptcpConfig, SchedKind};
 use mpwifi_netem::{Addr, FaultPlan, GilbertElliott};
 use mpwifi_sim::{
     LinkSpec, MptcpClientHost, MptcpServerHost, Sim, TcpClientHost, TcpServerHost, LTE_ADDR,
@@ -90,13 +91,41 @@ pub enum ModeSpec {
     SinglePath,
 }
 
-/// Congestion-control choice (mirrors [`CcChoice`]).
+/// Congestion-control choice (mirrors [`CcKind`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CcSpec {
-    /// Coupled (LIA).
-    Coupled,
+    /// Coupled LIA (RFC 6356).
+    Lia,
+    /// Coupled OLIA.
+    Olia,
+    /// Coupled BALIA.
+    Balia,
     /// Per-subflow Reno.
-    Decoupled,
+    Reno,
+    /// Per-subflow Cubic.
+    Cubic,
+}
+
+impl CcSpec {
+    /// Every congestion-control choice the fuzzer samples.
+    pub const ALL: [CcSpec; 5] = [
+        CcSpec::Lia,
+        CcSpec::Olia,
+        CcSpec::Balia,
+        CcSpec::Reno,
+        CcSpec::Cubic,
+    ];
+
+    /// The stack-level kind this spec realizes.
+    pub fn to_kind(self) -> CcKind {
+        match self {
+            CcSpec::Lia => CcKind::Lia,
+            CcSpec::Olia => CcKind::Olia,
+            CcSpec::Balia => CcKind::Balia,
+            CcSpec::Reno => CcKind::Reno,
+            CcSpec::Cubic => CcKind::Cubic,
+        }
+    }
 }
 
 /// Packet scheduler (mirrors [`SchedKind`]).
@@ -106,6 +135,34 @@ pub enum SchedSpec {
     MinRtt,
     /// Round robin.
     RoundRobin,
+    /// BLEST-style blocking estimation.
+    Blest,
+    /// ECF-style earliest completion first.
+    Ecf,
+    /// Duplicate every chunk on all eligible subflows.
+    Redundant,
+}
+
+impl SchedSpec {
+    /// Every scheduler the fuzzer samples.
+    pub const ALL: [SchedSpec; 5] = [
+        SchedSpec::MinRtt,
+        SchedSpec::RoundRobin,
+        SchedSpec::Blest,
+        SchedSpec::Ecf,
+        SchedSpec::Redundant,
+    ];
+
+    /// The stack-level kind this spec realizes.
+    pub fn to_kind(self) -> SchedKind {
+        match self {
+            SchedSpec::MinRtt => SchedKind::MinRtt,
+            SchedSpec::RoundRobin => SchedKind::RoundRobin,
+            SchedSpec::Blest => SchedKind::Blest,
+            SchedSpec::Ecf => SchedKind::Ecf,
+            SchedSpec::Redundant => SchedKind::Redundant,
+        }
+    }
 }
 
 /// Which transport stack the scenario drives.
@@ -355,6 +412,15 @@ pub struct ScenarioSpec {
     /// (see `MptcpConnection::set_test_dss_double_send`). `0` = off.
     /// Exists so the checkers can be proven to catch a planted bug.
     pub dss_double_every: u64,
+    /// Test-only fault injection: stop assigning connection-level data
+    /// past this DSN (see `MptcpConnection::set_test_sched_stall_after`).
+    /// `0` = off. Proves the `mptcp-sched-wedged` oracle fires.
+    pub sched_stall_after: u64,
+    /// Test-only fault injection: make a Redundant scheduler skip its
+    /// duplication pass (see
+    /// `MptcpConnection::set_test_redundant_suppress`). Proves the
+    /// `mptcp-redundant-no-dup` oracle fires.
+    pub suppress_redundant: bool,
 }
 
 impl ScenarioSpec {
@@ -383,6 +449,8 @@ impl ScenarioSpec {
              {inner}faults: {faults},\n\
              {inner}deadline_ms: {},\n\
              {inner}dss_double_every: {},\n\
+             {inner}sched_stall_after: {},\n\
+             {inner}suppress_redundant: {},\n\
              {pad}}}",
             self.seed,
             self.transport.literal(),
@@ -392,6 +460,8 @@ impl ScenarioSpec {
             self.workload.up_bytes,
             self.deadline_ms,
             self.dss_double_every,
+            self.sched_stall_after,
+            self.suppress_redundant,
         )
     }
 }
@@ -574,16 +644,8 @@ pub fn generate(seed: u64) -> ScenarioSpec {
         TransportSpec::Mptcp {
             primary: pick_iface(&mut rng),
             mode,
-            cc: if rng.chance(0.5) {
-                CcSpec::Coupled
-            } else {
-                CcSpec::Decoupled
-            },
-            sched: if rng.chance(0.5) {
-                SchedSpec::MinRtt
-            } else {
-                SchedSpec::RoundRobin
-            },
+            cc: CcSpec::ALL[rng.index(CcSpec::ALL.len())],
+            sched: SchedSpec::ALL[rng.index(SchedSpec::ALL.len())],
             rto_activation,
         }
     } else {
@@ -600,6 +662,8 @@ pub fn generate(seed: u64) -> ScenarioSpec {
         faults,
         deadline_ms: 120_000,
         dss_double_every: 0,
+        sched_stall_after: 0,
+        suppress_redundant: false,
     }
 }
 
@@ -778,14 +842,8 @@ fn run_mptcp(spec: &ScenarioSpec, up_salt: u64, down_salt: u64) -> CaseReport {
         unreachable!("run_mptcp called with a TCP spec");
     };
     let cfg = MptcpConfig {
-        cc: match cc {
-            CcSpec::Coupled => CcChoice::Coupled,
-            CcSpec::Decoupled => CcChoice::Decoupled,
-        },
-        sched: match sched {
-            SchedSpec::MinRtt => SchedKind::MinRtt,
-            SchedSpec::RoundRobin => SchedKind::RoundRobin,
-        },
+        cc: cc.to_kind(),
+        sched: sched.to_kind(),
         mode: match mode {
             ModeSpec::Full => Mode::Full,
             ModeSpec::Backup => Mode::Backup,
@@ -818,19 +876,27 @@ fn run_mptcp(spec: &ScenarioSpec, up_salt: u64, down_salt: u64) -> CaseReport {
     let log = ViolationLog::new();
     let dn = spec.workload.down_bytes;
     let up = spec.workload.up_bytes;
+    let witness = SchedWitness::new(sched.to_kind());
     sim.set_observer(Box::new(MptcpConformance::new(
         log.clone(),
         (up > 0).then_some(up_salt),
         (dn > 0).then_some(down_salt),
+        witness.clone(),
     )));
     let c = sim
         .client
         .open(Time::ZERO, cfg, primary.addr(), SERVER_PORT);
-    if spec.dss_double_every > 0 {
-        sim.client
-            .mp
-            .conn_mut(c)
-            .set_test_dss_double_send(spec.dss_double_every);
+    {
+        let conn = sim.client.mp.conn_mut(c);
+        if spec.dss_double_every > 0 {
+            conn.set_test_dss_double_send(spec.dss_double_every);
+        }
+        if spec.sched_stall_after > 0 {
+            conn.set_test_sched_stall_after(spec.sched_stall_after);
+        }
+        if spec.suppress_redundant {
+            conn.set_test_redundant_suppress(true);
+        }
     }
     if up > 0 {
         let conn = sim.client.mp.conn_mut(c);
@@ -843,12 +909,20 @@ fn run_mptcp(spec: &ScenarioSpec, up_salt: u64, down_salt: u64) -> CaseReport {
     let mut up_oracle = StreamOracle::new(up_salt, up);
     let deadline = Time::from_millis(spec.deadline_ms);
     let dss_knob = spec.dss_double_every;
+    let stall_knob = spec.sched_stall_after;
+    let suppress_knob = spec.suppress_redundant;
     let completed = sim.run_until(
         |sim| {
             for sid in sim.server.mp.take_accepted() {
                 let conn = sim.server.mp.conn_mut(sid);
                 if dss_knob > 0 {
                     conn.set_test_dss_double_send(dss_knob);
+                }
+                if stall_knob > 0 {
+                    conn.set_test_sched_stall_after(stall_knob);
+                }
+                if suppress_knob {
+                    conn.set_test_redundant_suppress(true);
                 }
                 if dn > 0 {
                     conn.send(Bytes::from(pattern_bytes(down_salt, dn)));
@@ -870,6 +944,7 @@ fn run_mptcp(spec: &ScenarioSpec, up_salt: u64, down_salt: u64) -> CaseReport {
         },
         deadline,
     );
+    witness.finalize(&log, sim.now);
     finish(&log, sim.now, completed.held(), &down_oracle, &up_oracle)
 }
 
@@ -938,6 +1013,8 @@ mod tests {
             faults: vec![],
             deadline_ms: 30_000,
             dss_double_every: 0,
+            sched_stall_after: 0,
+            suppress_redundant: false,
         };
         let report = run_scenario(&spec);
         assert!(report.completed, "clean download must finish");

@@ -4,8 +4,9 @@
 //! campaign determinism across job counts.
 
 use mpwifi_conformance::{
-    repro_snippet, run_campaign, run_scenario, shrink, CcSpec, FaultEp, IfaceSpec, LinkSpecLite,
-    ModeSpec, ScenarioSpec, SchedSpec, TransportSpec, WorkloadSpec,
+    generate, repro_snippet, run_campaign, run_matrix_campaign, run_scenario, shrink, CcSpec,
+    FaultEp, IfaceSpec, LinkSpecLite, ModeSpec, ScenarioSpec, SchedSpec, TransportSpec,
+    WorkloadSpec,
 };
 
 fn base_mptcp_spec() -> ScenarioSpec {
@@ -14,7 +15,7 @@ fn base_mptcp_spec() -> ScenarioSpec {
         transport: TransportSpec::Mptcp {
             primary: IfaceSpec::Wifi,
             mode: ModeSpec::Full,
-            cc: CcSpec::Coupled,
+            cc: CcSpec::Lia,
             sched: SchedSpec::MinRtt,
             rto_activation: 0,
         },
@@ -37,6 +38,8 @@ fn base_mptcp_spec() -> ScenarioSpec {
         faults: vec![],
         deadline_ms: 60_000,
         dss_double_every: 0,
+        sched_stall_after: 0,
+        suppress_redundant: false,
     }
 }
 
@@ -116,6 +119,165 @@ fn observer_does_not_perturb_the_run() {
         (a.delivered_down, a.delivered_up),
         (b.delivered_down, b.delivered_up)
     );
+}
+
+/// Per-scheduler checker self-test #1: a deliberately wedged scheduler
+/// (stops assigning fresh data mid-stream while the app keeps queueing
+/// and subflows keep window room) MUST trip the scheduler-progress
+/// oracle. If this fails, the wedge oracle is blind.
+#[test]
+fn planted_sched_wedge_is_caught() {
+    let mut spec = base_mptcp_spec();
+    spec.transport = TransportSpec::Mptcp {
+        primary: IfaceSpec::Wifi,
+        mode: ModeSpec::Full,
+        cc: CcSpec::Lia,
+        sched: SchedSpec::Blest,
+        rto_activation: 0,
+    };
+    spec.workload = WorkloadSpec {
+        down_bytes: 200_000,
+        up_bytes: 0,
+    };
+    spec.sched_stall_after = 60_000;
+    spec.deadline_ms = 20_000;
+    let report = run_scenario(&spec);
+    assert!(
+        !report.completed,
+        "a wedged scheduler cannot finish the stream"
+    );
+    let cats: Vec<&str> = report.violations.iter().map(|v| v.category).collect();
+    assert!(
+        cats.contains(&"mptcp-sched-wedged"),
+        "planted scheduler wedge was not detected: {cats:?}"
+    );
+}
+
+/// Per-scheduler checker self-test #2: a Redundant scheduler whose
+/// duplication is suppressed (chunks go to exactly one subflow even
+/// with both roomy) MUST trip the redundancy-liveness oracle.
+#[test]
+fn planted_redundant_suppress_is_caught() {
+    let mut spec = base_mptcp_spec();
+    spec.transport = TransportSpec::Mptcp {
+        primary: IfaceSpec::Wifi,
+        mode: ModeSpec::Full,
+        cc: CcSpec::Lia,
+        sched: SchedSpec::Redundant,
+        rto_activation: 0,
+    };
+    spec.workload = WorkloadSpec {
+        down_bytes: 300_000,
+        up_bytes: 0,
+    };
+    spec.suppress_redundant = true;
+    let report = run_scenario(&spec);
+    let cats: Vec<&str> = report.violations.iter().map(|v| v.category).collect();
+    assert!(
+        cats.contains(&"mptcp-redundant-no-dup"),
+        "suppressed redundant duplication was not detected: {cats:?}"
+    );
+}
+
+/// Differential test: Redundant and min-RTT must deliver byte-identical
+/// streams (the DSN dedup hides the duplicates from the application),
+/// and the Redundant run must actually have duplicated — its dup/drop
+/// counters are positive where min-RTT's are zero.
+#[test]
+fn redundant_delivers_identically_to_minrtt_with_dups_on_the_wire() {
+    let spec_for = |sched: SchedSpec| {
+        let mut spec = base_mptcp_spec();
+        spec.transport = TransportSpec::Mptcp {
+            primary: IfaceSpec::Wifi,
+            mode: ModeSpec::Full,
+            cc: CcSpec::Lia,
+            sched,
+            rto_activation: 0,
+        };
+        spec.workload = WorkloadSpec {
+            down_bytes: 250_000,
+            up_bytes: 50_000,
+        };
+        spec
+    };
+    let before = mpwifi_simcore::metrics::snapshot();
+    let base = run_scenario(&spec_for(SchedSpec::MinRtt));
+    let base_delta = mpwifi_simcore::metrics::snapshot().since(&before);
+    let before = mpwifi_simcore::metrics::snapshot();
+    let red = run_scenario(&spec_for(SchedSpec::Redundant));
+    let red_delta = mpwifi_simcore::metrics::snapshot().since(&before);
+
+    assert!(base.completed && base.clean(), "minrtt run: {base:#?}");
+    assert!(red.completed && red.clean(), "redundant run: {red:#?}");
+    // The harness verifies the seeded payload pattern byte-by-byte;
+    // equal delivered counts + clean verdicts = byte-identical streams.
+    assert_eq!(
+        (base.delivered_down, base.delivered_up),
+        (red.delivered_down, red.delivered_up),
+        "redundant must deliver exactly the same stream"
+    );
+    assert_eq!(base_delta.redundant_dups, 0, "minrtt must not duplicate");
+    assert!(
+        red_delta.redundant_dups > 0,
+        "redundant sent no duplicates: {red_delta:?}"
+    );
+    assert!(
+        red_delta.dup_bytes_dropped > 0,
+        "receiver never dropped a duplicate: {red_delta:?}"
+    );
+    assert!(
+        red_delta.reinjections > base_delta.reinjections,
+        "redundant's duplicates are recorded as reinjections"
+    );
+}
+
+/// The fuzzer must actually sample the new axes: across a modest seed
+/// range, every scheduler and every congestion control shows up in
+/// generated MPTCP scenarios.
+#[test]
+fn fuzzer_samples_the_full_sched_and_cc_axis() {
+    let mut scheds = [false; 5];
+    let mut ccs = [false; 5];
+    for seed in 0..200u64 {
+        if let TransportSpec::Mptcp { cc, sched, .. } = generate(seed).transport {
+            scheds[SchedSpec::ALL.iter().position(|&s| s == sched).unwrap()] = true;
+            ccs[CcSpec::ALL.iter().position(|&c| c == cc).unwrap()] = true;
+        }
+    }
+    assert!(
+        scheds.iter().all(|&b| b),
+        "some scheduler never sampled: {scheds:?}"
+    );
+    assert!(ccs.iter().all(|&b| b), "some CC never sampled: {ccs:?}");
+}
+
+/// The matrix campaign carries the same determinism contract as the
+/// flat one: per-cell verdicts and the matrix fingerprint are a pure
+/// function of (cases-per-cell, root seed) at every job count, and the
+/// cells cover the full 5 × 5 axis.
+#[test]
+fn matrix_campaign_is_jobs_invariant_and_covers_all_cells() {
+    let serial = run_matrix_campaign(2, 42, 1);
+    let sharded = run_matrix_campaign(2, 42, 4);
+    assert_eq!(serial.len(), 25, "5 schedulers x 5 CCs");
+    let f1 = mpwifi_conformance::matrix_fingerprint(&serial);
+    let f2 = mpwifi_conformance::matrix_fingerprint(&sharded);
+    assert_eq!(f1, f2, "matrix fingerprint differs between --jobs 1 and 4");
+    for (i, &sched) in SchedSpec::ALL.iter().enumerate() {
+        for (j, &cc) in CcSpec::ALL.iter().enumerate() {
+            let cell = &serial[i * 5 + j];
+            assert_eq!((cell.sched, cell.cc), (sched, cc), "cell order");
+            for r in &cell.results {
+                assert!(
+                    r.report.clean(),
+                    "cell {sched:?}x{cc:?} case {} (seed {}) violated: {:#?}",
+                    r.index,
+                    r.seed,
+                    r.report.violations
+                );
+            }
+        }
+    }
 }
 
 /// Campaign verdicts are a pure function of (cases, root seed): the

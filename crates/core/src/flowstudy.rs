@@ -7,13 +7,13 @@
 //! transfer's progress curve — a 10 kB "flow" is the first 10 kB of the
 //! big transfer, exactly how slow-start cost shows up in Figures 7/11/12.
 
-use mpwifi_mptcp::{BackupActivation, CcChoice, Mode, MptcpConfig};
+use mpwifi_mptcp::{BackupActivation, CcKind, Mode, MptcpConfig};
 use mpwifi_sim::apps::{
     run_mptcp_download, run_mptcp_upload, run_tcp_download, run_tcp_upload, BulkResult,
 };
 use mpwifi_sim::{LinkSpec, LTE_ADDR, WIFI_ADDR};
 use mpwifi_simcore::Dur;
-use mpwifi_tcp::cc::CcKind;
+use mpwifi_tcp::cc::CcKind as TcpCcKind;
 use mpwifi_tcp::conn::TcpConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -78,11 +78,7 @@ impl StudyTransport {
 /// the paper's Section 3 setup).
 fn mptcp_config(coupled: bool) -> MptcpConfig {
     MptcpConfig {
-        cc: if coupled {
-            CcChoice::Coupled
-        } else {
-            CcChoice::Decoupled
-        },
+        cc: if coupled { CcKind::Lia } else { CcKind::Reno },
         mode: Mode::Full,
         backup_activation: BackupActivation::OnNotify,
         ..MptcpConfig::default()
@@ -92,7 +88,7 @@ fn mptcp_config(coupled: bool) -> MptcpConfig {
 /// Single-path TCP config (CUBIC, the Linux default the paper ran).
 fn tcp_config() -> TcpConfig {
     TcpConfig {
-        cc: CcKind::Cubic,
+        cc: TcpCcKind::Cubic,
         ..TcpConfig::default()
     }
 }

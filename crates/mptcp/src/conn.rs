@@ -14,28 +14,19 @@
 //! primary completes its handshake, which is what delays MPTCP's use of
 //! the second path by at least one handshake RTT.
 
-use crate::coupled::{LiaCc, LiaGroup};
+use crate::coupled::{CcKind, CoupledCc, CoupledGroup};
 use crate::options::{mp_options, token_from_key, DssMap, MpOption};
 use crate::sched::{SchedKind, Scheduler, SubflowView};
 use bytes::Bytes;
 use mpwifi_netem::Addr;
 use mpwifi_simcore::{metrics, Dur, Time};
 use mpwifi_tcp::buffer::{RecvBuffer, SendBuffer};
-use mpwifi_tcp::cc::{CcKind, RenoCc};
+use mpwifi_tcp::cc::{CcKind as TcpCcKind, CubicCc, RenoCc};
 use mpwifi_tcp::conn::{TcpConfig, TcpConnection};
 use mpwifi_tcp::segment::Segment;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
-
-/// The paper's two congestion-control configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CcChoice {
-    /// LIA (RFC 6356): subflow increases are linked.
-    Coupled,
-    /// Independent TCP Reno per subflow (paper footnote 5).
-    Decoupled,
-}
 
 /// The paper's two operating modes (Section 3.6), plus the
 /// break-before-make alternative the paper points to (Paasch et al.,
@@ -72,8 +63,9 @@ pub enum BackupActivation {
 pub struct MptcpConfig {
     /// Per-subflow TCP tuning (its `cc` field is overridden by `cc`).
     pub tcp: TcpConfig,
-    /// Coupled (LIA) or decoupled (Reno) congestion control.
-    pub cc: CcChoice,
+    /// Congestion control: a coupled family member (LIA/OLIA/BALIA,
+    /// shared state across subflows) or per-subflow Reno/Cubic.
+    pub cc: CcKind,
     /// Packet scheduler.
     pub sched: SchedKind,
     /// Full-MPTCP or Backup mode.
@@ -86,7 +78,7 @@ impl Default for MptcpConfig {
     fn default() -> Self {
         MptcpConfig {
             tcp: TcpConfig::default(),
-            cc: CcChoice::Coupled,
+            cc: CcKind::Lia,
             sched: SchedKind::MinRtt,
             mode: Mode::Full,
             backup_activation: BackupActivation::OnNotify,
@@ -141,6 +133,27 @@ pub struct SubflowStats {
     pub dead: bool,
 }
 
+/// Scheduler-progress observability (see
+/// [`MptcpConnection::sched_progress`]): the conformance oracles use it
+/// to detect a wedged scheduler — fresh data queued, an eligible subflow
+/// with room, yet assignment not advancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedProgress {
+    /// Connection-level bytes assigned to subflows so far (next DSN).
+    pub assigned: u64,
+    /// Connection-level bytes queued by the application.
+    pub queued: u64,
+    /// Eligible (alive, established, not backup-excluded) subflows.
+    pub eligible: usize,
+    /// Eligible subflows with at least one MSS of window room.
+    pub eligible_with_room: usize,
+    /// Bytes in flight or still queued inside eligible subflows. Zero
+    /// means no future transmission or ACK will ever re-invoke the
+    /// scheduler, so a blocked state is permanent rather than a bounded
+    /// deferral.
+    pub in_flight: u64,
+}
+
 #[derive(Debug)]
 struct Subflow {
     iface: Addr,
@@ -157,8 +170,12 @@ struct Subflow {
     rx_maps: Vec<MapEntry>,
     /// Subflow receive-stream offset already translated to DSN space.
     rx_cursor: u64,
-    /// Index of this subflow's LIA registration, when coupled.
-    lia_idx: Option<usize>,
+    /// Index of this subflow's coupled-CC registration, when coupled.
+    coupled_idx: Option<usize>,
+    /// Redundant mode: next DSN this subflow will consider replaying
+    /// from the assigned-chunk log (see `pump_redundant_replay`).
+    /// Unused by every other scheduler.
+    red_cursor: u64,
     /// REMOVE_ADDR announcements waiting to ride the next segment out.
     pending_remove_addr: Vec<u8>,
     /// An MP_FASTCLOSE waiting to ride the next segment out.
@@ -280,7 +297,7 @@ pub struct MptcpConnection {
 
     subflows: Vec<Subflow>,
     scheduler: Scheduler,
-    lia: Rc<RefCell<LiaGroup>>,
+    coupled: Rc<RefCell<CoupledGroup>>,
 
     // ---- send side ----
     snd_buf: SendBuffer,
@@ -317,6 +334,14 @@ pub struct MptcpConnection {
     /// mapping"). Exists solely so the conformance oracles can prove
     /// they catch data-level corruption; zero in all real runs.
     test_dss_double_every: u64,
+    /// Test-only fault: stop assigning fresh data once `dsn_next`
+    /// reaches this threshold, wedging the scheduler while eligible
+    /// subflows still have room (proves `mptcp-sched-wedged` fires).
+    /// `0` disables (the default).
+    test_sched_stall_after: u64,
+    /// Test-only fault: Redundant mode skips its duplication step
+    /// (proves `mptcp-redundant-no-dup` fires). Never set in real runs.
+    test_redundant_suppress: bool,
     /// Count of data DSS mappings emitted (drives the knob above).
     dss_maps_emitted: u64,
     /// Reused per-subflow segment buffer for [`MptcpConnection::take_tx_into`].
@@ -383,7 +408,7 @@ impl MptcpConnection {
         let recv_buf = usize::MAX / 4;
         MptcpConnection {
             scheduler: Scheduler::new(cfg.sched),
-            lia: LiaGroup::shared(),
+            coupled: CoupledGroup::shared(),
             cfg,
             role,
             key_local,
@@ -410,6 +435,8 @@ impl MptcpConnection {
             aborting: false,
             aborted: false,
             test_dss_double_every: 0,
+            test_sched_stall_after: 0,
+            test_redundant_suppress: false,
             dss_maps_emitted: 0,
             tx_raw_scratch: Vec::new(),
         }
@@ -427,24 +454,46 @@ impl MptcpConnection {
         self.test_dss_double_every = every;
     }
 
+    /// Test-only fault: wedge the scheduler — stop assigning fresh data
+    /// once the next DSN reaches `threshold`, while the application keeps
+    /// queueing and eligible subflows keep window room. A live
+    /// scheduler-progress oracle must flag the stall. `0` disables (the
+    /// default); nothing in the workspace sets it outside checker
+    /// self-tests.
+    #[doc(hidden)]
+    pub fn set_test_sched_stall_after(&mut self, threshold: u64) {
+        self.test_sched_stall_after = threshold;
+    }
+
+    /// Test-only fault: make [`SchedKind::Redundant`] skip its chunk
+    /// duplication, so a redundancy-liveness oracle can prove it fires.
+    /// Never set in real runs.
+    #[doc(hidden)]
+    pub fn set_test_redundant_suppress(&mut self, suppress: bool) {
+        self.test_redundant_suppress = suppress;
+    }
+
     /// Our connection token (what the peer puts in MP_JOIN).
     pub fn local_token(&self) -> u32 {
         token_from_key(self.key_local)
     }
 
-    /// LIA registration index of the most recently built subflow
-    /// controller (None when decoupled).
-    fn lia_idx_for_latest(&self) -> Option<usize> {
-        match self.cfg.cc {
-            CcChoice::Coupled => Some(self.lia.borrow().len().saturating_sub(1)),
-            CcChoice::Decoupled => None,
-        }
+    /// Coupled-group registration index of the most recently built
+    /// subflow controller (None when decoupled).
+    fn coupled_idx_for_latest(&self) -> Option<usize> {
+        self.cfg
+            .cc
+            .coupled()
+            .map(|_| self.coupled.borrow().len().saturating_sub(1))
     }
 
     fn build_cc(&self, mss: usize, init_segs: u64) -> Box<dyn mpwifi_tcp::cc::CongestionControl> {
-        match self.cfg.cc {
-            CcChoice::Coupled => Box::new(LiaCc::new(self.lia.clone(), mss, init_segs)),
-            CcChoice::Decoupled => Box::new(RenoCc::new(mss, init_segs)),
+        match self.cfg.cc.coupled() {
+            Some(kind) => Box::new(CoupledCc::new(self.coupled.clone(), kind, mss, init_segs)),
+            None => match self.cfg.cc {
+                CcKind::Cubic => Box::new(CubicCc::new(mss, init_segs)),
+                _ => Box::new(RenoCc::new(mss, init_segs)),
+            },
         }
     }
 
@@ -456,7 +505,7 @@ impl MptcpConnection {
         client_side: bool,
     ) -> TcpConnection {
         let mut tcp_cfg = self.cfg.tcp.clone();
-        tcp_cfg.cc = CcKind::Reno; // placeholder; replaced below
+        tcp_cfg.cc = TcpCcKind::Reno; // placeholder; replaced below
         let mut conn = if client_side {
             TcpConnection::client(tcp_cfg.clone(), local_port, remote_port, iss)
         } else {
@@ -491,7 +540,8 @@ impl MptcpConnection {
             tx_maps: Vec::new(),
             rx_maps: Vec::new(),
             rx_cursor: 0,
-            lia_idx: self.lia_idx_for_latest(),
+            coupled_idx: self.coupled_idx_for_latest(),
+            red_cursor: 0,
             pending_remove_addr: Vec::new(),
             pending_fastclose: false,
         });
@@ -528,7 +578,8 @@ impl MptcpConnection {
             tx_maps: Vec::new(),
             rx_maps: Vec::new(),
             rx_cursor: 0,
-            lia_idx: self.lia_idx_for_latest(),
+            coupled_idx: self.coupled_idx_for_latest(),
+            red_cursor: 0,
             pending_remove_addr: Vec::new(),
             pending_fastclose: false,
         });
@@ -560,7 +611,8 @@ impl MptcpConnection {
             tx_maps: Vec::new(),
             rx_maps: Vec::new(),
             rx_cursor: 0,
-            lia_idx: self.lia_idx_for_latest(),
+            coupled_idx: self.coupled_idx_for_latest(),
+            red_cursor: 0,
             pending_remove_addr: Vec::new(),
             pending_fastclose: false,
         });
@@ -671,6 +723,45 @@ impl MptcpConnection {
         self.subflows.iter().map(|s| s.stats()).collect()
     }
 
+    /// Scheduler-progress snapshot for harnesses and the conformance
+    /// oracles: how far assignment has advanced versus what the
+    /// application queued, and whether the scheduler currently has
+    /// somewhere to put data.
+    pub fn sched_progress(&self) -> SchedProgress {
+        let mss = self.cfg.tcp.mss as u64;
+        let any_regular_alive = self
+            .subflows
+            .iter()
+            .any(|s| !s.dead && !s.is_backup && s.conn.is_established());
+        let mut eligible = 0;
+        let mut eligible_with_room = 0;
+        let mut in_flight = 0u64;
+        for s in &self.subflows {
+            if s.dead || !s.conn.is_established() || (s.is_backup && any_regular_alive) {
+                continue;
+            }
+            eligible += 1;
+            let window = s.conn.cwnd().min(s.conn.send_window());
+            let used = s.conn.in_flight() + s.conn.bytes_unsent();
+            in_flight += used;
+            if window.saturating_sub(used) >= mss {
+                eligible_with_room += 1;
+            }
+        }
+        SchedProgress {
+            assigned: self.dsn_next,
+            queued: self.snd_buf.end(),
+            eligible,
+            eligible_with_room,
+            in_flight,
+        }
+    }
+
+    /// The configured scheduler kind.
+    pub fn sched_kind(&self) -> SchedKind {
+        self.scheduler.kind()
+    }
+
     /// Number of subflows created so far.
     pub fn subflow_count(&self) -> usize {
         self.subflows.len()
@@ -762,8 +853,8 @@ impl MptcpConnection {
         if self.recovery_started.is_none() && !self.subflows_closed && !self.aborting {
             self.recovery_started = Some((now, self.rcv_buf.next_expected(), self.data_ack_in));
         }
-        if let Some(li) = self.subflows[idx].lia_idx {
-            self.lia.borrow_mut().mark_dead_by_index(li);
+        if let Some(ci) = self.subflows[idx].coupled_idx {
+            self.coupled.borrow_mut().mark_dead_by_index(ci);
         }
         self.reinject_from(now, idx);
         // Single-Path mode: the replacement subflow is created only now,
@@ -963,7 +1054,14 @@ impl MptcpConnection {
                 let take = ((entry.len - within) as usize).min(rest.len());
                 let piece = rest.slice(..take);
                 rest = rest.slice(take..);
-                self.rcv_buf.insert(entry.dsn + within, piece);
+                let dsn_start = entry.dsn + within;
+                // Redundant copies (and reinjection races) arrive for
+                // DSNs already delivered; count the dropped overlap.
+                let already = self.rcv_buf.next_expected();
+                if dsn_start < already {
+                    metrics::record_dup_bytes_dropped((already - dsn_start).min(take as u64));
+                }
+                self.rcv_buf.insert(dsn_start, piece);
                 off += take as u64;
             }
             self.subflows[sf_idx].rx_cursor = off;
@@ -1100,7 +1198,8 @@ impl MptcpConnection {
             tx_maps: Vec::new(),
             rx_maps: Vec::new(),
             rx_cursor: 0,
-            lia_idx: self.lia_idx_for_latest(),
+            coupled_idx: self.coupled_idx_for_latest(),
+            red_cursor: 0,
             pending_remove_addr: Vec::new(),
             pending_fastclose: false,
         });
@@ -1147,6 +1246,7 @@ impl MptcpConnection {
                     idx,
                     eligible,
                     room: window.saturating_sub(used),
+                    cwnd: s.conn.cwnd(),
                     srtt: s.conn.srtt(),
                 }
             })
@@ -1166,13 +1266,75 @@ impl MptcpConnection {
         self.assigned.insert(dsn, (len, sf_idx));
     }
 
+    /// Push a redundant copy of an already-assigned chunk onto another
+    /// subflow. Unlike [`MptcpConnection::push_chunk_to_subflow`] this
+    /// does not touch `assigned`: the primary carrier keeps ownership
+    /// for reinjection purposes, and the receiver dedups by DSN.
+    fn push_dup_to_subflow(&mut self, sf_idx: usize, dsn: u64, len: u64) {
+        let data = self.snd_buf.slice(dsn, len as usize);
+        let sf = &mut self.subflows[sf_idx];
+        sf.conn.send(data);
+        sf.push_tx_map(MapEntry {
+            sf_off: sf.tx_pushed,
+            dsn,
+            len,
+        });
+        sf.tx_pushed += len;
+    }
+
+    /// Redundant mode: every eligible subflow replays, in DSN order, the
+    /// still-unacked chunks first carried by *other* subflows, so each
+    /// chunk eventually rides every live path — not just chunks minted
+    /// at an instant when two windows happened to be open at once.
+    /// `assigned` is pruned as data-ACKs advance, so the per-subflow
+    /// cursor walk naturally skips acknowledged data; the receiver
+    /// dedups by DSN and counts the losers in `dup_bytes_dropped`.
+    fn pump_redundant_replay(&mut self) {
+        for v in self.subflow_views() {
+            if !v.eligible {
+                continue;
+            }
+            let mut room = v.room;
+            loop {
+                let cur = self.subflows[v.idx].red_cursor;
+                let Some((dsn, len, owner)) = self
+                    .assigned
+                    .range(cur..)
+                    .next()
+                    .map(|(&dsn, &(len, owner))| (dsn, len, owner))
+                else {
+                    break;
+                };
+                if owner == v.idx {
+                    // This subflow already carries the chunk.
+                    self.subflows[v.idx].red_cursor = dsn + len;
+                    continue;
+                }
+                if room < len {
+                    break;
+                }
+                self.push_dup_to_subflow(v.idx, dsn, len);
+                metrics::record_reinjection();
+                metrics::record_redundant_dup();
+                self.subflows[v.idx].red_cursor = dsn + len;
+                room -= len;
+            }
+        }
+    }
+
     fn pump_send(&mut self, now: Time) {
         self.flush_pending_reinjects();
         let mss = self.cfg.tcp.mss as u64;
         // Assign fresh data.
         while self.dsn_next < self.snd_buf.end() {
+            if self.test_sched_stall_after != 0 && self.dsn_next >= self.test_sched_stall_after {
+                // Planted fault: wedge the scheduler (see
+                // `set_test_sched_stall_after`).
+                break;
+            }
             let views = self.subflow_views();
-            let Some(pick) = self.scheduler.pick(&views) else {
+            let remaining = self.snd_buf.end() - self.dsn_next;
+            let Some(pick) = self.scheduler.pick(&views, remaining) else {
                 break;
             };
             // A scheduler must answer with one of the views it was
@@ -1190,6 +1352,9 @@ impl MptcpConnection {
             let dsn = self.dsn_next;
             self.dsn_next += len;
             self.push_chunk_to_subflow(pick, dsn, len);
+        }
+        if self.scheduler.kind() == SchedKind::Redundant && !self.test_redundant_suppress {
+            self.pump_redundant_replay();
         }
         // DATA_FIN announcement: once the stream end is known and all
         // data is assigned, keep nudging a live subflow to emit a DSS
@@ -1463,7 +1628,8 @@ mod tests {
             tx_maps: Vec::new(),
             rx_maps: Vec::new(),
             rx_cursor: 0,
-            lia_idx: None,
+            coupled_idx: None,
+            red_cursor: 0,
             pending_remove_addr: Vec::new(),
             pending_fastclose: false,
         }

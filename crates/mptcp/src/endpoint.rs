@@ -333,7 +333,8 @@ impl ServerEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::conn::{BackupActivation, CcChoice, Mode};
+    use crate::conn::{BackupActivation, Mode};
+    use crate::coupled::CcKind;
     use crate::sched::SchedKind;
     use bytes::Bytes;
     use mpwifi_simcore::Dur;
@@ -456,7 +457,7 @@ mod tests {
         }
     }
 
-    fn cfg(cc: CcChoice, mode: Mode) -> MptcpConfig {
+    fn cfg(cc: CcKind, mode: Mode) -> MptcpConfig {
         MptcpConfig {
             cc,
             mode,
@@ -472,10 +473,10 @@ mod tests {
 
     #[test]
     fn mp_capable_handshake_establishes_primary() {
-        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
+        let mut lb = MpLoopback::new(cfg(CcKind::Lia, Mode::Full), 10, 30);
         let c = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+            .open(Time::ZERO, cfg(CcKind::Lia, Mode::Full), WIFI, 80);
         lb.run_until(|lb| lb.client.conn(c).established_at().is_some(), 100);
         // Primary over WiFi (10 ms one way): established at 20 ms.
         assert_eq!(
@@ -487,10 +488,10 @@ mod tests {
 
     #[test]
     fn secondary_joins_after_primary() {
-        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
+        let mut lb = MpLoopback::new(cfg(CcKind::Lia, Mode::Full), 10, 30);
         let c = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+            .open(Time::ZERO, cfg(CcKind::Lia, Mode::Full), WIFI, 80);
         lb.run_until(
             |lb| {
                 lb.client.conn(c).subflow_count() == 2
@@ -513,10 +514,10 @@ mod tests {
 
     #[test]
     fn download_uses_both_subflows_and_is_intact() {
-        let mut lb = MpLoopback::new(cfg(CcChoice::Decoupled, Mode::Full), 10, 15);
+        let mut lb = MpLoopback::new(cfg(CcKind::Reno, Mode::Full), 10, 15);
         let c = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), WIFI, 80);
+            .open(Time::ZERO, cfg(CcKind::Reno, Mode::Full), WIFI, 80);
         let data = pattern(500_000);
         // Server sends on accept.
         lb.run_until(|lb| !lb.server.is_empty(), 100);
@@ -534,10 +535,10 @@ mod tests {
 
     #[test]
     fn upload_direction_works_too() {
-        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 15);
+        let mut lb = MpLoopback::new(cfg(CcKind::Lia, Mode::Full), 10, 15);
         let c = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), LTE, 80);
+            .open(Time::ZERO, cfg(CcKind::Lia, Mode::Full), LTE, 80);
         let data = pattern(200_000);
         lb.client.conn_mut(c).send(Bytes::from(data.clone()));
         lb.client.conn_mut(c).close(Time::ZERO);
@@ -553,10 +554,10 @@ mod tests {
 
     #[test]
     fn backup_mode_keeps_data_off_backup_subflow() {
-        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Backup), 10, 15);
+        let mut lb = MpLoopback::new(cfg(CcKind::Lia, Mode::Backup), 10, 15);
         let c = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Backup), WIFI, 80);
+            .open(Time::ZERO, cfg(CcKind::Lia, Mode::Backup), WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
         let data = pattern(300_000);
         lb.server.conn_mut(0).send(Bytes::from(data.clone()));
@@ -582,10 +583,10 @@ mod tests {
         // Download over primary WiFi with LTE backup; at 300 ms the WiFi
         // interface is disabled via notification (multipath off). The
         // transfer must complete over LTE.
-        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Backup), 10, 15);
+        let mut lb = MpLoopback::new(cfg(CcKind::Lia, Mode::Backup), 10, 15);
         let c = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Backup), WIFI, 80);
+            .open(Time::ZERO, cfg(CcKind::Lia, Mode::Backup), WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
         let data = pattern(400_000);
         lb.server.conn_mut(0).send(Bytes::from(data.clone()));
@@ -610,7 +611,7 @@ mod tests {
     fn silent_blackhole_stalls_without_rto_activation() {
         // Figure 15g: LTE primary unplugged (silent), WiFi backup,
         // activation OnNotify -> the transfer stalls.
-        let mut cfg_b = cfg(CcChoice::Coupled, Mode::Backup);
+        let mut cfg_b = cfg(CcKind::Lia, Mode::Backup);
         cfg_b.backup_activation = BackupActivation::OnNotify;
         let mut lb = MpLoopback::new(cfg_b.clone(), 10, 15);
         let c = lb.client.open(Time::ZERO, cfg_b, LTE, 80);
@@ -639,7 +640,7 @@ mod tests {
         // Figure 15h analogue: same silent failure, but RTO-count
         // activation lets the sender declare the subflow dead and
         // reinject onto the backup.
-        let mut cfg_b = cfg(CcChoice::Coupled, Mode::Backup);
+        let mut cfg_b = cfg(CcKind::Lia, Mode::Backup);
         cfg_b.backup_activation = BackupActivation::OnRtoCount(2);
         let mut lb = MpLoopback::new(cfg_b.clone(), 10, 15);
         let c = lb.client.open(Time::ZERO, cfg_b, LTE, 80);
@@ -656,10 +657,10 @@ mod tests {
 
     #[test]
     fn full_teardown_closes_all_subflows() {
-        let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 15);
+        let mut lb = MpLoopback::new(cfg(CcKind::Lia, Mode::Full), 10, 15);
         let c = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), WIFI, 80);
+            .open(Time::ZERO, cfg(CcKind::Lia, Mode::Full), WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
         lb.server.conn_mut(0).send(Bytes::from(pattern(50_000)));
         lb.server.conn_mut(0).close(Time::ZERO);
@@ -673,13 +674,13 @@ mod tests {
 
     #[test]
     fn concurrent_mptcp_connections() {
-        let mut lb = MpLoopback::new(cfg(CcChoice::Decoupled, Mode::Full), 10, 15);
+        let mut lb = MpLoopback::new(cfg(CcKind::Reno, Mode::Full), 10, 15);
         let c0 = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), WIFI, 80);
+            .open(Time::ZERO, cfg(CcKind::Reno, Mode::Full), WIFI, 80);
         let c1 = lb
             .client
-            .open(Time::ZERO, cfg(CcChoice::Decoupled, Mode::Full), LTE, 80);
+            .open(Time::ZERO, cfg(CcKind::Reno, Mode::Full), LTE, 80);
         lb.run_until(|lb| lb.server.len() == 2, 1000);
         let d0 = pattern(80_000);
         let d1: Vec<u8> = (0..60_000).map(|i| (i % 13) as u8).collect();
@@ -700,7 +701,7 @@ mod tests {
 
     #[test]
     fn single_path_mode_opens_no_secondary_while_healthy() {
-        let c = cfg(CcChoice::Coupled, Mode::SinglePath);
+        let c = cfg(CcKind::Lia, Mode::SinglePath);
         let mut lb = MpLoopback::new(c.clone(), 10, 15);
         let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
@@ -718,7 +719,7 @@ mod tests {
 
     #[test]
     fn single_path_mode_breaks_then_makes_on_notified_failure() {
-        let c = cfg(CcChoice::Coupled, Mode::SinglePath);
+        let c = cfg(CcKind::Lia, Mode::SinglePath);
         let mut lb = MpLoopback::new(c.clone(), 10, 15);
         let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
@@ -758,7 +759,7 @@ mod tests {
         // variant must reinject cleanly — including chunks that straddle
         // the cumulative data-ACK at the moment of death.
         for cut_at in [5_000u64, 33_333, 70_001, 140_000, 260_000] {
-            let c = cfg(CcChoice::Decoupled, Mode::Full);
+            let c = cfg(CcKind::Reno, Mode::Full);
             let mut lb = MpLoopback::new(c.clone(), 10, 15);
             let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
             lb.run_until(|lb| !lb.server.is_empty(), 100);
@@ -783,7 +784,7 @@ mod tests {
 
     #[test]
     fn fastclose_aborts_both_sides() {
-        let c = cfg(CcChoice::Coupled, Mode::Full);
+        let c = cfg(CcKind::Lia, Mode::Full);
         let mut lb = MpLoopback::new(c.clone(), 10, 15);
         let conn = lb.client.open(Time::ZERO, c, WIFI, 80);
         lb.run_until(|lb| !lb.server.is_empty(), 100);
@@ -809,10 +810,10 @@ mod tests {
     #[test]
     fn primary_choice_changes_first_established_iface() {
         for (primary, expect) in [(WIFI, WIFI), (LTE, LTE)] {
-            let mut lb = MpLoopback::new(cfg(CcChoice::Coupled, Mode::Full), 10, 30);
+            let mut lb = MpLoopback::new(cfg(CcKind::Lia, Mode::Full), 10, 30);
             let c = lb
                 .client
-                .open(Time::ZERO, cfg(CcChoice::Coupled, Mode::Full), primary, 80);
+                .open(Time::ZERO, cfg(CcKind::Lia, Mode::Full), primary, 80);
             lb.run_until(|lb| lb.client.conn(c).established_at().is_some(), 200);
             assert_eq!(lb.client.conn(c).subflow_stats()[0].iface, expect);
         }

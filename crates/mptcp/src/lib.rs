@@ -10,8 +10,10 @@
 //!   configured default-route interface; the second joins via MP_JOIN
 //!   *after* the primary completes its handshake, reproducing the startup
 //!   stagger behind Figures 8–12.
-//! * **Coupled (LIA, RFC 6356) vs decoupled (per-subflow Reno) congestion
-//!   control** — the knob behind Figures 13 and 14.
+//! * **Coupled (LIA RFC 6356, OLIA RFC 6356-bis draft, BALIA) vs
+//!   decoupled (per-subflow Reno/Cubic) congestion control** — the knob
+//!   behind Figures 13 and 14, grown into a zoo for the scheduler/CC
+//!   head-to-head experiments.
 //! * **Full-MPTCP vs Backup mode** — backup subflows complete SYN and FIN
 //!   exchanges but carry no data until the primary path dies
 //!   (Figure 15), which is exactly what makes their LTE tail energy cost
@@ -35,8 +37,8 @@ pub mod endpoint;
 pub mod options;
 pub mod sched;
 
-pub use conn::{BackupActivation, CcChoice, Mode, MptcpConfig, MptcpConnection, SubflowStats};
-pub use coupled::{LiaCc, LiaGroup};
+pub use conn::{BackupActivation, Mode, MptcpConfig, MptcpConnection, SchedProgress, SubflowStats};
+pub use coupled::{CcKind, CoupledCc, CoupledGroup, CoupledKind};
 pub use endpoint::{ClientEndpoint, ServerEndpoint};
 pub use options::{token_from_key, MpOption};
 pub use sched::SchedKind;

@@ -9,7 +9,7 @@ use mpwifi_core::policy::{AlwaysWifi, BestMeasured, NetworkChoice, NetworkSelect
 use mpwifi_crowd::measure::{measure_pair, RunMode};
 use mpwifi_measure::render::fmt_bps;
 use mpwifi_measure::TextTable;
-use mpwifi_mptcp::{BackupActivation, CcChoice, Mode, MptcpConfig, SchedKind};
+use mpwifi_mptcp::{BackupActivation, CcKind, Mode, MptcpConfig, SchedKind};
 use mpwifi_radio::{PowerModel, RadioKind};
 use mpwifi_sim::apps::{make_payload, run_mptcp_download};
 use mpwifi_sim::endpoint::{MptcpClientHost, MptcpServerHost};
@@ -31,7 +31,7 @@ pub fn ext_handover(seed: u64) -> Report {
     for (label, mode) in [("Backup", Mode::Backup), ("Single-Path", Mode::SinglePath)] {
         let cfg = MptcpConfig {
             mode,
-            cc: CcChoice::Coupled,
+            cc: CcKind::Lia,
             backup_activation: BackupActivation::OnNotify,
             ..MptcpConfig::default()
         };
@@ -412,7 +412,7 @@ pub fn ext_sched(seed: u64) -> Report {
         let run = |sched: SchedKind| {
             let cfg = MptcpConfig {
                 sched,
-                cc: CcChoice::Decoupled,
+                cc: CcKind::Reno,
                 ..MptcpConfig::default()
             };
             run_mptcp_download(

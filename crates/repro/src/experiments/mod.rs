@@ -7,6 +7,7 @@ pub mod extensions;
 pub mod fault_figs;
 pub mod flow_figs;
 pub mod mode_figs;
+pub mod sched_zoo;
 pub mod table2;
 
 use mpwifi_radio::LocationCondition;

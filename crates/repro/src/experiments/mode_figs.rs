@@ -3,7 +3,7 @@
 //! tail energy).
 
 use crate::report::Report;
-use mpwifi_mptcp::{BackupActivation, CcChoice, Mode, MptcpConfig};
+use mpwifi_mptcp::{BackupActivation, CcKind, Mode, MptcpConfig};
 use mpwifi_netem::Addr;
 use mpwifi_radio::{EnergyBreakdown, PowerModel, RadioKind};
 use mpwifi_sim::endpoint::{MptcpClientHost, MptcpServerHost};
@@ -49,7 +49,7 @@ enum Expect {
 fn run_panel(p: &Panel, seed: u64) -> (PacketLog, PacketLog, u64, bool) {
     const BYTES: u64 = 4_000_000;
     let cfg = MptcpConfig {
-        cc: CcChoice::Coupled,
+        cc: CcKind::Lia,
         mode: p.mode,
         backup_activation: p.activation,
         ..MptcpConfig::default()

@@ -33,7 +33,7 @@ pub const ALL_EXPERIMENTS: [&str; 20] = registry::collect_ids::<20>(false);
 /// Extension experiments (beyond the paper's figures): the studies the
 /// paper's conclusion calls for, plus design ablations. Derived from
 /// [`REGISTRY`].
-pub const EXTENSION_EXPERIMENTS: [&str; 9] = registry::collect_ids::<9>(true);
+pub const EXTENSION_EXPERIMENTS: [&str; 11] = registry::collect_ids::<11>(true);
 
 /// Run one experiment by id, with `seed` passed to it verbatim.
 ///

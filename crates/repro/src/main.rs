@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--full] [--seed N] [--jobs N] [--markdown FILE] [--metrics FILE] <experiment>... | all | --list
 //! repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all
-//! repro conformance [--cases N] [--seed N] [--jobs N]
+//! repro conformance [--matrix] [--cases N] [--seed N] [--jobs N]
 //! repro campaign [--users N] [--seed N] [--jobs N] [--full]
 //! repro serve [--jobs N] [--queue N] [--retries N] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] [--chaos]
 //! ```
@@ -37,6 +37,11 @@
 //! instead of paper experiments: `--cases` seeded scenarios with the
 //! invariant oracles attached. On any violation it greedily shrinks the
 //! first violating case and prints a paste-ready reproducer test.
+//! `--matrix` switches to the scheduler × congestion-control matrix
+//! campaign: `--cases` scenarios for each of the 25 `(sched, cc)`
+//! cells, every cell forced to MPTCP with that axis, with the
+//! per-scheduler oracles (wedge detection, redundant exactly-once)
+//! attached alongside the DSS invariants.
 
 use mpwifi_repro::{
     registry, runner, runner::SeedPolicy, supervise, Scale, SuperviseConfig, SupervisedRun,
@@ -62,6 +67,7 @@ fn main() {
     let mut quarantine_path: Option<String> = None;
     let mut queue_cap = 16usize;
     let mut chaos = false;
+    let mut matrix = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -148,6 +154,7 @@ fn main() {
                     .unwrap_or_else(|| die("--queue needs a positive integer"));
             }
             "--chaos" => chaos = true,
+            "--matrix" => matrix = true,
             "--users" => {
                 i += 1;
                 users = args
@@ -201,7 +208,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--cases N] [--seed N] [--jobs N]\n       repro campaign [--users N] [--seed N] [--jobs N] [--full]\n       repro serve [--jobs N] [--queue N] [--retries N] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] [--chaos]"
+                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--matrix] [--cases N] [--seed N] [--jobs N]\n       repro campaign [--users N] [--seed N] [--jobs N] [--full]\n       repro serve [--jobs N] [--queue N] [--retries N] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] [--chaos]"
                 );
                 return;
             }
@@ -218,6 +225,9 @@ fn main() {
     if targets.iter().any(|t| t == "conformance") {
         if targets.len() > 1 {
             die("'conformance' runs alone; drop the other targets");
+        }
+        if matrix {
+            run_matrix_conformance(cases, seed, jobs);
         }
         run_conformance(cases, seed, jobs);
     }
@@ -558,6 +568,61 @@ fn run_conformance(cases: usize, seed: u64, jobs: usize) -> ! {
                 v.detail
             );
         }
+        println!("\nminimal reproducer (paste into crates/conformance/tests/):\n");
+        println!("{}", conf::repro_snippet(&small));
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// Run the scheduler × congestion-control matrix campaign: `cases`
+/// scenarios per `(sched, cc)` cell, all 25 cells, and exit non-zero on
+/// any violation (after shrinking the first one to a reproducer).
+fn run_matrix_conformance(cases_per_cell: usize, seed: u64, jobs: usize) -> ! {
+    use mpwifi_conformance as conf;
+    let start = std::time::Instant::now();
+    let cells = conf::run_matrix_campaign(cases_per_cell, seed, jobs);
+    let mut worst: Option<&conf::CaseResult> = None;
+    let mut total_violating = 0usize;
+    println!("sched x cc matrix, {cases_per_cell} cases per cell:");
+    for cell in &cells {
+        let v = cell.violations();
+        total_violating += v;
+        println!(
+            "  {:10} x {:6}  {:4} cases  {} violating",
+            format!("{:?}", cell.sched).to_lowercase(),
+            format!("{:?}", cell.cc).to_lowercase(),
+            cell.results.len(),
+            v
+        );
+        if worst.is_none() {
+            worst = cell.results.iter().find(|r| !r.report.clean());
+        }
+    }
+    println!(
+        "matrix conformance: {} cells x {cases_per_cell} cases, {} violating \
+         (seed {seed}, jobs {jobs}, {:.1?})",
+        cells.len(),
+        total_violating,
+        start.elapsed()
+    );
+    println!("matrix fingerprint: {}", conf::matrix_fingerprint(&cells));
+    if let Some(worst) = worst {
+        println!(
+            "\nshrinking case {} (seed {}, first violation {:?})...",
+            worst.index,
+            worst.seed,
+            worst.report.first_category()
+        );
+        let (small, small_report) = conf::shrink(&worst.spec);
+        println!(
+            "shrunk to: faults={} down={} up={} ({} violations, first {:?})",
+            small.faults.len(),
+            small.workload.down_bytes,
+            small.workload.up_bytes,
+            small_report.violations_total,
+            small_report.first_category()
+        );
         println!("\nminimal reproducer (paste into crates/conformance/tests/):\n");
         println!("{}", conf::repro_snippet(&small));
         std::process::exit(1);

@@ -82,12 +82,18 @@ fn run_ext_sched(_: Scale, seed: u64) -> Report {
 fn run_ext_mobility(_: Scale, seed: u64) -> Report {
     ex::extensions::ext_mobility(seed)
 }
+fn run_sched_matrix(_: Scale, seed: u64) -> Report {
+    ex::sched_zoo::sched_matrix(seed)
+}
+fn run_sched_failover(_: Scale, seed: u64) -> Report {
+    ex::sched_zoo::sched_failover(seed)
+}
 fn run_ext_stability(_: Scale, seed: u64) -> Report {
     ex::extensions::ext_stability(seed)
 }
 
 /// Every experiment, in paper order, extensions last.
-pub const REGISTRY: [ExperimentSpec; 29] = [
+pub const REGISTRY: [ExperimentSpec; 31] = [
     ExperimentSpec {
         id: "table1",
         title: "Geographic coverage of the crowd-sourced dataset",
@@ -248,6 +254,20 @@ pub const REGISTRY: [ExperimentSpec; 29] = [
         section: "ext",
         extension: true,
         run: run_ext_sched,
+    },
+    ExperimentSpec {
+        id: "sched-matrix",
+        title: "Scheduler × congestion-control matrix over three path pairs",
+        section: "ext",
+        extension: true,
+        run: run_sched_matrix,
+    },
+    ExperimentSpec {
+        id: "sched-failover",
+        title: "Fig 15-style failover across the scheduler zoo",
+        section: "ext",
+        extension: true,
+        run: run_sched_failover,
     },
     ExperimentSpec {
         id: "ext-mobility",

@@ -69,6 +69,33 @@ fn fault_sweeps_are_deterministic_across_jobs_and_repeats() {
 }
 
 #[test]
+fn sched_zoo_family_is_deterministic_across_jobs() {
+    // The scheduler × CC matrix and the per-scheduler failover replay
+    // cover every (SchedKind, CcKind) cell and all three path pairs;
+    // their reports (tables, claims, and the dup/reinjection counters
+    // in the metrics) must be a pure function of the seed at every job
+    // count.
+    let specs: Vec<_> = REGISTRY
+        .iter()
+        .filter(|s| s.id.starts_with("sched-"))
+        .collect();
+    assert_eq!(
+        specs.len(),
+        2,
+        "expected sched-matrix and sched-failover in the registry"
+    );
+    for seed in [42u64, 7] {
+        let serial = runner::run_specs_with(&specs, Scale::Quick, seed, 1, SeedPolicy::Campaign);
+        let parallel = runner::run_specs_with(&specs, Scale::Quick, seed, 8, SeedPolicy::Campaign);
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "seed {seed}: sched zoo diverged between --jobs 1 and --jobs 8"
+        );
+    }
+}
+
+#[test]
 fn crowd_campaign_reports_are_worker_invariant() {
     // The population campaign shares the runner's contract at its own
     // layer: a 10⁴-user campaign rendered with 1 worker and with 8

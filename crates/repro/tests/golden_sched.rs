@@ -1,0 +1,62 @@
+//! Scheduler-zoo golden pins: one fixed scenario per scheduler, byte-
+//! pinned. The five schedulers share every other knob (links, CC,
+//! seed, transfer size), so any behavioral drift in a scheduler — a
+//! changed pick order, a lost duplicate, a different completion time —
+//! shows up as a diff in exactly its line.
+//!
+//! Regenerate (only when an *intentional* scheduler behavior change
+//! lands) with:
+//! `UPDATE_GOLDEN=1 cargo test -p mpwifi-repro --test golden_sched`.
+
+use mpwifi_mptcp::{BackupActivation, CcKind, Mode, MptcpConfig, SchedKind};
+use mpwifi_sim::apps::run_mptcp_download;
+use mpwifi_sim::{LinkSpec, WIFI_ADDR};
+use mpwifi_simcore::{metrics, Dur};
+
+const GOLDEN_PATH: &str = "tests/golden/pr9_sched_scenarios.txt";
+
+fn render_zoo() -> String {
+    let wifi = LinkSpec::symmetric(8_000_000, Dur::from_millis(25));
+    let lte = LinkSpec::symmetric(4_000_000, Dur::from_millis(60));
+    let mut out = String::new();
+    for &sched in &SchedKind::ALL {
+        let cfg = MptcpConfig {
+            sched,
+            cc: CcKind::Lia,
+            mode: Mode::Full,
+            backup_activation: BackupActivation::OnNotify,
+            ..MptcpConfig::default()
+        };
+        let before = metrics::snapshot();
+        let r = run_mptcp_download(&wifi, &lte, WIFI_ADDR, 200_000, cfg, Dur::from_secs(60), 42);
+        let delta = metrics::snapshot().since(&before);
+        out.push_str(&format!(
+            "{:9} complete={} finish={:?} reinjections={} dups={} dup_bytes_dropped={}\n",
+            sched.label(),
+            r.is_complete(),
+            r.completed,
+            delta.reinjections,
+            delta.redundant_dups,
+            delta.dup_bytes_dropped,
+        ));
+    }
+    out
+}
+
+#[test]
+fn per_scheduler_scenario_bytes_are_pinned() {
+    let got = render_zoo();
+    let path = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), GOLDEN_PATH);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(&path).parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("golden fixture rewritten: {path}");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {path}: {e}"));
+    assert_eq!(
+        got, want,
+        "per-scheduler scenario output diverged from the pinned fixture"
+    );
+}

@@ -30,6 +30,8 @@ thread_local! {
     static RECOVERY_TIME_US: Cell<u64> = const { Cell::new(0) };
     static SEGMENTS_DROPPED_UNROUTABLE: Cell<u64> = const { Cell::new(0) };
     static SCHED_PICKS_REJECTED: Cell<u64> = const { Cell::new(0) };
+    static REDUNDANT_DUPS: Cell<u64> = const { Cell::new(0) };
+    static DUP_BYTES_DROPPED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of this thread's instrumentation counters.
@@ -80,6 +82,12 @@ pub struct RunMetrics {
     /// index was not among the offered views; the send pass skips the
     /// round instead of panicking.
     pub sched_picks_rejected: u64,
+    /// Chunk copies pushed by the Redundant scheduler onto additional
+    /// subflows (beyond the primary carrier).
+    pub redundant_dups: u64,
+    /// Bytes a receiver discarded because their DSN range was already
+    /// delivered — redundant copies and reinjection races.
+    pub dup_bytes_dropped: u64,
 }
 
 impl RunMetrics {
@@ -105,6 +113,8 @@ impl RunMetrics {
             segments_dropped_unroutable: self.segments_dropped_unroutable
                 - baseline.segments_dropped_unroutable,
             sched_picks_rejected: self.sched_picks_rejected - baseline.sched_picks_rejected,
+            redundant_dups: self.redundant_dups - baseline.redundant_dups,
+            dup_bytes_dropped: self.dup_bytes_dropped - baseline.dup_bytes_dropped,
         }
     }
 }
@@ -194,6 +204,20 @@ pub fn record_sched_pick_rejected() {
     SCHED_PICKS_REJECTED.with(|c| c.set(c.get() + 1));
 }
 
+/// Record one Redundant-scheduler chunk copy pushed onto an extra
+/// subflow.
+#[inline]
+pub fn record_redundant_dup() {
+    REDUNDANT_DUPS.with(|c| c.set(c.get() + 1));
+}
+
+/// Record `n` bytes discarded at a receiver as already-delivered
+/// duplicates.
+#[inline]
+pub fn record_dup_bytes_dropped(n: u64) {
+    DUP_BYTES_DROPPED.with(|c| c.set(c.get() + n));
+}
+
 /// Read this thread's counters.
 pub fn snapshot() -> RunMetrics {
     RunMetrics {
@@ -212,6 +236,8 @@ pub fn snapshot() -> RunMetrics {
         recovery_time_us: RECOVERY_TIME_US.with(Cell::get),
         segments_dropped_unroutable: SEGMENTS_DROPPED_UNROUTABLE.with(Cell::get),
         sched_picks_rejected: SCHED_PICKS_REJECTED.with(Cell::get),
+        redundant_dups: REDUNDANT_DUPS.with(Cell::get),
+        dup_bytes_dropped: DUP_BYTES_DROPPED.with(Cell::get),
     }
 }
 
@@ -232,6 +258,8 @@ pub fn reset() {
     RECOVERY_TIME_US.with(|c| c.set(0));
     SEGMENTS_DROPPED_UNROUTABLE.with(|c| c.set(0));
     SCHED_PICKS_REJECTED.with(|c| c.set(0));
+    REDUNDANT_DUPS.with(|c| c.set(0));
+    DUP_BYTES_DROPPED.with(|c| c.set(0));
 }
 
 #[cfg(test)]

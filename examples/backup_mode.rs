@@ -7,7 +7,7 @@
 //! ```
 
 use bytes::Bytes;
-use mpwifi::mptcp::{BackupActivation, CcChoice, Mode, MptcpConfig};
+use mpwifi::mptcp::{BackupActivation, CcKind, Mode, MptcpConfig};
 use mpwifi::radio::{PowerModel, RadioKind};
 use mpwifi::sim::endpoint::{MptcpClientHost, MptcpServerHost};
 use mpwifi::sim::{LinkSpec, ScriptEvent, Sim, LTE_ADDR, SERVER_ADDR, SERVER_PORT, WIFI_ADDR};
@@ -17,7 +17,7 @@ const BYTES: u64 = 3_000_000;
 
 fn main() {
     let cfg = MptcpConfig {
-        cc: CcChoice::Coupled,
+        cc: CcKind::Lia,
         mode: Mode::Backup,
         backup_activation: BackupActivation::OnNotify,
         ..MptcpConfig::default()

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tier-1 build + tests.
-# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke] [--serve-smoke]
+# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--sched-smoke] [--supervise] [--crowd-smoke] [--serve-smoke]
 #   --bench-smoke   also build the criterion benches and run each for a
 #                   single iteration (cargo bench -- --test), proving
 #                   the benchmarks still compile and run; then measure
@@ -19,6 +19,16 @@
 #                   with MPWIFI_CONFORMANCE_CASES). Fails on any
 #                   invariant violation and prints the shrunk
 #                   reproducer.
+#   --sched-smoke   also run the scheduler-zoo smoke: the sched-matrix
+#                   and sched-failover experiment family (every
+#                   (scheduler, CC) cell over three path pairs, claims
+#                   must hold), the conformance matrix campaign (a few
+#                   fuzz cases per cell with the wedge and
+#                   redundant-liveness oracles attached; override the
+#                   per-cell count with MPWIFI_MATRIX_CASES), the
+#                   family's jobs-determinism test, the per-scheduler
+#                   golden pins, and the bench gate against
+#                   BENCH_PR7.json.
 #   --crowd-smoke   also run the crowd-campaign smoke: a 10⁴-user
 #                   population campaign under --supervise must complete
 #                   with every claim holding and zero quarantines, and
@@ -48,6 +58,7 @@ cd "$(dirname "$0")/.."
 BENCH_SMOKE=0
 FAULT_SMOKE=0
 CONFORMANCE=0
+SCHED_SMOKE=0
 SUPERVISE=0
 CROWD_SMOKE=0
 SERVE_SMOKE=0
@@ -56,11 +67,12 @@ for arg in "$@"; do
         --bench-smoke) BENCH_SMOKE=1 ;;
         --faults) FAULT_SMOKE=1 ;;
         --conformance) CONFORMANCE=1 ;;
+        --sched-smoke) SCHED_SMOKE=1 ;;
         --supervise) SUPERVISE=1 ;;
         --crowd-smoke) CROWD_SMOKE=1 ;;
         --serve-smoke) SERVE_SMOKE=1 ;;
         *)
-            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--supervise] [--crowd-smoke] [--serve-smoke]" >&2
+            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--sched-smoke] [--supervise] [--crowd-smoke] [--serve-smoke]" >&2
             exit 2
             ;;
     esac
@@ -120,6 +132,28 @@ if [ "$CONFORMANCE" -eq 1 ]; then
     CASES="${MPWIFI_CONFORMANCE_CASES:-25}"
     echo "== conformance smoke: $CASES fuzz cases, fixed seed"
     cargo run --release -p mpwifi-repro -- conformance --cases "$CASES" --seed 42 --jobs 4
+fi
+
+if [ "$SCHED_SMOKE" -eq 1 ]; then
+    echo "== sched smoke: scheduler x CC matrix + failover family, claims must hold"
+    cargo run --release -p mpwifi-repro -- sched-matrix sched-failover --seed 42 >/dev/null
+    MCASES="${MPWIFI_MATRIX_CASES:-8}"
+    echo "== sched smoke: conformance matrix campaign, $MCASES cases per cell"
+    cargo run --release -p mpwifi-repro -- conformance --matrix --cases "$MCASES" --seed 42 --jobs 4
+    echo "== sched smoke: family determinism across shards"
+    cargo test --release -p mpwifi-repro --test determinism -q sched_zoo_family
+    echo "== sched smoke: per-scheduler golden pins"
+    cargo test --release -p mpwifi-repro --test golden_sched -q
+    echo "== sched smoke: bench gate vs BENCH_PR7.json"
+    SRAW="$(mktemp)"
+    MPWIFI_BENCH_JSON="$SRAW" cargo bench -p mpwifi-bench \
+        --bench hot_path --bench simulator >/dev/null
+    if ! scripts/bench_gate BENCH_PR7.json "$SRAW"; then
+        rm -f "$SRAW"
+        echo "bench gate failed (see per-id diff above)" >&2
+        exit 1
+    fi
+    rm -f "$SRAW"
 fi
 
 if [ "$CROWD_SMOKE" -eq 1 ]; then

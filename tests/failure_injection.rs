@@ -2,7 +2,7 @@
 //! and recovery through the full public stack (Sim + MPTCP endpoints).
 
 use bytes::Bytes;
-use mpwifi::mptcp::{BackupActivation, CcChoice, Mode, MptcpConfig};
+use mpwifi::mptcp::{BackupActivation, CcKind, Mode, MptcpConfig};
 use mpwifi::sim::endpoint::{MptcpClientHost, MptcpServerHost};
 use mpwifi::sim::{LinkSpec, ScriptEvent, Sim, LTE_ADDR, SERVER_ADDR, SERVER_PORT, WIFI_ADDR};
 use mpwifi::simcore::{Dur, Time};
@@ -68,7 +68,7 @@ fn backup_mode_silent_cut_with_rto_activation_recovers() {
     let cfg = MptcpConfig {
         mode: Mode::Backup,
         backup_activation: BackupActivation::OnRtoCount(2),
-        cc: CcChoice::Coupled,
+        cc: CcKind::Lia,
         ..MptcpConfig::default()
     };
     let mut sim = build(&cfg, 13);
@@ -83,7 +83,7 @@ fn backup_mode_silent_cut_without_activation_stalls() {
     let cfg = MptcpConfig {
         mode: Mode::Backup,
         backup_activation: BackupActivation::OnNotify,
-        cc: CcChoice::Coupled,
+        cc: CcKind::Lia,
         ..MptcpConfig::default()
     };
     let mut sim = build(&cfg, 13);

@@ -3,7 +3,7 @@
 //! hold for *any* scenario.
 
 use bytes::Bytes;
-use mpwifi::mptcp::{CcChoice, Mode, MptcpConfig, SchedKind};
+use mpwifi::mptcp::{CcKind, Mode, MptcpConfig, SchedKind};
 use mpwifi::sim::apps::{run_mptcp_download, run_tcp_download};
 use mpwifi::sim::endpoint::{MptcpClientHost, MptcpServerHost};
 use mpwifi::sim::{LinkSpec, Sim, LTE_ADDR, SERVER_ADDR, SERVER_PORT, WIFI_ADDR};
@@ -65,7 +65,7 @@ proptest! {
         rr in any::<bool>(),
     ) {
         let cfg = MptcpConfig {
-            cc: if coupled { CcChoice::Coupled } else { CcChoice::Decoupled },
+            cc: if coupled { CcKind::Lia } else { CcKind::Reno },
             sched: if rr { SchedKind::RoundRobin } else { SchedKind::MinRtt },
             mode: Mode::Full,
             ..MptcpConfig::default()
