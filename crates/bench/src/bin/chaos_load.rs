@@ -322,6 +322,7 @@ fn main() {
                 users: 5000,
                 jobs: 2,
                 full: false,
+                checkpoint: None,
             },
             9,
         ),
@@ -410,6 +411,7 @@ fn main() {
         users: 1_000_000,
         jobs: 1,
         full: false,
+        checkpoint: None,
     };
     let mut slow_n = 0u64;
     let base_outstanding = {

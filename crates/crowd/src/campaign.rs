@@ -16,9 +16,11 @@
 //! figure suite. [`merge_agreement`] checks the sharded-vs-monolithic
 //! equivalence explicitly for supervision smokes.
 
+use crate::journal::{Checkpoint, ResumeError};
 use crate::measure::{measure_pair, measure_pair_arena, RunMeasurement, RunMode};
-use crate::steal::StealQueue;
+use crate::steal::{ResidualQueue, StealQueue};
 use crate::world::{combined_target_adjustment, paper_clusters};
+use mpwifi_measure::codec::{put_u32, put_u64, put_u8, CodecError, Reader};
 use mpwifi_measure::{CdfSketch, Histogram, MeanAcc, Mergeable, SampleBuilder};
 use mpwifi_radio::WirelessWorld;
 use mpwifi_sim::SimArena;
@@ -59,6 +61,33 @@ impl CampaignConfig {
             workers: 0,
             shard_users: 512,
         }
+    }
+
+    /// Number of shards the population partitions into — a pure function
+    /// of `users` and `shard_users` (never of the worker count), which is
+    /// what makes journaled shard slots stable across resumes.
+    pub fn num_shards(&self) -> u64 {
+        self.users.div_ceil(self.shard_users.max(1))
+    }
+
+    /// Half-open user range `[lo, hi)` of shard `shard`.
+    pub fn shard_bounds(&self, shard: u64) -> (u64, u64) {
+        let su = self.shard_users.max(1);
+        let lo = shard * su;
+        (lo, (lo + su).min(self.users))
+    }
+
+    /// Worker-thread count to actually spawn: the configured count (or
+    /// machine parallelism for 0), clamped to the available work.
+    fn resolved_workers(&self, work_items: u64) -> usize {
+        let w = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.workers
+        };
+        w.min(work_items.max(1) as usize).max(1)
     }
 }
 
@@ -167,6 +196,101 @@ impl ShardSummary {
         }
         self.lte_wins as f64 / self.users as f64
     }
+
+    /// Version byte written by [`Self::encode_into`]; bump on any field
+    /// or layout change so stale journals are a typed refusal.
+    pub const CODEC_VERSION: u8 = 1;
+
+    /// Append the versioned binary encoding (composing the `measure`
+    /// codecs; see `measure::codec`).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u8(out, Self::CODEC_VERSION);
+        put_u64(out, self.users);
+        put_u64(out, self.lte_wins);
+        self.wifi_down.encode_into(out);
+        self.lte_down.encode_into(out);
+        self.combined_diff.encode_into(out);
+        self.ping_diff_us.encode_into(out);
+        self.wifi_down_acc.encode_into(out);
+        self.lte_down_acc.encode_into(out);
+        self.diff_acc.encode_into(out);
+        self.ping_diff_acc.encode_into(out);
+        put_u32(out, self.clusters.len() as u32);
+        for c in &self.clusters {
+            put_u64(out, c.runs);
+            put_u64(out, c.lte_wins);
+        }
+    }
+
+    /// Decode one summary, re-validating every cross-field invariant
+    /// [`Self::record`] maintains: each distribution saw exactly `users`
+    /// samples, the cluster tallies partition the users, and win counts
+    /// never exceed run counts. A decode that passes is observationally
+    /// identical to a summary built by recording measurements.
+    pub fn decode(r: &mut Reader<'_>) -> Result<ShardSummary, CodecError> {
+        const WHAT: &str = "ShardSummary";
+        let invalid = |detail: &'static str| CodecError::Invalid { what: WHAT, detail };
+        r.version(WHAT, Self::CODEC_VERSION)?;
+        let users = r.u64(WHAT)?;
+        let lte_wins = r.u64(WHAT)?;
+        let wifi_down = CdfSketch::decode(r)?;
+        let lte_down = CdfSketch::decode(r)?;
+        let combined_diff = CdfSketch::decode(r)?;
+        let ping_diff_us = Histogram::decode(r)?;
+        let wifi_down_acc = MeanAcc::decode(r)?;
+        let lte_down_acc = MeanAcc::decode(r)?;
+        let diff_acc = MeanAcc::decode(r)?;
+        let ping_diff_acc = MeanAcc::decode(r)?;
+        let n_clusters = r.u32(WHAT)?;
+        if n_clusters as usize != CAMPAIGN_CLUSTERS {
+            return Err(invalid("cluster count is not the Table 1 geography"));
+        }
+        let mut clusters = Vec::with_capacity(CAMPAIGN_CLUSTERS);
+        let mut cluster_runs = 0u64;
+        let mut cluster_wins = 0u64;
+        for _ in 0..CAMPAIGN_CLUSTERS {
+            let runs = r.u64(WHAT)?;
+            let wins = r.u64(WHAT)?;
+            if wins > runs {
+                return Err(invalid("cluster wins exceed cluster runs"));
+            }
+            cluster_runs = cluster_runs
+                .checked_add(runs)
+                .ok_or_else(|| invalid("cluster runs overflow"))?;
+            cluster_wins += wins;
+            clusters.push(ClusterTally {
+                runs,
+                lte_wins: wins,
+            });
+        }
+        if cluster_runs != users || cluster_wins != lte_wins || lte_wins > users {
+            return Err(invalid("cluster tallies do not partition the users"));
+        }
+        let counts_ok = wifi_down.count() == users
+            && lte_down.count() == users
+            && combined_diff.count() == users
+            && ping_diff_us.total() == users
+            && wifi_down_acc.count() == users
+            && lte_down_acc.count() == users
+            && diff_acc.count() == users
+            && ping_diff_acc.count() == users;
+        if !counts_ok {
+            return Err(invalid("summary sample counts disagree with user count"));
+        }
+        Ok(ShardSummary {
+            users,
+            lte_wins,
+            wifi_down,
+            lte_down,
+            combined_diff,
+            ping_diff_us,
+            wifi_down_acc,
+            lte_down_acc,
+            diff_acc,
+            ping_diff_acc,
+            clusters,
+        })
+    }
 }
 
 impl Default for ShardSummary {
@@ -247,6 +371,69 @@ fn measure_user(
     summary.record(cluster_idx, &m);
 }
 
+/// Per-campaign shared context: the calibrated per-cluster worlds and
+/// the cumulative Table 1 run weights for the cluster pick. Built once
+/// per campaign (fresh or resumed) and shared read-only by workers.
+pub(crate) struct CampaignWorld {
+    worlds: Vec<WirelessWorld>,
+    /// `cum_runs[i]` = total Table 1 runs in clusters `0..=i`.
+    cum_runs: Vec<u64>,
+    total_runs: u64,
+}
+
+impl CampaignWorld {
+    pub(crate) fn build() -> CampaignWorld {
+        let clusters = paper_clusters();
+        let worlds: Vec<WirelessWorld> = clusters
+            .iter()
+            .map(|p| {
+                WirelessWorld::with_target(
+                    p.wifi_median_bps,
+                    combined_target_adjustment(p.lte_win_frac),
+                )
+            })
+            .collect();
+        let mut total_runs = 0u64;
+        let cum_runs: Vec<u64> = clusters
+            .iter()
+            .map(|c| {
+                total_runs += c.runs as u64;
+                total_runs
+            })
+            .collect();
+        CampaignWorld {
+            worlds,
+            cum_runs,
+            total_runs,
+        }
+    }
+}
+
+/// Compute one shard's summary. A pure function of `(cfg, shard)` —
+/// the per-user RNG is order-free — which is why a journaled shard can
+/// be skipped on resume and the fold stays byte-identical.
+pub(crate) fn run_shard(
+    cfg: &CampaignConfig,
+    world: &CampaignWorld,
+    shard: u64,
+    arena: &mut SimArena,
+) -> ShardSummary {
+    let (lo, hi) = cfg.shard_bounds(shard);
+    let mut summary = ShardSummary::new();
+    for user in lo..hi {
+        measure_user(
+            cfg,
+            &world.worlds,
+            &world.cum_runs,
+            world.total_runs,
+            user,
+            arena,
+            &mut summary,
+        );
+    }
+    summary
+}
+
 /// Run a campaign. Shards are dispensed by a work-stealing
 /// [`StealQueue`]: each worker starts with a contiguous chunk of the
 /// shard range and steals the upper half of the largest remaining chunk
@@ -272,38 +459,9 @@ pub fn run_campaign_with(
     cfg: &CampaignConfig,
     on_shard: impl Fn(u64, u64, u64) + Sync,
 ) -> CampaignSummary {
-    let clusters = paper_clusters();
-    let worlds: Vec<WirelessWorld> = clusters
-        .iter()
-        .map(|p| {
-            WirelessWorld::with_target(
-                p.wifi_median_bps,
-                combined_target_adjustment(p.lte_win_frac),
-            )
-        })
-        .collect();
-    // Cumulative run counts for the weighted cluster pick:
-    // cum_runs[i] = total Table 1 runs in clusters 0..=i.
-    let mut total_runs = 0u64;
-    let cum_runs: Vec<u64> = clusters
-        .iter()
-        .map(|c| {
-            total_runs += c.runs as u64;
-            total_runs
-        })
-        .collect();
-
-    let shard_users = cfg.shard_users.max(1);
-    let num_shards = cfg.users.div_ceil(shard_users);
-    let workers = if cfg.workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        cfg.workers
-    }
-    .min(num_shards.max(1) as usize)
-    .max(1);
+    let world = CampaignWorld::build();
+    let num_shards = cfg.num_shards();
+    let workers = cfg.resolved_workers(num_shards);
 
     let queue = StealQueue::new(num_shards, workers);
     let mut slots: Vec<Option<ShardSummary>> = (0..num_shards).map(|_| None).collect();
@@ -313,8 +471,7 @@ pub fn run_campaign_with(
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queue = &queue;
-            let worlds = &worlds;
-            let cum_runs = &cum_runs;
+            let world = &world;
             let slot_guard = &slot_guard;
             let done_shards = &done_shards;
             let users_done = &users_done;
@@ -322,20 +479,8 @@ pub fn run_campaign_with(
             scope.spawn(move || {
                 let mut arena = SimArena::new();
                 while let Some(shard) = queue.pop(w) {
-                    let lo = shard * shard_users;
-                    let hi = (lo + shard_users).min(cfg.users);
-                    let mut summary = ShardSummary::new();
-                    for user in lo..hi {
-                        measure_user(
-                            cfg,
-                            worlds,
-                            cum_runs,
-                            total_runs,
-                            user,
-                            &mut arena,
-                            &mut summary,
-                        );
-                    }
+                    let (lo, hi) = cfg.shard_bounds(shard);
+                    let summary = run_shard(cfg, world, shard, &mut arena);
                     slot_guard.lock().unwrap()[shard as usize] = Some(summary);
                     use std::sync::atomic::Ordering;
                     let done = done_shards.fetch_add(1, Ordering::SeqCst) + 1;
@@ -356,6 +501,117 @@ pub fn run_campaign_with(
         shards: num_shards,
         stats,
     }
+}
+
+/// A campaign completed through the journal: the summary plus resume
+/// provenance for operator reporting (how much prior progress was
+/// reused, how many torn-tail bytes were dropped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumedCampaign {
+    /// The campaign result — byte-identical to [`run_campaign`] on the
+    /// same config, however many times the run was killed and resumed.
+    pub summary: CampaignSummary,
+    /// Shards recovered from the journal instead of recomputed.
+    pub recovered_shards: u64,
+    /// Total shards in the partition.
+    pub total_shards: u64,
+    /// Torn-tail bytes truncated from the journal on open.
+    pub dropped_bytes: u64,
+}
+
+/// [`run_campaign`] with crash-consistent checkpointing: completed
+/// shard summaries recovered from the journal at `path` are reused
+/// verbatim, only the residual shards are dispensed (via
+/// [`crate::steal::ResidualQueue`], so work stealing still balances
+/// the tail), and each newly completed shard is appended to the journal
+/// and fsynced before it counts as done. The in-order slot fold is
+/// unchanged, so the result is byte-identical to an uninterrupted
+/// [`run_campaign`] at any worker count and any kill point.
+pub fn run_campaign_resumable(
+    cfg: &CampaignConfig,
+    path: &std::path::Path,
+) -> Result<ResumedCampaign, ResumeError> {
+    run_campaign_resumable_with(cfg, path, |_, _, _| {})
+}
+
+/// [`run_campaign_resumable`] with the shard-completion observer of
+/// [`run_campaign_with`]. Recovered shards are reported as already done
+/// in the observer's `done` count before any new work is observed.
+pub fn run_campaign_resumable_with(
+    cfg: &CampaignConfig,
+    path: &std::path::Path,
+    on_shard: impl Fn(u64, u64, u64) + Sync,
+) -> Result<ResumedCampaign, ResumeError> {
+    let (checkpoint, recovery) = Checkpoint::open(path, cfg)?;
+    let world = CampaignWorld::build();
+    let num_shards = cfg.num_shards();
+    let mut slots = recovery.slots;
+    let residual: Vec<u64> = (0..num_shards)
+        .filter(|&s| slots[s as usize].is_none())
+        .collect();
+    let workers = cfg.resolved_workers(residual.len() as u64);
+
+    let queue = ResidualQueue::new(residual, workers);
+    let slot_guard = Mutex::new(&mut slots);
+    let checkpoint = Mutex::new(checkpoint);
+    // First journal-append failure; workers bail once one is recorded
+    // (the journal is shared, so a failed append poisons the run).
+    let first_err: Mutex<Option<ResumeError>> = Mutex::new(None);
+    let done_shards = std::sync::atomic::AtomicU64::new(recovery.recovered_slots);
+    let users_done = std::sync::atomic::AtomicU64::new(recovery.recovered_users);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queue = &queue;
+            let world = &world;
+            let slot_guard = &slot_guard;
+            let checkpoint = &checkpoint;
+            let first_err = &first_err;
+            let done_shards = &done_shards;
+            let users_done = &users_done;
+            let on_shard = &on_shard;
+            scope.spawn(move || {
+                let mut arena = SimArena::new();
+                while let Some(shard) = queue.pop(w) {
+                    if first_err.lock().unwrap().is_some() {
+                        return;
+                    }
+                    let (lo, hi) = cfg.shard_bounds(shard);
+                    let summary = run_shard(cfg, world, shard, &mut arena);
+                    // Durability point: the shard is on disk (fsynced)
+                    // before it is counted done — a kill after this
+                    // line never recomputes the shard.
+                    if let Err(e) = checkpoint.lock().unwrap().append_slot(shard, &summary) {
+                        first_err.lock().unwrap().get_or_insert(e);
+                        return;
+                    }
+                    slot_guard.lock().unwrap()[shard as usize] = Some(summary);
+                    use std::sync::atomic::Ordering;
+                    let done = done_shards.fetch_add(1, Ordering::SeqCst) + 1;
+                    let users = users_done.fetch_add(hi - lo, Ordering::SeqCst) + (hi - lo);
+                    on_shard(done, num_shards, users);
+                }
+            });
+        }
+    });
+    if let Some(e) = first_err.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    let mut stats = ShardSummary::new();
+    for slot in slots {
+        stats.merge(&slot.expect("every shard slot filled"));
+    }
+    Ok(ResumedCampaign {
+        summary: CampaignSummary {
+            users: cfg.users,
+            seed: cfg.seed,
+            shards: num_shards,
+            stats,
+        },
+        recovered_shards: recovery.recovered_slots,
+        total_shards: num_shards,
+        dropped_bytes: recovery.dropped_bytes,
+    })
 }
 
 /// Do two mean accumulators agree up to float-regrouping noise? Counts
@@ -525,6 +781,101 @@ mod tests {
         let mut dones: Vec<u64> = calls.iter().map(|c| c.0).collect();
         dones.sort_unstable();
         assert_eq!(dones, (1..=observed.shards).collect::<Vec<u64>>());
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("mpwifi_campaign_{}_{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn resumable_fresh_run_equals_plain_run() {
+        let mut cfg = CampaignConfig::new(2_000, 42, RunMode::Analytic);
+        cfg.workers = 4;
+        cfg.shard_users = 128;
+        let path = tmp("fresh");
+        let resumed = run_campaign_resumable(&cfg, &path).expect("resumable");
+        assert_eq!(resumed.recovered_shards, 0);
+        assert_eq!(resumed.total_shards, cfg.num_shards());
+        assert_eq!(
+            resumed.summary,
+            run_campaign(&cfg),
+            "journaling changed output"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_after_torn_kill_is_byte_identical_at_any_worker_count() {
+        let mut cfg = CampaignConfig::new(2_000, 7, RunMode::Analytic);
+        cfg.workers = 1;
+        cfg.shard_users = 128;
+        let baseline = run_campaign(&cfg);
+        let path = tmp("torn_resume");
+        // Complete once to get a full journal, then simulate a kill by
+        // truncating to an arbitrary byte offset (mid-frame): the resume
+        // must recompute exactly the lost suffix and match the baseline.
+        run_campaign_resumable(&cfg, &path).expect("first run");
+        let full = std::fs::read(&path).unwrap();
+        for (workers, cut_frac) in [(1usize, 0.35f64), (8, 0.62), (8, 0.981)] {
+            let cut = (full.len() as f64 * cut_frac) as usize;
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let mut wcfg = cfg.clone();
+            wcfg.workers = workers;
+            let resumed = run_campaign_resumable(&wcfg, &path).expect("resume");
+            assert!(
+                resumed.recovered_shards < resumed.total_shards,
+                "truncation at {cut} left nothing to recompute"
+            );
+            assert_eq!(
+                resumed.summary, baseline,
+                "resume at workers={workers} cut={cut} diverged"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn completed_journal_resumes_without_recomputation() {
+        let mut cfg = CampaignConfig::new(1_000, 3, RunMode::Analytic);
+        cfg.workers = 2;
+        cfg.shard_users = 128;
+        let path = tmp("complete");
+        let first = run_campaign_resumable(&cfg, &path).expect("run");
+        let again = run_campaign_resumable(&cfg, &path).expect("resume of complete");
+        assert_eq!(again.recovered_shards, again.total_shards);
+        assert_eq!(again.summary, first.summary);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resumable_observer_reports_recovered_progress() {
+        let mut cfg = CampaignConfig::new(1_000, 9, RunMode::Analytic);
+        cfg.workers = 2;
+        cfg.shard_users = 128;
+        let path = tmp("observer");
+        run_campaign_resumable(&cfg, &path).expect("first run");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let calls = Mutex::new(Vec::new());
+        let resumed = run_campaign_resumable_with(&cfg, &path, |done, total, users| {
+            calls.lock().unwrap().push((done, total, users));
+        })
+        .expect("resume");
+        let calls = calls.into_inner().unwrap();
+        // Only residual shards are observed, and the done counter starts
+        // past the recovered prefix.
+        assert_eq!(
+            calls.len() as u64,
+            resumed.total_shards - resumed.recovered_shards
+        );
+        assert!(calls.iter().all(|&(done, total, _)| {
+            done > resumed.recovered_shards && total == resumed.total_shards
+        }));
+        assert_eq!(calls.iter().map(|c| c.2).max(), Some(cfg.users));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   and 6;
 //! * [`campaign`] — population-scale campaigns: 10⁵–10⁶ synthetic users
 //!   fanned over the Table 1 geography, streamed into bounded-memory
-//!   mergeable summaries with per-worker `SimArena` reuse.
+//!   mergeable summaries with per-worker `SimArena` reuse;
+//! * [`journal`] — the crash-consistent campaign checkpoint: an
+//!   append-only CRC32-framed record log of completed shard summaries,
+//!   with longest-valid-prefix recovery and a typed resume-refusal
+//!   taxonomy ([`ResumeError`]).
 //!
 //! The data is synthetic-but-calibrated (DESIGN.md §1): run counts and
 //! cluster geometry follow Table 1 exactly; per-location WiFi/LTE rate
@@ -22,15 +26,18 @@
 
 pub mod analysis;
 pub mod campaign;
+pub mod journal;
 pub mod measure;
 pub mod steal;
 pub mod world;
 
 pub use analysis::{CrowdAnalysis, Table1Row};
 pub use campaign::{
-    merge_agreement, run_campaign, run_campaign_with, CampaignConfig, CampaignSummary,
-    ClusterTally, ShardSummary, CAMPAIGN_CLUSTERS,
+    merge_agreement, run_campaign, run_campaign_resumable, run_campaign_resumable_with,
+    run_campaign_with, CampaignConfig, CampaignSummary, ClusterTally, ResumedCampaign,
+    ShardSummary, CAMPAIGN_CLUSTERS,
 };
+pub use journal::{scan_journal, Checkpoint, JournalHeader, Recovery, ResumeError};
 pub use measure::{measure_pair, measure_pair_arena, RunMeasurement, RunMode};
-pub use steal::StealQueue;
+pub use steal::{ResidualQueue, StealQueue};
 pub use world::{dataset_to_csv, generate_dataset, paper_clusters, ClusterProfile, MeasurementRun};

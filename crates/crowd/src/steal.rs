@@ -132,6 +132,44 @@ impl StealQueue {
     }
 }
 
+/// Work-stealing dispenser over an arbitrary *subset* of shard ids —
+/// the resume seam. A resumed campaign must feed the steal protocol
+/// only the residual (un-journaled) shards, but [`StealQueue`] dispenses
+/// the dense range `0..total`. `ResidualQueue` keeps the dense queue as
+/// the exactly-once engine and adds a frozen index→shard-id mapping on
+/// top, so every residual shard id is dispensed exactly once (by
+/// whichever worker wins the underlying CAS) and journaled shards are
+/// never dispensed at all.
+#[derive(Debug)]
+pub struct ResidualQueue {
+    /// Residual shard ids; the dense queue dispenses indices into this.
+    ids: Vec<u64>,
+    inner: StealQueue,
+}
+
+impl ResidualQueue {
+    /// Dispense exactly the shard ids in `ids` across `workers`.
+    pub fn new(ids: Vec<u64>, workers: usize) -> ResidualQueue {
+        let inner = StealQueue::new(ids.len() as u64, workers);
+        ResidualQueue { ids, inner }
+    }
+
+    /// Residual shards remaining to dispense at construction.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when there was nothing to dispense.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Next residual shard id for `worker`, or `None` when drained.
+    pub fn pop(&self, worker: usize) -> Option<u64> {
+        self.inner.pop(worker).map(|i| self.ids[i as usize])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +219,59 @@ mod tests {
     #[test]
     fn zero_total_is_immediately_empty() {
         let q = StealQueue::new(0, 4);
+        for w in 0..4 {
+            assert_eq!(q.pop(w), None);
+        }
+    }
+
+    #[test]
+    fn residual_queue_dispenses_exactly_the_residual_ids() {
+        // Journaled prefix {0, 3, 17} of a 40-shard partition: the
+        // residual queue must dispense each of the other 37 exactly
+        // once and never a journaled one.
+        let journaled: HashSet<u64> = [0, 3, 17].into_iter().collect();
+        let residual: Vec<u64> = (0..40).filter(|s| !journaled.contains(s)).collect();
+        let q = ResidualQueue::new(residual.clone(), 1);
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop(0)).collect();
+        assert_eq!(got, residual);
+    }
+
+    #[test]
+    fn residual_queue_exactly_once_under_steal_storm() {
+        // A journaled prefix plus an 8-thread steal storm: exactly-once
+        // dispensing must survive the resume seam. Residual ids are
+        // deliberately non-contiguous (every shard not ≡ 0 mod 3).
+        const SHARDS: u64 = 50_000;
+        const WORKERS: usize = 8;
+        let residual: Vec<u64> = (0..SHARDS).filter(|s| s % 3 != 0).collect();
+        let expected: HashSet<u64> = residual.iter().copied().collect();
+        let q = ResidualQueue::new(residual, WORKERS);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let q = &q;
+                let seen = &seen;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(s) = q.pop(w) {
+                        mine.push(s);
+                    }
+                    let mut all = seen.lock().unwrap();
+                    for s in mine {
+                        assert!(all.insert(s), "shard {s} dispensed twice");
+                        assert!(s % 3 != 0, "journaled shard {s} dispensed");
+                    }
+                });
+            }
+        });
+        assert_eq!(*seen.lock().unwrap(), expected);
+    }
+
+    #[test]
+    fn empty_residual_queue_is_immediately_dry() {
+        let q = ResidualQueue::new(Vec::new(), 4);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
         for w in 0..4 {
             assert_eq!(q.pop(w), None);
         }

@@ -1,5 +1,6 @@
 //! Histograms, fairness, and resampling confidence intervals.
 
+use crate::codec::{checked_total, put_f64, put_u32, put_u64, put_u8, CodecError, Reader};
 use crate::stream::{Mergeable, SampleBuilder};
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +79,57 @@ impl Histogram {
     /// Samples outside the range.
     pub fn out_of_range(&self) -> u64 {
         self.underflow + self.overflow
+    }
+
+    /// Version byte written by [`Self::encode_into`].
+    pub const CODEC_VERSION: u8 = 1;
+
+    /// Append the versioned binary encoding (see `measure::codec`).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u8(out, Self::CODEC_VERSION);
+        put_f64(out, self.lo);
+        put_f64(out, self.hi);
+        put_u32(out, self.counts.len() as u32);
+        for &c in &self.counts {
+            put_u64(out, c);
+        }
+        put_u64(out, self.underflow);
+        put_u64(out, self.overflow);
+        put_u64(out, self.total);
+    }
+
+    /// Decode one histogram, re-validating the range and that the bin
+    /// counts (including the ±inf under/overflow audit counters) sum to
+    /// `total` — the invariant `add` maintains.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Histogram, CodecError> {
+        const WHAT: &str = "Histogram";
+        r.version(WHAT, Self::CODEC_VERSION)?;
+        let lo = r.f64(WHAT)?;
+        let hi = r.f64(WHAT)?;
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(CodecError::Invalid {
+                what: WHAT,
+                detail: "bad bin range",
+            });
+        }
+        let counts = r.counters(WHAT)?;
+        let underflow = r.u64(WHAT)?;
+        let overflow = r.u64(WHAT)?;
+        let total = r.u64(WHAT)?;
+        if checked_total(&counts, &[underflow, overflow], WHAT)? != total {
+            return Err(CodecError::Invalid {
+                what: WHAT,
+                detail: "bin totals disagree with sample count",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts,
+            underflow,
+            overflow,
+            total,
+        })
     }
 }
 

@@ -8,6 +8,8 @@
 //!   that merge associatively across campaign shards;
 //! * [`SampleBuilder`] / [`Mergeable`] — the uniform construction and
 //!   merge surface shared by every summary type;
+//! * [`codec`] — the hand-rolled versioned binary codec the campaign
+//!   journal uses to persist and recover streaming summaries;
 //! * [`Summary`] — mean/median/percentile summaries;
 //! * [`kmeans`] — geographic clustering with a 100 km radius, the
 //!   grouping behind Table 1;
@@ -15,6 +17,7 @@
 //!   the `repro` binary's output.
 
 pub mod cdf;
+pub mod codec;
 pub mod geo;
 pub mod hist;
 pub mod kmeans;
@@ -24,6 +27,7 @@ pub mod stream;
 pub mod summary;
 
 pub use cdf::{Cdf, CdfBuilder};
+pub use codec::CodecError;
 pub use geo::{haversine_km, GeoPoint};
 pub use hist::{bootstrap_mean_ci, jain_fairness, Histogram};
 pub use kmeans::{cluster_geo, GeoCluster};

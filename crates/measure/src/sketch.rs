@@ -8,6 +8,7 @@
 //! counts — exactly associative and commutative. [`MeanAcc`] streams
 //! mean and confidence intervals from `(n, Σx, Σx²)`.
 
+use crate::codec::{checked_total, put_f64, put_u32, put_u64, put_u8, CodecError, Reader};
 use crate::stream::{Mergeable, SampleBuilder};
 use serde::{Deserialize, Serialize};
 
@@ -216,6 +217,82 @@ impl CdfSketch {
     pub fn points_downsampled(&self, max_points: usize) -> Vec<(f64, f64)> {
         self.iter_points_downsampled(max_points).collect()
     }
+
+    /// Version byte written by [`Self::encode_into`]; bump on any layout
+    /// change so old journals decode to a typed error, not garbage.
+    pub const CODEC_VERSION: u8 = 1;
+
+    /// Append the versioned binary encoding (see `measure::codec`).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u8(out, Self::CODEC_VERSION);
+        put_f64(out, self.lo);
+        put_f64(out, self.hi);
+        put_u32(out, self.counts.len() as u32);
+        for &c in &self.counts {
+            put_u64(out, c);
+        }
+        put_u64(out, self.underflow);
+        put_u64(out, self.overflow);
+        put_u64(out, self.count);
+        put_f64(out, self.min);
+        put_f64(out, self.max);
+    }
+
+    /// Decode one sketch. The result is indistinguishable from a sketch
+    /// built by pushing samples: range and bin shape are re-validated,
+    /// the bin totals must equal the sample count, and the extremes must
+    /// be ordered (or the empty-sketch `+inf`/`-inf` sentinels).
+    pub fn decode(r: &mut Reader<'_>) -> Result<CdfSketch, CodecError> {
+        const WHAT: &str = "CdfSketch";
+        r.version(WHAT, Self::CODEC_VERSION)?;
+        let lo = r.f64(WHAT)?;
+        let hi = r.f64(WHAT)?;
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(CodecError::Invalid {
+                what: WHAT,
+                detail: "bad bin range",
+            });
+        }
+        let counts = r.counters(WHAT)?;
+        let underflow = r.u64(WHAT)?;
+        let overflow = r.u64(WHAT)?;
+        let count = r.u64(WHAT)?;
+        let min = r.f64(WHAT)?;
+        let max = r.f64(WHAT)?;
+        if checked_total(&counts, &[underflow, overflow], WHAT)? != count {
+            return Err(CodecError::Invalid {
+                what: WHAT,
+                detail: "bin totals disagree with sample count",
+            });
+        }
+        if min.is_nan() || max.is_nan() {
+            return Err(CodecError::Invalid {
+                what: WHAT,
+                detail: "NaN extreme",
+            });
+        }
+        let extremes_ok = if count == 0 {
+            min == f64::INFINITY && max == f64::NEG_INFINITY
+        } else {
+            min <= max
+        };
+        if !extremes_ok {
+            return Err(CodecError::Invalid {
+                what: WHAT,
+                detail: "unordered extremes",
+            });
+        }
+        Ok(CdfSketch {
+            lo,
+            hi,
+            counts,
+            underflow,
+            overflow,
+            count,
+            min,
+            max,
+        })
+    }
 }
 
 impl SampleBuilder for CdfSketch {
@@ -317,6 +394,42 @@ impl MeanAcc {
         let m = self.mean();
         let h = self.half_width(1.96);
         (m - h, m + h)
+    }
+
+    /// Version byte written by [`Self::encode_into`].
+    pub const CODEC_VERSION: u8 = 1;
+
+    /// Append the versioned binary encoding (see `measure::codec`).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u8(out, Self::CODEC_VERSION);
+        put_u64(out, self.n);
+        put_f64(out, self.sum);
+        put_f64(out, self.sum_sq);
+    }
+
+    /// Decode one accumulator. `sum` may legally be any non-NaN value
+    /// reachable by summing non-NaN samples (±inf included); `sum_sq` is
+    /// a sum of squares so it must be non-negative and non-NaN. An empty
+    /// accumulator must carry exactly the zero sums `new()` starts with.
+    pub fn decode(r: &mut Reader<'_>) -> Result<MeanAcc, CodecError> {
+        const WHAT: &str = "MeanAcc";
+        r.version(WHAT, Self::CODEC_VERSION)?;
+        let n = r.u64(WHAT)?;
+        let sum = r.f64(WHAT)?;
+        let sum_sq = r.f64(WHAT)?;
+        if sum.is_nan() || sum_sq.is_nan() || sum_sq < 0.0 {
+            return Err(CodecError::Invalid {
+                what: WHAT,
+                detail: "bad accumulator sums",
+            });
+        }
+        if n == 0 && (sum.to_bits() != 0 || sum_sq.to_bits() != 0) {
+            return Err(CodecError::Invalid {
+                what: WHAT,
+                detail: "empty accumulator with nonzero sums",
+            });
+        }
+        Ok(MeanAcc { n, sum, sum_sq })
     }
 }
 

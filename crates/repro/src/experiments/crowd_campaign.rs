@@ -9,8 +9,8 @@
 
 use crate::report::{Report, Scale};
 use mpwifi_crowd::{
-    merge_agreement, paper_clusters, run_campaign, run_campaign_with, CampaignConfig,
-    CampaignSummary, RunMode, CAMPAIGN_CLUSTERS,
+    merge_agreement, paper_clusters, run_campaign, run_campaign_resumable_with, run_campaign_with,
+    CampaignConfig, CampaignSummary, ResumeError, ResumedCampaign, RunMode, CAMPAIGN_CLUSTERS,
 };
 use mpwifi_measure::render::{series_block_iter, TextTable};
 use mpwifi_measure::MeanAcc;
@@ -57,6 +57,40 @@ pub fn campaign_cli_report_observed(
     r
 }
 
+/// [`campaign_cli_report`] with crash-consistent checkpointing: the
+/// main population run journals every completed shard to `path` and
+/// resumes from whatever a previous (possibly killed) invocation left
+/// there. The rendered report is byte-identical to the plain path at
+/// any worker count and any kill point; the returned [`ResumedCampaign`]
+/// carries the recovery counters for the host's (stderr-only) note.
+pub fn campaign_cli_report_checkpointed(
+    users: u64,
+    workers: usize,
+    seed: u64,
+    scale: Scale,
+    path: &std::path::Path,
+) -> Result<(Report, ResumedCampaign), ResumeError> {
+    campaign_cli_report_checkpointed_observed(users, workers, seed, scale, path, |_, _, _| {})
+}
+
+/// [`campaign_cli_report_checkpointed`] with a shard-completion
+/// observer on the main population run (the campaign server streams
+/// resumed progress through this).
+pub fn campaign_cli_report_checkpointed_observed(
+    users: u64,
+    workers: usize,
+    seed: u64,
+    scale: Scale,
+    path: &std::path::Path,
+    on_shard: impl Fn(u64, u64, u64) + Sync,
+) -> Result<(Report, ResumedCampaign), ResumeError> {
+    let (mut r, res) = campaign_report_checkpointed_observed(users, workers, seed, path, on_shard)?;
+    if scale == Scale::Full {
+        fullsim_spot_check(&mut r, seed);
+    }
+    Ok((r, res))
+}
+
 /// Run the analytic population campaign and render it. The report is
 /// byte-identical for every `workers` value (0 = auto) — pinned at 10⁴
 /// users by the determinism suite.
@@ -74,6 +108,34 @@ pub fn campaign_report_observed(
     let mut cfg = CampaignConfig::new(users, seed, RunMode::Analytic);
     cfg.workers = workers;
     let s = run_campaign_with(&cfg, on_shard);
+    render_campaign_report(&cfg, &s)
+}
+
+/// [`campaign_report_observed`] through the journaled resumable driver:
+/// same config, same renderer, so the report is byte-identical to the
+/// plain path — the only difference is where completed shards come from.
+pub fn campaign_report_checkpointed_observed(
+    users: u64,
+    workers: usize,
+    seed: u64,
+    path: &std::path::Path,
+    on_shard: impl Fn(u64, u64, u64) + Sync,
+) -> Result<(Report, ResumedCampaign), ResumeError> {
+    let mut cfg = CampaignConfig::new(users, seed, RunMode::Analytic);
+    cfg.workers = workers;
+    let res = run_campaign_resumable_with(&cfg, path, on_shard)?;
+    let r = render_campaign_report(&cfg, &res.summary);
+    Ok((r, res))
+}
+
+/// Render the campaign report from an already-computed population
+/// summary. Shared by the plain and checkpointed drivers — both hand it
+/// the same `(cfg, summary)`, which is what pins the byte-identity of
+/// resumed reports.
+fn render_campaign_report(cfg: &CampaignConfig, s: &CampaignSummary) -> Report {
+    let users = cfg.users;
+    let workers = cfg.workers;
+    let seed = cfg.seed;
 
     // Replay a sub-population monolithically (one shard, one worker) and
     // check the streamed shard fold against the single-pass accumulation.
@@ -95,7 +157,7 @@ pub fn campaign_report_observed(
             s.shards, cfg.shard_users
         ),
     );
-    render_population(&mut r, &s);
+    render_population(&mut r, s);
     let boston_share = s.stats.clusters[0].runs as f64 / s.users.max(1) as f64;
     let populated = s.stats.clusters.iter().filter(|c| c.runs > 0).count();
     let frac = s.stats.lte_win_fraction();

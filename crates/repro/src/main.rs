@@ -4,7 +4,7 @@
 //! repro [--full] [--seed N] [--jobs N] [--markdown FILE] [--metrics FILE] <experiment>... | all | --list
 //! repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all
 //! repro conformance [--matrix] [--cases N] [--seed N] [--jobs N]
-//! repro campaign [--users N] [--seed N] [--jobs N] [--full]
+//! repro campaign [--users N] [--seed N] [--jobs N] [--full] [--checkpoint PATH [--resume]]
 //! repro serve [--jobs N] [--queue N] [--retries N] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] [--chaos]
 //! ```
 //!
@@ -25,6 +25,14 @@
 //! sharded streaming-summary driver (byte-identical for every `--jobs`
 //! value; `--full` adds a packet-level spot check through the reusable
 //! sim arenas). Exit code 1 if any population claim fails.
+//!
+//! `--checkpoint PATH` journals every completed shard to an append-only
+//! CRC32-framed log and fsyncs at shard boundaries; after a crash (even
+//! `kill -9` mid-write), `--resume` picks up from the longest valid
+//! journal prefix and produces a report byte-identical to an
+//! uninterrupted run at any `--jobs` value. A journal written by a
+//! different seed, population, partition, or code version is refused
+//! with a typed error (exit code 4) rather than silently blended.
 //!
 //! `repro serve` turns the harness into a long-running campaign server:
 //! jsonl requests on stdin (experiments, crowd campaigns, pings),
@@ -68,6 +76,8 @@ fn main() {
     let mut queue_cap = 16usize;
     let mut chaos = false;
     let mut matrix = false;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -155,6 +165,15 @@ fn main() {
             }
             "--chaos" => chaos = true,
             "--matrix" => matrix = true,
+            "--checkpoint" => {
+                i += 1;
+                checkpoint = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--checkpoint needs a path")),
+                );
+            }
+            "--resume" => resume = true,
             "--users" => {
                 i += 1;
                 users = args
@@ -208,7 +227,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--matrix] [--cases N] [--seed N] [--jobs N]\n       repro campaign [--users N] [--seed N] [--jobs N] [--full]\n       repro serve [--jobs N] [--queue N] [--retries N] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] [--chaos]"
+                    "usage: repro [--full] [--seed N] [--jobs N] [--derive-seeds] [--markdown FILE] [--metrics FILE] [--csv FILE] [--data DIR] <experiment>... | all | extensions | --list\n       repro --supervise [--retries N] [--quarantine FILE] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] <experiment>... | all\n       repro conformance [--matrix] [--cases N] [--seed N] [--jobs N]\n       repro campaign [--users N] [--seed N] [--jobs N] [--full] [--checkpoint PATH [--resume]]\n       repro serve [--jobs N] [--queue N] [--retries N] [--max-events N] [--max-wall-ms N] [--stall-ttl-s N] [--chaos]"
                 );
                 return;
             }
@@ -235,7 +254,10 @@ fn main() {
         if targets.len() > 1 {
             die("'campaign' runs alone; drop the other targets");
         }
-        run_crowd_campaign(users, seed, jobs, scale);
+        run_crowd_campaign(users, seed, jobs, scale, checkpoint.as_deref(), resume);
+    }
+    if checkpoint.is_some() || resume {
+        die("--checkpoint/--resume apply to the 'campaign' target only");
     }
     if targets.is_empty() {
         die("no experiment given; try --list or 'all'");
@@ -479,9 +501,12 @@ fn quarantine_json(
 /// `--retries`/`--max-events`/`--max-wall-ms`/`--stall-ttl-s` set the
 /// default supervision policy (per-request overrides win), and
 /// `--chaos` unlocks the worker-bomb request kind for the chaos
-/// harness. Exits 0 after a clean drain.
+/// harness. Exits 0 after a clean drain — whether the drain came from
+/// EOF, a `shutdown` request, or SIGINT/SIGTERM (the installed handler
+/// flips the drain flag; admitted requests finish, the `stats` line is
+/// emitted, and the exit is clean).
 fn run_serve(workers: usize, queue: usize, sup_cfg: SuperviseConfig, chaos: bool) -> ! {
-    use mpwifi_serve::{serve, Executor, ServeConfig};
+    use mpwifi_serve::{install_drain_handler, serve_with_stop, Executor, ServeConfig};
     let cfg = ServeConfig {
         workers: workers.max(1),
         queue_capacity: queue.max(1),
@@ -490,17 +515,66 @@ fn run_serve(workers: usize, queue: usize, sup_cfg: SuperviseConfig, chaos: bool
     };
     let exec: std::sync::Arc<dyn Executor + Send + Sync> =
         std::sync::Arc::new(mpwifi_repro::ReproExecutor::new(sup_cfg));
-    let stdin = std::io::stdin().lock();
-    serve(&cfg, exec, stdin, Box::new(std::io::stdout()));
+    let stop = install_drain_handler();
+    // `BufReader<Stdin>` rather than `StdinLock`: the reader lives on
+    // its own thread now, and the lock guard is not `Send`.
+    let stdin = std::io::BufReader::new(std::io::stdin());
+    serve_with_stop(&cfg, exec, stdin, Box::new(std::io::stdout()), stop);
     std::process::exit(0);
 }
 
 /// Run a population-scale crowd campaign and exit non-zero if any
 /// population claim fails.
-fn run_crowd_campaign(users: u64, seed: u64, jobs: usize, scale: Scale) -> ! {
+///
+/// With `--checkpoint PATH` the main population run is journaled and
+/// resumable; refusals to resume (wrong seed/partition/code version,
+/// torn header) exit 4 with the typed error on stderr. All resume
+/// bookkeeping goes to stderr — stdout stays byte-identical to a plain
+/// uninterrupted run.
+fn run_crowd_campaign(
+    users: u64,
+    seed: u64,
+    jobs: usize,
+    scale: Scale,
+    checkpoint: Option<&str>,
+    resume: bool,
+) -> ! {
+    use mpwifi_repro::experiments::crowd_campaign as cc;
     let start = std::time::Instant::now();
-    let report =
-        mpwifi_repro::experiments::crowd_campaign::campaign_cli_report(users, jobs, seed, scale);
+    let report = match checkpoint {
+        None => {
+            if resume {
+                die("--resume needs --checkpoint PATH");
+            }
+            cc::campaign_cli_report(users, jobs, seed, scale)
+        }
+        Some(path) => {
+            let p = std::path::Path::new(path);
+            let existing = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+            if existing > 0 && !resume {
+                die(&format!(
+                    "checkpoint {path} already holds {existing} byte(s); \
+                     pass --resume to continue that campaign or remove the file"
+                ));
+            }
+            match cc::campaign_cli_report_checkpointed(users, jobs, seed, scale, p) {
+                Ok((r, res)) => {
+                    if res.recovered_shards > 0 || res.dropped_bytes > 0 {
+                        eprintln!(
+                            "resume: {}/{} shards recovered from {path} \
+                             ({} torn tail byte(s) dropped)",
+                            res.recovered_shards, res.total_shards, res.dropped_bytes
+                        );
+                    }
+                    r
+                }
+                Err(e) => {
+                    eprintln!("error: cannot resume from {path}: {e}");
+                    std::process::exit(4);
+                }
+            }
+        }
+    };
     println!("{}", report.render_text());
     println!(
         "(campaign of {users} users finished in {:.1?}, seed {seed}, jobs {jobs})",

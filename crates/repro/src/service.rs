@@ -121,9 +121,20 @@ impl Executor for ReproExecutor {
                 panic!("worker bomb: planted escape panic (chaos harness)");
             }
             RunKind::Experiment { id, full } => self.run_experiment(req, id, *full, attempt, emit),
-            RunKind::Campaign { users, jobs, full } => {
-                self.run_campaign(req, *users, *jobs, *full, attempt, emit)
-            }
+            RunKind::Campaign {
+                users,
+                jobs,
+                full,
+                checkpoint,
+            } => self.run_campaign(
+                req,
+                *users,
+                *jobs,
+                *full,
+                checkpoint.as_deref(),
+                attempt,
+                emit,
+            ),
         }
     }
 }
@@ -172,39 +183,55 @@ impl ReproExecutor {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_campaign(
         &self,
         req: &RunRequest,
         users: u64,
         jobs: usize,
         full: bool,
+        checkpoint: Option<&str>,
         attempt: u32,
         emit: &(dyn Fn(Response) + Sync),
     ) -> RequestStatus {
         let scale = if full { Scale::Full } else { Scale::Quick };
-        let seed = attempt_seed(req.seed, "campaign", attempt);
+        // Checkpointed campaigns keep the root seed on every attempt: a
+        // retry must *resume* the journaled campaign, and the journal
+        // refuses any other seed. Unjournaled campaigns keep the
+        // documented decorrelating retry chain.
+        let seed = if checkpoint.is_some() {
+            req.seed
+        } else {
+            attempt_seed(req.seed, "campaign", attempt)
+        };
         // The watchdog is thread-local and campaigns fan out to their own
         // scoped workers, so budgets bind the supervised thread only;
         // panic isolation (and classification) covers the whole call
         // because scoped-thread panics propagate to the scope owner.
-        let result = supervise_call(&self.watchdog_for(req), || {
-            crowd_campaign::campaign_cli_report_observed(
+        let on_shard = |done: u64, total: u64, users_done: u64| {
+            emit(Response::Progress {
+                req: req.req.clone(),
+                done_shards: done,
+                total_shards: total,
+                users_done,
+            });
+        };
+        let result = supervise_call(&self.watchdog_for(req), || match checkpoint {
+            None => Ok(crowd_campaign::campaign_cli_report_observed(
+                users, jobs, seed, scale, on_shard,
+            )),
+            Some(path) => crowd_campaign::campaign_cli_report_checkpointed_observed(
                 users,
                 jobs,
                 seed,
                 scale,
-                |done, total, users_done| {
-                    emit(Response::Progress {
-                        req: req.req.clone(),
-                        done_shards: done,
-                        total_shards: total,
-                        users_done,
-                    });
-                },
+                std::path::Path::new(path),
+                on_shard,
             )
+            .map(|(report, _resumed)| report),
         });
         match result {
-            Ok(report) => {
+            Ok(Ok(report)) => {
                 emit(Response::Section {
                     req: req.req.clone(),
                     text: report.render_text(),
@@ -213,6 +240,13 @@ impl ReproExecutor {
                     claims_hold: report.all_hold(),
                 }
             }
+            // A resume refusal is a property of the request (its journal
+            // disagrees with its config), not a transient run failure:
+            // report it malformed so the pool doesn't retry a journal
+            // that will refuse identically every time.
+            Ok(Err(resume_err)) => RequestStatus::Malformed {
+                error: format!("cannot resume campaign checkpoint: {resume_err}"),
+            },
             Err(failure) => map_failure(failure),
         }
     }
@@ -259,7 +293,8 @@ mod tests {
                 RunKind::Campaign {
                     users: 0,
                     jobs: 1,
-                    full: false
+                    full: false,
+                    checkpoint: None
                 },
                 1
             ))
@@ -337,6 +372,57 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_campaign_resumes_on_retry_with_a_fixed_seed() {
+        let path = std::env::temp_dir().join(format!(
+            "mpwifi_service_ckpt_{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let kind = || RunKind::Campaign {
+            users: 2_000,
+            jobs: 1,
+            full: false,
+            checkpoint: Some(path.to_string_lossy().into_owned()),
+        };
+        let ex = ReproExecutor::new(SuperviseConfig::default());
+        let out = Mutex::new(Vec::new());
+        // Attempt 1 (a retry after a simulated worker loss): the seed
+        // must stay the root seed — the journal written on attempt 0
+        // would refuse a derived one. Running attempt 1 *first* against
+        // an empty journal proves the seed is attempt-independent.
+        let status = ex.execute(&request(kind(), 7), 1, &|r| out.lock().unwrap().push(r));
+        assert!(matches!(status, RequestStatus::Completed { .. }));
+        // The journal is now complete; attempt 0 resumes it (no
+        // recomputation) and must render the identical section.
+        let status = ex.execute(&request(kind(), 7), 0, &|r| out.lock().unwrap().push(r));
+        assert!(matches!(status, RequestStatus::Completed { .. }));
+        let responses = collect(&out);
+        let sections: Vec<&String> = responses
+            .iter()
+            .filter_map(|r| match r {
+                Response::Section { text, .. } => Some(text),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0], sections[1], "resumed section diverged");
+        let cli = crowd_campaign::campaign_cli_report(2_000, 1, 7, Scale::Quick);
+        assert_eq!(
+            sections[0],
+            &cli.render_text(),
+            "checkpointed campaign must match the plain CLI report"
+        );
+        // A different seed against the same journal: typed refusal,
+        // classified malformed (not retryable), never blended.
+        let status = ex.execute(&request(kind(), 8), 0, &|_| {});
+        let RequestStatus::Malformed { error } = status else {
+            panic!("expected Malformed, got {}", status.label());
+        };
+        assert!(error.contains("seed"), "unhelpful refusal: {error}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn campaign_streams_progress_and_matches_cli_report() {
         let ex = ReproExecutor::new(SuperviseConfig::default());
         let out = Mutex::new(Vec::new());
@@ -346,6 +432,7 @@ mod tests {
                     users: 2_000,
                     jobs: 2,
                     full: false,
+                    checkpoint: None,
                 },
                 7,
             ),

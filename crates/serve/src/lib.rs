@@ -12,7 +12,9 @@
 //!   jittered backoff schedule;
 //! - [`pool`]: the poison-recovering worker pool (retry loop, quarantine
 //!   accounting, crashed-worker replacement);
-//! - [`server`]: the serve loop gluing them together.
+//! - [`server`]: the serve loop gluing them together;
+//! - [`signal`]: SIGINT/SIGTERM → graceful-drain flag (FFI, no signal
+//!   crate), threaded into [`server::serve_with_stop`].
 //!
 //! It knows nothing about simulations: `mpwifi-repro` plugs its registry and
 //! supervision layer in through [`exec::Executor`] and hosts the
@@ -24,6 +26,7 @@ pub mod pool;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod signal;
 
 pub use exec::{backoff_ms, Executor};
 pub use pool::{Gauge, Pool, Sink};
@@ -32,4 +35,5 @@ pub use proto::{
     ServeStats,
 };
 pub use queue::{AdmissionQueue, Admit};
-pub use server::{serve, ServeConfig};
+pub use server::{serve, serve_with_stop, ServeConfig};
+pub use signal::install_drain_handler;

@@ -16,7 +16,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::exec::{backoff_ms, Executor};
-use crate::proto::{RequestStatus, Response, RunRequest, ServeStats};
+use crate::proto::{RequestStatus, Response, RunKind, RunRequest, ServeStats};
 use crate::queue::AdmissionQueue;
 
 /// Serialized response writer shared by the reader thread and all workers.
@@ -170,25 +170,60 @@ fn spawn_worker(ctx: Arc<PoolCtx>) {
     }
 }
 
+/// Can this request be safely re-run after its worker died mid-attempt?
+/// Only checkpointed campaigns: their journal makes a rerun *resume*
+/// (recovering fsynced shards) instead of recompute, and the resumed
+/// result is byte-identical — so requeueing loses nothing and repeats
+/// nothing. Everything else is reported lost, as before.
+fn is_resumable(req: &RunRequest) -> bool {
+    matches!(
+        req.kind,
+        RunKind::Campaign {
+            checkpoint: Some(_),
+            ..
+        }
+    )
+}
+
 fn worker_main(ctx: Arc<PoolCtx>) {
     while let Some(req) = ctx.queue.pop() {
         let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&ctx, &req)));
         if outcome.is_err() {
             // The executor let a panic escape: this worker is poisoned.
-            // Report the request lost, hand our slot to a fresh thread,
-            // and exit; the queue keeps every other request.
+            // Hand our slot to a fresh thread and exit; the queue keeps
+            // every other request. The crashed request itself is
+            // requeued if it can resume from its checkpoint (and has
+            // retry budget left), otherwise reported lost.
             {
                 let mut stats = ctx.stats.lock().expect("stats poisoned");
-                stats.quarantined += 1;
                 stats.workers_replaced += 1;
             }
-            ctx.sink.emit(&Response::Done {
-                req: req.req.clone(),
-                status: RequestStatus::WorkerLost,
-                attempts: 1,
-                flaky: false,
-            });
-            ctx.pending.dec();
+            if is_resumable(&req) && req.retries > 0 {
+                let mut again = req.clone();
+                again.retries -= 1;
+                {
+                    let mut stats = ctx.stats.lock().expect("stats poisoned");
+                    stats.retried += 1;
+                }
+                ctx.sink.emit(&Response::Retry {
+                    req: req.req.clone(),
+                    attempt: 1,
+                    backoff_ms: 0,
+                    cause: "worker-lost",
+                });
+                // Still pending: the in-flight gauge keeps counting this
+                // request until its requeued incarnation emits `done`.
+                ctx.queue.requeue(again);
+            } else {
+                ctx.stats.lock().expect("stats poisoned").quarantined += 1;
+                ctx.sink.emit(&Response::Done {
+                    req: req.req.clone(),
+                    status: RequestStatus::WorkerLost,
+                    attempts: 1,
+                    flaky: false,
+                });
+                ctx.pending.dec();
+            }
             spawn_worker(Arc::clone(&ctx));
             return;
         }
@@ -283,11 +318,14 @@ mod tests {
 
     /// Mock executor scripted per request tag:
     /// - `"boom"` panics (escapes — simulates a worker crash),
+    /// - `"resume-bomb"` panics the first time it is ever executed,
+    ///   completes thereafter (a crash mid-campaign, then a resume),
     /// - `"flaky"` fails with `panicked` until attempt `FLAKY_OK_AT`,
     /// - `"doomed"` always fails with `stalled`,
     /// - anything else emits one section and completes.
     struct MockExec {
         calls: AtomicU32,
+        bombed: AtomicU32,
     }
 
     const FLAKY_OK_AT: u32 = 2;
@@ -302,6 +340,9 @@ mod tests {
             self.calls.fetch_add(1, Ordering::SeqCst);
             match req.req.as_str() {
                 "boom" => panic!("worker bomb"),
+                "resume-bomb" if self.bombed.fetch_add(1, Ordering::SeqCst) == 0 => {
+                    panic!("worker bomb mid-campaign")
+                }
                 "flaky" if attempt < FLAKY_OK_AT => RequestStatus::Panicked {
                     message: format!("flaky attempt {attempt}"),
                 },
@@ -351,6 +392,7 @@ mod tests {
             Arc::clone(&queue),
             Arc::new(MockExec {
                 calls: AtomicU32::new(0),
+                bombed: AtomicU32::new(0),
             }),
             sink,
             Arc::clone(&stats),
@@ -465,6 +507,72 @@ mod tests {
         assert_eq!(stats.quarantined, 1);
         assert_eq!(stats.retried, 2);
         assert_eq!(stats.completed, 0);
+    }
+
+    /// A checkpointed (resumable) campaign request.
+    fn campaign_request(tag: &str, retries: u32, checkpoint: Option<&str>) -> RunRequest {
+        RunRequest {
+            req: tag.into(),
+            kind: RunKind::Campaign {
+                users: 1000,
+                jobs: 1,
+                full: false,
+                checkpoint: checkpoint.map(String::from),
+            },
+            seed: 42,
+            retries,
+            max_events: None,
+            wall_ms: None,
+            stall_ttl_s: None,
+        }
+    }
+
+    #[test]
+    fn crashed_resumable_campaign_is_requeued_not_lost() {
+        let rig = rig(1);
+        let out = rig.queue.try_admit_with(
+            campaign_request("resume-bomb", 1, Some("/tmp/x.journal")),
+            |_| rig.pool.pending().inc(),
+        );
+        assert!(matches!(out, Admit::Admitted { .. }));
+        let (lines, stats) = rig.finish();
+        // The crash surfaced as a worker-lost retry, then the requeued
+        // incarnation completed; nothing was quarantined.
+        assert!(lines.iter().any(|r| matches!(
+            r,
+            Response::Retry { req, cause, .. } if req == "resume-bomb" && *cause == "worker-lost"
+        )));
+        match done_for(&lines, "resume-bomb") {
+            Response::Done {
+                status: RequestStatus::Completed { .. },
+                ..
+            } => {}
+            other => panic!("unexpected done: {other:?}"),
+        }
+        assert_eq!(stats.workers_replaced, 1);
+        assert_eq!(stats.retried, 1);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn crashed_resumable_campaign_without_retry_budget_is_lost() {
+        let rig = rig(1);
+        let out = rig.queue.try_admit_with(
+            campaign_request("resume-bomb", 0, Some("/tmp/x.journal")),
+            |_| rig.pool.pending().inc(),
+        );
+        assert!(matches!(out, Admit::Admitted { .. }));
+        let (lines, stats) = rig.finish();
+        match done_for(&lines, "resume-bomb") {
+            Response::Done {
+                status: RequestStatus::WorkerLost,
+                ..
+            } => {}
+            other => panic!("unexpected done: {other:?}"),
+        }
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.workers_replaced, 1);
     }
 
     #[test]

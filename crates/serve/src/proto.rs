@@ -292,6 +292,11 @@ pub enum RunKind {
         jobs: usize,
         /// Full scale adds the FullSim spot check.
         full: bool,
+        /// Journal path for crash-consistent checkpointing. A
+        /// checkpointed campaign is *resumable*: the engine recovers
+        /// completed shards from the journal, and the pool requeues the
+        /// request instead of reporting it lost if its worker dies.
+        checkpoint: Option<String>,
     },
     /// Chaos-only: panic *outside* the supervised region, killing the
     /// worker thread itself. Exists to prove the pool replaces crashed
@@ -358,6 +363,7 @@ impl Request {
                         users: obj.opt_u64("users")?.unwrap_or(10_000).max(1),
                         jobs: obj.opt_u64("jobs")?.unwrap_or(1).clamp(1, 64) as usize,
                         full,
+                        checkpoint: obj.opt_str("checkpoint")?.map(str::to_string),
                     },
                     "worker-bomb" => RunKind::WorkerBomb,
                     other => return Err(format!("unknown run kind {other:?}")),
@@ -397,12 +403,20 @@ impl Request {
                             if *full { "full" } else { "quick" }
                         ));
                     }
-                    RunKind::Campaign { users, jobs, full } => {
+                    RunKind::Campaign {
+                        users,
+                        jobs,
+                        full,
+                        checkpoint,
+                    } => {
                         out.push_str(&format!(
                             ", \"kind\": \"campaign\", \"users\": {users}, \"jobs\": {jobs}, \
                              \"scale\": \"{}\"",
                             if *full { "full" } else { "quick" }
                         ));
+                        if let Some(path) = checkpoint {
+                            out.push_str(&format!(", \"checkpoint\": \"{}\"", json_escape(path)));
+                        }
                     }
                     RunKind::WorkerBomb => out.push_str(", \"kind\": \"worker-bomb\""),
                 }
@@ -939,9 +953,24 @@ mod tests {
                     users: 5000,
                     jobs: 4,
                     full: false,
+                    checkpoint: None,
                 },
                 seed: 42,
                 retries: 0,
+                max_events: None,
+                wall_ms: None,
+                stall_ttl_s: None,
+            }),
+            Request::Run(RunRequest {
+                req: "c-ckpt".into(),
+                kind: RunKind::Campaign {
+                    users: 5000,
+                    jobs: 4,
+                    full: false,
+                    checkpoint: Some("/tmp/dir with \"quotes\"/c.journal".into()),
+                },
+                seed: 42,
+                retries: 1,
                 max_events: None,
                 wall_ms: None,
                 stall_ttl_s: None,

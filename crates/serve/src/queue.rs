@@ -103,6 +103,19 @@ impl<T> AdmissionQueue<T> {
             .len()
     }
 
+    /// Put an already-admitted item back, bypassing the capacity bound
+    /// *and* the closed check: the item's admission slot was already
+    /// accounted (the in-flight gauge still counts it), so requeueing
+    /// must never shed it — and a resumable request interrupted by a
+    /// worker crash must be re-runnable even while the server drains,
+    /// or drain would wait forever on a request nobody will run.
+    pub fn requeue(&self, item: T) {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
     /// Close the queue: already-admitted items remain poppable, new
     /// admissions return [`Admit::Draining`], and blocked consumers wake so
     /// they can observe the close once the backlog empties.
@@ -161,6 +174,24 @@ mod tests {
         assert_eq!(q.pop(), Some("b"));
         assert_eq!(q.pop(), None);
         // Stays drained.
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_and_close() {
+        let q = AdmissionQueue::new(1);
+        q.try_admit_with("a", |_| {});
+        // Full: admission sheds, requeue does not.
+        assert!(matches!(q.try_admit_with("b", |_| {}), Admit::Shed { .. }));
+        q.requeue("retry-1");
+        assert_eq!(q.depth(), 2);
+        q.close();
+        // Closed: admission drains away, requeue still lands.
+        assert_eq!(q.try_admit_with("c", |_| {}), Admit::Draining);
+        q.requeue("retry-2");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("retry-1"));
+        assert_eq!(q.pop(), Some("retry-2"));
         assert_eq!(q.pop(), None);
     }
 

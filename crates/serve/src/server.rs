@@ -8,14 +8,24 @@
 //! the `accepted` line for a request is always written before any of its
 //! result lines, and there is no lock cycle.
 //!
-//! Drain has two triggers with identical semantics: an explicit `shutdown`
-//! request, or EOF on the input. Both close the admission queue (already
-//! admitted requests keep running, new runs get a typed rejection), then
-//! [`serve`] waits for the in-flight gauge to hit zero, joins the workers,
-//! and emits the final `stats` line.
+//! Drain has three triggers with identical semantics: an explicit
+//! `shutdown` request, EOF on the input, or (via [`serve_with_stop`]) an
+//! external stop flag — the CLI wires SIGINT/SIGTERM to it. All close
+//! the admission queue (already admitted requests keep running, new runs
+//! get a typed rejection), then the server waits for the in-flight gauge
+//! to hit zero, joins the workers, and emits the final `stats` line.
+//!
+//! To honour a stop flag that flips while no input arrives, the input is
+//! read on a dedicated thread and handed over an mpsc channel; the serve
+//! loop polls the flag between `recv_timeout` slices. The reader thread
+//! may stay blocked in `read` after a flag-triggered drain (stdin has no
+//! portable interruptible read) — it holds nothing the drain needs, and
+//! process exit reaps it.
 
 use std::io::{BufRead, Write};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use crate::exec::Executor;
 use crate::pool::{Pool, Sink};
@@ -55,14 +65,32 @@ fn salvage_tag(line: &str) -> Option<String> {
     obj.opt_str("req").ok().flatten().map(String::from)
 }
 
+/// How often the serve loop checks the stop flag while idle.
+const STOP_POLL: Duration = Duration::from_millis(25);
+
 /// Run the server over `input`/`output` until EOF (or shutdown + EOF), then
 /// drain and return the session stats. Generic over the transport: the CLI
-/// passes locked stdin/stdout, tests pass in-memory channels.
-pub fn serve<R: BufRead>(
+/// passes buffered stdin/stdout, tests pass in-memory channels.
+pub fn serve<R: BufRead + Send + 'static>(
     cfg: &ServeConfig,
     exec: Arc<dyn Executor + Send + Sync>,
     input: R,
     output: Box<dyn Write + Send>,
+) -> ServeStats {
+    serve_with_stop(cfg, exec, input, output, &AtomicBool::new(false))
+}
+
+/// [`serve`] with an external stop flag: when `stop` becomes true (e.g.
+/// from a SIGTERM/SIGINT handler — see [`crate::signal`]), the server
+/// stops reading input, closes admission, finishes everything already
+/// admitted, emits the `stats` line, and returns — the graceful-drain
+/// path, identical to a `shutdown` request plus EOF.
+pub fn serve_with_stop<R: BufRead + Send + 'static>(
+    cfg: &ServeConfig,
+    exec: Arc<dyn Executor + Send + Sync>,
+    input: R,
+    output: Box<dyn Write + Send>,
+    stop: &AtomicBool,
 ) -> ServeStats {
     let sink = Arc::new(Sink::new(output));
     let stats = Arc::new(Mutex::new(ServeStats::default()));
@@ -76,11 +104,33 @@ pub fn serve<R: BufRead>(
         Arc::clone(&stats),
     );
 
+    // Input on its own thread, so the loop below can notice `stop`
+    // between lines instead of blocking forever in `read`.
+    let (line_tx, line_rx) = mpsc::channel::<String>();
+    let _reader = std::thread::Builder::new()
+        .name("serve-reader".into())
+        .spawn(move || {
+            for line in input.lines() {
+                let Ok(line) = line else { break };
+                if line_tx.send(line).is_err() {
+                    break;
+                }
+            }
+            // Dropping the sender signals EOF to the serve loop.
+        });
+
     let mut draining = false;
-    for line in input.lines() {
-        let line = match line {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            if !draining {
+                sink.emit(&Response::Draining);
+            }
+            break;
+        }
+        let line = match line_rx.recv_timeout(STOP_POLL) {
             Ok(line) => line,
-            Err(_) => break, // transport gone: treat as EOF and drain
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
         };
         if line.trim().is_empty() {
             continue;
@@ -430,6 +480,46 @@ mod tests {
             |r| matches!(r, Response::Done { req, status: RequestStatus::Completed { .. }, .. } if req == "slow-keep")
         ));
         assert_eq!(stats.rejected_draining, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn stop_flag_drains_in_flight_work_then_reports_stats() {
+        // The signal path: no shutdown request, no EOF — the flag flips
+        // while a request is in flight, and the server must finish it,
+        // emit stats, and return.
+        let (tx, reader) = ChanReader::pair();
+        let buf = SharedBuf::default();
+        let exec = Arc::new(GatedExec::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let buf = buf.clone();
+            let exec = Arc::clone(&exec);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                serve_with_stop(
+                    &ServeConfig::default(),
+                    exec,
+                    std::io::BufReader::new(reader),
+                    Box::new(buf),
+                    &stop,
+                )
+            })
+        };
+        tx.send(run_line("slow-drain")).expect("send");
+        exec.wait_started();
+        stop.store(true, Ordering::SeqCst);
+        exec.open();
+        let stats = handle.join().expect("server panicked");
+        // The input was never closed — only the stop flag ended the loop.
+        drop(tx);
+        let lines = buf.lines();
+        assert!(lines.iter().any(|r| matches!(r, Response::Draining)));
+        assert!(lines.iter().any(
+            |r| matches!(r, Response::Done { req, status: RequestStatus::Completed { .. }, .. } if req == "slow-drain")
+        ));
+        assert!(matches!(lines.last(), Some(Response::Stats { .. })));
+        assert_eq!(stats.admitted, 1);
         assert_eq!(stats.completed, 1);
     }
 

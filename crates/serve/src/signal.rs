@@ -1,0 +1,75 @@
+//! SIGINT/SIGTERM → graceful drain, with no signal crate.
+//!
+//! The workspace vendors no libc, so the handler is registered through a
+//! two-symbol FFI surface (`signal(2)` is in every libc the toolchain
+//! links). The handler body is one atomic store — the only thing that is
+//! unconditionally async-signal-safe — and the serve loop polls the flag
+//! between input slices ([`crate::server::serve_with_stop`]). On
+//! non-unix targets installation is a no-op: the flag exists but nothing
+//! ever sets it, and drain still works via `shutdown`/EOF.
+
+use std::sync::atomic::AtomicBool;
+
+/// Process-global drain flag, set (only) by the installed handlers.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        /// `signal(2)`. The return value (previous disposition) is a
+        /// function pointer we never inspect; `usize` keeps the surface
+        /// pointer-free.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers that set the returned flag, which
+/// the caller threads into [`crate::server::serve_with_stop`]. Safe to
+/// call more than once. On non-unix targets, returns the (never-set)
+/// flag without installing anything.
+pub fn install_drain_handler() -> &'static AtomicBool {
+    #[cfg(unix)]
+    imp::install();
+    &DRAIN
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigterm_sets_the_drain_flag() {
+        let flag = install_drain_handler();
+        assert!(!flag.load(Ordering::SeqCst));
+        // With the handler installed, SIGTERM no longer kills the
+        // process — it flips the flag, which is the whole contract.
+        unsafe { raise(imp::SIGTERM) };
+        assert!(flag.load(Ordering::SeqCst));
+        // SIGINT shares the handler (install again: idempotent).
+        install_drain_handler();
+        unsafe { raise(imp::SIGINT) };
+        assert!(flag.load(Ordering::SeqCst));
+        flag.store(false, Ordering::SeqCst);
+    }
+}

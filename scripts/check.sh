@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tier-1 build + tests.
-# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--sched-smoke] [--supervise] [--crowd-smoke] [--serve-smoke]
+# Usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--sched-smoke] [--supervise] [--crowd-smoke] [--serve-smoke] [--resume-smoke]
 #   --bench-smoke   also build the criterion benches and run each for a
 #                   single iteration (cargo bench -- --test), proving
 #                   the benchmarks still compile and run; then measure
@@ -46,6 +46,21 @@
 #                   failures, reconciles its final stats line, and
 #                   renders healthy sections byte-identical to the
 #                   one-shot CLI.
+#   --resume-smoke  also run the crash-consistency smoke: the
+#                   kill_chaos harness SIGKILLs checkpointed
+#                   `repro campaign --checkpoint` children at seeded
+#                   journal-growth offsets (12 kills across seeds
+#                   {42, 7} x jobs {1, 8}, half followed by truncating
+#                   the journal to a seeded mid-frame offset), resumes
+#                   each with --resume until completion, and requires
+#                   the final report byte-identical to a one-shot run;
+#                   plus typed refusals (seed mismatch and corrupt
+#                   header exit 4, non-empty checkpoint without
+#                   --resume exits 2) and a `repro serve` SIGTERM
+#                   graceful-drain probe. Population defaults to 10^6
+#                   users; override with MPWIFI_KILL_USERS. Also runs
+#                   the resume integration tests (torn-tail cuts,
+#                   checkpointed-vs-plain byte identity).
 #   --supervise     also run the supervision smoke: a campaign with a
 #                   planted panicking spec and a planted livelocked spec
 #                   must quarantine both (exit 3, sidecar naming them)
@@ -62,6 +77,7 @@ SCHED_SMOKE=0
 SUPERVISE=0
 CROWD_SMOKE=0
 SERVE_SMOKE=0
+RESUME_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) BENCH_SMOKE=1 ;;
@@ -71,8 +87,9 @@ for arg in "$@"; do
         --supervise) SUPERVISE=1 ;;
         --crowd-smoke) CROWD_SMOKE=1 ;;
         --serve-smoke) SERVE_SMOKE=1 ;;
+        --resume-smoke) RESUME_SMOKE=1 ;;
         *)
-            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--sched-smoke] [--supervise] [--crowd-smoke] [--serve-smoke]" >&2
+            echo "usage: scripts/check.sh [--bench-smoke] [--faults] [--conformance] [--sched-smoke] [--supervise] [--crowd-smoke] [--serve-smoke] [--resume-smoke]" >&2
             exit 2
             ;;
     esac
@@ -179,6 +196,16 @@ if [ "$SERVE_SMOKE" -eq 1 ]; then
     echo "== serve smoke: chaos load client vs repro serve (chaos mode)"
     cargo build --release -q -p mpwifi-repro -p mpwifi-bench --bins
     ./target/release/chaos_load
+fi
+
+if [ "$RESUME_SMOKE" -eq 1 ]; then
+    echo "== resume smoke: kill_chaos harness (SIGKILL + torn tails + byte-identical resume)"
+    cargo build --release -q -p mpwifi-repro -p mpwifi-bench --bins
+    ./target/release/kill_chaos
+    echo "== resume smoke: resume integration tests"
+    cargo test --release -p mpwifi-repro --test resume -q
+    echo "== resume smoke: journal decoder property tests"
+    cargo test --release -p mpwifi-crowd --test prop_journal -q
 fi
 
 if [ "$SUPERVISE" -eq 1 ]; then
